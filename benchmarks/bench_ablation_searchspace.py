@@ -1,0 +1,65 @@
+"""DESIGN §4.2 ablation — leaf-only vs parent-expanded search spaces.
+
+The paper's block-wise neighbour search expands a deep leaf's search
+space to its immediate parent (§IV-B).  This ablation quantifies both
+sides of that choice on an S3DIS-like scene: neighbour recall (accuracy
+driver) and the search-space volume (work/traffic driver).
+
+Expected shape: parent expansion roughly doubles the scanned volume but
+recovers most neighbours lost at block borders.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core import FractalConfig, fractal_partition
+from repro.core.blocks import BlockStructure
+from repro.core.bppo import block_ball_query, block_fps
+from repro.datasets import load_cloud
+from repro.geometry import ball_query, neighbor_recall
+
+from _common import emit
+
+N_POINTS = 33_000
+
+
+def run_searchspace():
+    coords = load_cloud("s3dis", N_POINTS, seed=0).coords.astype(np.float64)
+    tree = fractal_partition(coords, FractalConfig(threshold=256))
+    parent = tree.block_structure()
+    leaf_only = BlockStructure(
+        num_points=parent.num_points,
+        blocks=parent.blocks,
+        search_spaces=[b.indices for b in parent.blocks],
+        cost=parent.cost,
+        strategy="fractal-leaf-only",
+    )
+    centers, _ = block_fps(parent, coords, N_POINTS // 4)
+    centers = centers[:1024]
+    exact = ball_query(coords[centers], coords, 0.2, 16)
+
+    rows = []
+    recalls = {}
+    for label, structure in [("leaf only", leaf_only), ("leaf + parent", parent)]:
+        approx, trace = block_ball_query(structure, coords, centers, 0.2, 16)
+        recall = neighbor_recall(approx, exact)
+        recalls[label] = recall
+        rows.append([
+            label,
+            f"{structure.search_sizes.mean():.0f}",
+            f"{trace.total_search_elements:.3g}",
+            f"{recall:.3f}",
+        ])
+    table = format_table(
+        ["search space", "mean candidates", "distance computations", "recall"],
+        rows,
+        title="Ablation — neighbour-search space rule (paper §IV-B)",
+    )
+    return table, recalls
+
+
+def test_ablation_searchspace(benchmark):
+    table, recalls = benchmark.pedantic(run_searchspace, rounds=1, iterations=1)
+    emit("ablation_searchspace", table)
+    assert recalls["leaf + parent"] > recalls["leaf only"]
+    assert recalls["leaf + parent"] > 0.7

@@ -1,0 +1,55 @@
+"""Extension bench — hardware design-space exploration.
+
+Applies the paper's greedy-DSE methodology (§VI-C, used there for the
+threshold) to the micro-architectural knobs: RSPU core count and lanes
+per core, reporting the latency/area trade-off and the Pareto frontier.
+The shipping configuration (16 cores x 8 lanes, 1.5 mm²) should sit on
+or near the frontier.
+"""
+
+from repro.analysis import format_table
+from repro.hw.dse import pareto_frontier, sweep
+from repro.networks import get_workload
+
+from _common import emit
+
+
+def run_dse():
+    points = sweep(
+        get_workload("PNXt(s)"), 33_000,
+        unit_counts=(4, 8, 16, 32),
+        lane_counts=(4, 8, 16),
+    )
+    frontier = pareto_frontier(points)
+    frontier_keys = {(p.num_point_units, p.lanes_per_unit) for p in frontier}
+    rows = []
+    for p in sorted(points, key=lambda p: p.area_mm2):
+        rows.append([
+            p.num_point_units, p.lanes_per_unit,
+            f"{p.area_mm2:.2f}",
+            f"{p.latency_s * 1e3:.3f}",
+            f"{p.energy_j * 1e3:.2f}",
+            "*" if (p.num_point_units, p.lanes_per_unit) in frontier_keys else "",
+        ])
+    table = format_table(
+        ["RSPU cores", "lanes/core", "area mm2", "latency ms", "energy mJ", "Pareto"],
+        rows,
+        title="Design-space exploration @ 33K PNXt(s) "
+              "(shipping config: 16 cores x 8 lanes, 1.5 mm2)",
+    )
+    return table, points, frontier
+
+
+def test_dse(benchmark):
+    table, points, frontier = benchmark.pedantic(run_dse, rounds=1, iterations=1)
+    emit("dse", table)
+    assert 1 <= len(frontier) <= len(points)
+    # The shipping configuration is not dominated by a smaller design
+    # that is also faster.
+    shipping = next(p for p in points
+                    if p.num_point_units == 16 and p.lanes_per_unit == 8)
+    dominating = [
+        p for p in points
+        if p.area_mm2 < shipping.area_mm2 and p.latency_s < shipping.latency_s
+    ]
+    assert not dominating

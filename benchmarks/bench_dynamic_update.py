@@ -1,0 +1,66 @@
+"""Extension bench — incremental Fractal maintenance vs per-frame rebuild.
+
+The §VI-D adaptation applied to streaming data: a LiDAR-style sequence
+where ~10 % of points churn per frame.  Compares the points touched by
+incremental maintenance (:class:`FractalUpdater`) against a full Fractal
+rebuild each frame, and verifies the maintained partition stays valid.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core import FractalConfig
+from repro.core.update import FractalUpdater
+from repro.datasets import lidar_scan
+
+from _common import emit
+
+N_POINTS = 16_384
+CHURN = 0.1
+FRAMES = 6
+
+
+def run_dynamic():
+    frame0 = lidar_scan(N_POINTS, seed=0)
+    updater = FractalUpdater(frame0.coords.astype(np.float64),
+                             FractalConfig(threshold=256))
+    rng = np.random.default_rng(1)
+    rows = []
+    total_update, total_rebuild = 0, 0
+    for frame in range(1, FRAMES + 1):
+        structure, live = updater.structure()
+        churn = int(updater.num_points * CHURN)
+        before = updater.stats.update_work
+        updater.remove(rng.choice(live, size=churn, replace=False))
+        drift = np.array([0.5 * frame, 0.0, 0.0])
+        new_pts = lidar_scan(churn, seed=frame).coords.astype(np.float64) + drift
+        updater.insert(new_pts)
+        update_work = updater.stats.update_work - before
+        rebuild_work = updater.rebuild_work()
+        total_update += update_work
+        total_rebuild += rebuild_work
+        structure, _ = updater.structure()
+        structure.validate()
+        rows.append([
+            frame, churn, update_work, rebuild_work,
+            f"{rebuild_work / max(update_work, 1):.1f}x",
+            structure.num_blocks,
+            int(structure.max_block_size),
+        ])
+    rows.append(["total", "-", total_update, total_rebuild,
+                 f"{total_rebuild / max(total_update, 1):.1f}x", "-", "-"])
+    table = format_table(
+        ["frame", "churned", "update work", "rebuild work",
+         "saving", "blocks", "max block"],
+        rows,
+        title=f"Incremental Fractal maintenance, {N_POINTS} pts, "
+              f"{int(100 * CHURN)}% churn per frame",
+    )
+    return table, total_update, total_rebuild
+
+
+def test_dynamic_update(benchmark):
+    table, update, rebuild = benchmark.pedantic(run_dynamic, rounds=1, iterations=1)
+    emit("dynamic_update", table)
+    # Incremental maintenance touches far fewer points than rebuilding.
+    assert rebuild > 3 * update

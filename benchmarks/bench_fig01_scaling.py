@@ -1,0 +1,52 @@
+"""Fig. 1 — memory access and latency vs input scale, baseline vs FractalCloud.
+
+Regenerates the teaser figure: DRAM traffic (MB) and end-to-end latency
+(ms) of the original global-search execution (PointAcc-style baseline)
+against FractalCloud, for 1 K → 289 K points on the PointNeXt
+segmentation workload.  Expected shape: the baseline's traffic/latency
+grow superlinearly (O(n^2) global search), FractalCloud's stay near-linear,
+with orders of magnitude between them at 289 K.
+"""
+
+from repro.analysis import format_table
+from repro.hw import AcceleratorSim, FRACTALCLOUD, POINTACC
+from repro.networks import get_workload
+
+from _common import emit
+
+SCALES = [1024, 4096, 16384, 66_000, 289_000]
+
+
+def run_fig01():
+    spec = get_workload("PNXt(s)")
+    base_sim = AcceleratorSim(POINTACC)
+    fract_sim = AcceleratorSim(FRACTALCLOUD)
+    rows = []
+    for n in SCALES:
+        base = base_sim.run(spec, n)
+        fract = fract_sim.run(spec, n)
+        rows.append([
+            n,
+            f"{base.dram_bytes / 1e6:.1f}",
+            f"{fract.dram_bytes / 1e6:.1f}",
+            f"{base.dram_bytes / fract.dram_bytes:.1f}x",
+            f"{base.latency_s * 1e3:.2f}",
+            f"{fract.latency_s * 1e3:.2f}",
+            f"{base.latency_s / fract.latency_s:.1f}x",
+        ])
+    return format_table(
+        ["points", "base MB", "fractal MB", "mem gain",
+         "base ms", "fractal ms", "speedup"],
+        rows,
+        title="Fig. 1 — memory access (MB) and latency (ms), baseline vs FractalCloud",
+    )
+
+
+def test_fig01_scaling(benchmark):
+    table = benchmark.pedantic(run_fig01, rounds=1, iterations=1)
+    emit("fig01_scaling", table)
+    # Shape assertions: the gap must widen with scale.
+    lines = [l.split() for l in table.splitlines()[3:]]
+    first_gain = float(lines[0][3].rstrip("x"))
+    last_gain = float(lines[-1][3].rstrip("x"))
+    assert last_gain > first_gain

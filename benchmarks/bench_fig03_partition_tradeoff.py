@@ -1,0 +1,78 @@
+"""Fig. 3 — partitioning strategies: latency, balance, and quality trade-off.
+
+Regenerates the four-way comparison (none / uniform / KD-tree / Fractal)
+on an S3DIS-like scene: measured partitioning latency on the fractal
+engine, block balance, and the two quality proxies that drive network
+accuracy (block-FPS coverage distortion and neighbour recall).  Expected
+shape (paper values: 62.59% / 53.79% / 62.30% / 62.03% mIoU and - /
+0.03 ms / 4.03 ms / 0.04 ms latency): uniform is fast but low quality,
+KD-tree is high quality but ~100x slower to build, Fractal matches
+KD-tree quality at uniform-like cost.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core.bppo import block_ball_query, block_fps
+from repro.datasets import load_cloud
+from repro.geometry import (
+    ball_query,
+    coverage_radius,
+    farthest_point_sample,
+    neighbor_recall,
+)
+from repro.hw import FractalEngineModel
+from repro.partition import get_partitioner, summarize
+
+from _common import emit
+
+N_POINTS = 33_000
+PAPER_MIOU = {"none": 62.59, "uniform": 53.79, "kdtree": 62.30, "fractal": 62.03}
+
+
+def run_fig03():
+    coords = load_cloud("s3dis", N_POINTS, seed=0).coords.astype(np.float64)
+    engine = FractalEngineModel(lanes=16, sorter_width=1)
+    n_samples = N_POINTS // 4
+    exact_fps = farthest_point_sample(coords, n_samples)
+    exact_cov = coverage_radius(coords, exact_fps)
+
+    rows = []
+    for name in ["none", "uniform", "kdtree", "fractal"]:
+        structure = get_partitioner(name, max_points_per_block=256)(coords)
+        summary = summarize(structure)
+        cost = engine.cost_for(name, structure.cost)
+        latency_ms = cost.compute_cycles / 1e9 * 1e3
+
+        sampled, _ = block_fps(structure, coords, n_samples)
+        cov_ratio = coverage_radius(coords, sampled) / exact_cov
+        centers = sampled[:512]
+        approx_nb, _ = block_ball_query(structure, coords, centers, 0.2, 16)
+        exact_nb = ball_query(coords[centers], coords, 0.2, 16)
+        recall = neighbor_recall(approx_nb, exact_nb)
+
+        rows.append([
+            name,
+            summary.num_blocks,
+            f"{summary.balance_factor:.2f}",
+            f"{latency_ms:.4f}",
+            f"{cov_ratio:.2f}",
+            f"{recall:.3f}",
+            f"{PAPER_MIOU[name]:.2f}",
+        ])
+    return format_table(
+        ["strategy", "blocks", "balance", "partition ms",
+         "FPS cov ratio", "NS recall", "paper mIoU %"],
+        rows,
+        title=f"Fig. 3 — partitioning trade-off on S3DIS-like scene ({N_POINTS} pts, BS=256)",
+    )
+
+
+def test_fig03_partition_tradeoff(benchmark):
+    table = benchmark.pedantic(run_fig03, rounds=1, iterations=1)
+    emit("fig03_partition_tradeoff", table)
+    lines = {l.split()[0]: l.split() for l in table.splitlines()[3:]}
+    # KD-tree is orders of magnitude slower to build than Fractal.
+    assert float(lines["kdtree"][3]) > 20 * float(lines["fractal"][3])
+    # Fractal's quality proxies beat uniform's.
+    assert float(lines["fractal"][4]) < float(lines["uniform"][4])

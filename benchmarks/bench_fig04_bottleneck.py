@@ -1,0 +1,53 @@
+"""Fig. 4 — GPU latency and the tensor→point-operation bottleneck shift.
+
+Regenerates the motivation figure: GPU inference latency for the Table I
+workloads at increasing input scales, with the percentage of time spent
+in point operations.  Expected shape: point operations grow from ~30-50%
+of latency at 1 K points to >90% beyond 100 K (paper: 36% → 99%).
+"""
+
+from repro.analysis import format_table
+from repro.hw import GPUModel
+from repro.networks import get_workload
+
+from _common import emit
+
+SERIES = [
+    ("PN++(c)", [1024, 2048, 4096]),
+    ("PNXt(c)", [1024, 2048, 4096]),
+    ("PN++(s)", [4096, 16384, 66_000]),
+    ("PNXt(s)", [16384, 66_000, 289_000]),
+    ("PVr(s)", [16384, 66_000, 289_000]),
+]
+
+
+def run_fig04():
+    gpu = GPUModel()
+    rows = []
+    for key, scales in SERIES:
+        spec = get_workload(key)
+        for n in scales:
+            r = gpu.run(spec, n)
+            share = 100.0 * r.point_op_seconds / r.latency_s
+            rows.append([
+                key, n,
+                f"{r.latency_s * 1e3:.2f}",
+                f"{r.point_op_seconds * 1e3:.2f}",
+                f"{r.mlp_seconds * 1e3:.2f}",
+                f"{share:.0f}%",
+            ])
+    return format_table(
+        ["workload", "points", "total ms", "point-op ms", "MLP ms", "point-op %"],
+        rows,
+        title="Fig. 4 — GPU latency breakdown across scales (bottleneck shift)",
+    )
+
+
+def test_fig04_bottleneck(benchmark):
+    table = benchmark.pedantic(run_fig04, rounds=1, iterations=1)
+    emit("fig04_bottleneck", table)
+    rows = [l.split() for l in table.splitlines()[3:]]
+    share = {(r[0], int(r[1])): float(r[5].rstrip("%")) for r in rows}
+    assert share[("PN++(c)", 1024)] < 75
+    assert share[("PNXt(s)", 289_000)] > 90
+    assert share[("PVr(s)", 289_000)] > 90

@@ -1,0 +1,57 @@
+"""Fig. 5 — exclusive KD-tree sorts vs inclusive Fractal traversals.
+
+Regenerates the workflow-comparison counts, both analytically (the
+formulas printed in the figure) and measured on real partitioning runs.
+Paper values: 1 K points @ BS=64 → 15 sorts vs 4 traversals;
+289 K points @ BS=256 → 2047 sorts vs 11 traversals.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.datasets import load_cloud
+from repro.partition import (
+    KDTreePartitioner,
+    fractal_traversal_count,
+    kdtree_sort_count,
+)
+from repro.core import FractalConfig, fractal_partition
+
+from _common import emit
+
+CASES = [(1024, 64), (33_000, 256), (289_000, 256)]
+
+
+def run_fig05():
+    rows = []
+    for n, bs in CASES:
+        coords = load_cloud("s3dis", max(n, 1024), seed=0).coords.astype(np.float64)[:n]
+        kd = KDTreePartitioner(max_leaf_size=bs)(coords)
+        fr = fractal_partition(coords, FractalConfig(threshold=bs))
+        rows.append([
+            n, bs,
+            kdtree_sort_count(n, bs),
+            kd.cost.num_sorts,
+            fractal_traversal_count(n, bs),
+            fr.cost.num_traversals,
+            f"{kd.cost.num_sorts / max(fr.cost.num_traversals, 1):.0f}x",
+        ])
+    return format_table(
+        ["points", "BS", "sorts (formula)", "sorts (measured)",
+         "traversals (formula)", "traversals (measured)", "ratio"],
+        rows,
+        title="Fig. 5 — KD-tree sorts vs Fractal traversals",
+    )
+
+
+def test_fig05_sorts_vs_traversals(benchmark):
+    table = benchmark.pedantic(run_fig05, rounds=1, iterations=1)
+    emit("fig05_sorts_vs_traversals", table)
+    rows = [l.split() for l in table.splitlines()[3:]]
+    # Paper's quoted numbers hold analytically.
+    assert int(rows[0][2]) == 15 and int(rows[0][4]) == 4
+    assert int(rows[2][2]) == 2047 and int(rows[2][4]) == 11
+    # Measured counts are the same order as the balanced formulas.
+    for r in rows:
+        assert int(r[3]) >= int(r[2]) * 0.5
+        assert int(r[5]) <= int(r[4]) + 6

@@ -1,0 +1,40 @@
+"""Fig. 12 — chip specifications and area/power breakdown.
+
+Prints the reported post-layout budget (area and average power per
+module) and checks it sums to the headline 1.5 mm^2 / 0.58 W figures.
+"""
+
+from repro.analysis import format_table
+from repro.hw import FRACTALCLOUD_BUDGET, total_area_mm2, total_power_w
+from repro.hw import area
+
+from _common import emit
+
+
+def run_fig12():
+    rows = []
+    for module in FRACTALCLOUD_BUDGET:
+        rows.append([
+            module.name,
+            f"{module.area_mm2:.3f}",
+            f"{100 * module.area_mm2 / total_area_mm2():.1f}%",
+            f"{module.power_w * 1e3:.0f}",
+            f"{100 * module.power_w / total_power_w():.1f}%",
+        ])
+    rows.append(["TOTAL", f"{total_area_mm2():.3f}", "100%",
+                 f"{total_power_w() * 1e3:.0f}", "100%"])
+    header = (
+        f"Fig. 12 — FractalCloud chip budget "
+        f"({area.TECHNOLOGY_NM} nm, die {area.DIE_AREA_MM2} mm2, "
+        f"{area.FREQUENCY_HZ/1e9:g} GHz, {area.SRAM_KB:g} KB SRAM)"
+    )
+    return format_table(
+        ["module", "area mm2", "area %", "power mW", "power %"], rows, title=header
+    )
+
+
+def test_fig12_area_power(benchmark):
+    table = benchmark.pedantic(run_fig12, rounds=1, iterations=1)
+    emit("fig12_area_power", table)
+    assert abs(total_area_mm2() - 1.5) < 0.02
+    assert abs(total_power_w() - 0.58) < 0.01

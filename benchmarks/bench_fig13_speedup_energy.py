@@ -1,0 +1,99 @@
+"""Fig. 13 — speedup and energy saving over GPU for all accelerators.
+
+The headline evaluation: Mesorasi / PointAcc / Crescent / FractalCloud,
+normalised to GPU performance, across the Table I workloads (small-scale
+object tasks at 1-4 K points) and the S3DIS-Test sweeps (8 K-289 K).
+
+Expected shape (paper): small-scale FractalCloud ≈ 5-26x over GPU with
+Crescent within ~20%; large-scale PointAcc and Crescent fall to ≈GPU or
+below while FractalCloud grows to tens of x; energy savings vs GPU reach
+three orders of magnitude at 289 K.
+"""
+
+from repro.analysis import format_table, geomean
+from repro.hw import AcceleratorSim, GPUModel, SOTA_CONFIGS
+from repro.networks import get_workload
+
+from _common import emit
+
+SMALL = [
+    ("PN++(c)", 1024), ("PNXt(c)", 2048), ("PN++(ps)", 2048),
+    ("PNXt(ps)", 4096), ("PN++(s)", 4096),
+]
+LARGE = [
+    ("PNXt(s)", 8192), ("PNXt(s)", 33_000), ("PNXt(s)", 131_000), ("PNXt(s)", 289_000),
+    ("PVr(s)", 8192), ("PVr(s)", 33_000), ("PVr(s)", 131_000), ("PVr(s)", 289_000),
+]
+ACCELERATORS = list(SOTA_CONFIGS)
+
+
+def run_fig13():
+    gpu = GPUModel()
+    sims = {name: AcceleratorSim(cfg) for name, cfg in SOTA_CONFIGS.items()}
+    speed_rows, energy_rows = [], []
+    speedups = {name: {"small": [], "large": []} for name in ACCELERATORS}
+    energies = {name: {"small": [], "large": []} for name in ACCELERATORS}
+    for group, cases in (("small", SMALL), ("large", LARGE)):
+        for key, n in cases:
+            spec = get_workload(key)
+            g = gpu.run(spec, n)
+            srow, erow = [f"{key}@{n}"], [f"{key}@{n}"]
+            for name in ACCELERATORS:
+                r = sims[name].run(spec, n)
+                s = g.latency_s / r.latency_s
+                e = g.energy_j / r.energy_j
+                speedups[name][group].append(s)
+                energies[name][group].append(e)
+                srow.append(f"{s:.1f}")
+                erow.append(f"{e:.0f}")
+            speed_rows.append(srow)
+            energy_rows.append(erow)
+
+    summary = []
+    for name in ACCELERATORS:
+        summary.append([
+            name,
+            f"{geomean(speedups[name]['small']):.1f}",
+            f"{geomean(speedups[name]['large']):.1f}",
+            f"{geomean(energies[name]['small']):.0f}",
+            f"{geomean(energies[name]['large']):.0f}",
+        ])
+    parts = [
+        format_table(["workload"] + ACCELERATORS, speed_rows,
+                     title="Fig. 13(a) — speedup over GPU (higher is better)"),
+        "",
+        format_table(["workload"] + ACCELERATORS, energy_rows,
+                     title="Fig. 13(b) — energy saving over GPU (higher is better)"),
+        "",
+        format_table(
+            ["accelerator", "speedup small", "speedup large",
+             "energy small", "energy large"],
+            summary,
+            title="Geomean summary (paper: FractalCloud 19.4x/27.4x speedup vs GPU; "
+                  "21.7x avg over SOTA accelerators; 27x energy over SOTA)",
+        ),
+    ]
+    return "\n".join(parts), speedups, energies
+
+
+def test_fig13_speedup_energy(benchmark):
+    (table, speedups, energies) = benchmark.pedantic(run_fig13, rounds=1, iterations=1)
+    emit("fig13_speedup_energy", table)
+
+    fract_small = geomean(speedups["FractalCloud"]["small"])
+    fract_large = geomean(speedups["FractalCloud"]["large"])
+    # FractalCloud clearly beats the GPU at both scales and its advantage
+    # grows with scale.
+    assert fract_small > 4
+    assert fract_large > fract_small
+    # Baselines collapse at large scale (the crossover of Fig. 13).
+    assert geomean(speedups["PointAcc"]["large"]) < 1.5
+    assert geomean(speedups["Crescent"]["large"]) < 4
+    # FractalCloud vs SOTA accelerators: double-digit average at large scale.
+    vs_pointacc = geomean(
+        [f / p for f, p in zip(speedups["FractalCloud"]["large"],
+                               speedups["PointAcc"]["large"])]
+    )
+    assert vs_pointacc > 15
+    # Energy savings vs GPU reach 3 orders of magnitude at large scale.
+    assert geomean(energies["FractalCloud"]["large"]) > 500

@@ -1,0 +1,74 @@
+"""Fig. 15 — latency and energy breakdowns at 33 K points.
+
+Regenerates both panels for PointAcc / Crescent / FractalCloud running
+PointNeXt segmentation on an S3DIS-like scene with 33 K inputs:
+(a) latency split into Point Ops / MLPs / Others, (b) energy split into
+Compute / SRAM / DRAM (+static).
+
+Expected shape: PointAcc dominated by point operations with heavy DRAM
+traffic; Crescent trades DRAM for SRAM energy (large buffer) and still
+pays KD-tree partitioning; FractalCloud becomes MLP-bound with an order
+of magnitude less total latency and energy (paper: 16.2x latency, 8.5x
+compute-energy, 14.7x memory-energy reductions on average).
+"""
+
+from repro.analysis import format_table
+from repro.hw import AcceleratorSim, CRESCENT, FRACTALCLOUD, POINTACC
+from repro.networks import get_workload
+
+from _common import emit
+
+N_POINTS = 33_000
+CONFIGS = [POINTACC, CRESCENT, FRACTALCLOUD]
+
+
+def run_fig15():
+    spec = get_workload("PNXt(s)")
+    results = {cfg.name: AcceleratorSim(cfg).run(spec, N_POINTS) for cfg in CONFIGS}
+
+    lat_rows = []
+    for name, r in results.items():
+        lat_rows.append([
+            name,
+            f"{r.point_op_seconds * 1e3:.2f}",
+            f"{r.mlp_seconds * 1e3:.2f}",
+            f"{r.other_seconds * 1e3:.2f}",
+            f"{r.latency_s * 1e3:.2f}",
+        ])
+    energy_rows = []
+    for name, r in results.items():
+        bd = r.energy_breakdown()
+        energy_rows.append([
+            name,
+            f"{bd['compute'] * 1e3:.2f}",
+            f"{bd['sram'] * 1e3:.2f}",
+            f"{bd['dram'] * 1e3:.2f}",
+            f"{bd['static'] * 1e3:.2f}",
+            f"{r.energy_j * 1e3:.2f}",
+        ])
+    parts = [
+        format_table(["accelerator", "point ops ms", "MLPs ms", "others ms", "total ms"],
+                     lat_rows, title=f"Fig. 15(a) — latency breakdown @ {N_POINTS} pts"),
+        "",
+        format_table(["accelerator", "compute mJ", "SRAM mJ", "DRAM mJ", "static mJ", "total mJ"],
+                     energy_rows, title=f"Fig. 15(b) — energy breakdown @ {N_POINTS} pts"),
+    ]
+    return "\n".join(parts), results
+
+
+def test_fig15_breakdown(benchmark):
+    table, results = benchmark.pedantic(run_fig15, rounds=1, iterations=1)
+    emit("fig15_breakdown", table)
+
+    pa, cr, fc = results["PointAcc"], results["Crescent"], results["FractalCloud"]
+    # PointAcc: point ops dominate.
+    assert pa.point_op_seconds > pa.mlp_seconds
+    # FractalCloud: point ops collapse below the MLP floor.
+    assert fc.point_op_seconds < fc.mlp_seconds
+    # Total latency gap ~order of magnitude (paper avg 16.2x vs both).
+    assert pa.latency_s / fc.latency_s > 5
+    # Crescent's SRAM energy exceeds both others' (its big buffer).
+    assert cr.energy_breakdown()["sram"] > fc.energy_breakdown()["sram"]
+    # PointAcc's DRAM energy dominates its breakdown.
+    pa_bd = pa.energy_breakdown()
+    assert pa_bd["dram"] > pa_bd["compute"]

@@ -1,0 +1,78 @@
+"""Fig. 16 — partitioning ablation across datasets.
+
+Regenerates the two series of the figure on FractalCloud hardware with
+only the partitioner swapped (uniform / octree / KD-tree / Fractal):
+
+- bars: end-to-end point-operation speedup, normalised to uniform;
+- dots: preprocessing (partitioning) speedup, normalised to KD-tree.
+
+Expected shape (paper): Fractal partitions ~133x faster than KD-tree and
+~14.9x faster than octree, and improves point operations by ~4.4x over
+uniform and ~2.1x over octree.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.hw import AcceleratorSim, FRACTALCLOUD
+from repro.networks import get_workload
+
+from _common import emit
+
+DATASETS = [("modelnet40", "PN++(c)", 4096, 64),
+            ("shapenet", "PN++(ps)", 4096, 64),
+            ("s3dis", "PNXt(s)", 33_000, 256)]
+STRATEGIES = ["uniform", "octree", "kdtree", "fractal"]
+
+
+def run_fig16():
+    rows = []
+    ratios = {}
+    for dataset, workload, n, bs in DATASETS:
+        spec = get_workload(workload)
+        point_ops = {}
+        partition = {}
+        for strategy in STRATEGIES:
+            cfg = replace(FRACTALCLOUD, name=strategy, partitioner=strategy,
+                          block_size=bs)
+            r = AcceleratorSim(cfg).run(spec, n)
+            partition[strategy] = max(r.phases["partition"].seconds, 1e-12)
+            # Search operations (sampling + neighbour search +
+            # interpolation): the phases whose work depends on block
+            # balance and search-space size.  Gathering is excluded —
+            # block-wise gathering touches identical bytes under every
+            # partitioned strategy in this model.
+            point_ops[strategy] = sum(
+                r.phases[phase].seconds
+                for phase in ("sample", "neighbor", "interpolate")
+                if phase in r.phases
+            )
+        for strategy in STRATEGIES:
+            rows.append([
+                dataset, strategy,
+                f"{point_ops['uniform'] / point_ops[strategy]:.2f}",
+                f"{partition['kdtree'] / partition[strategy]:.1f}",
+            ])
+        ratios[dataset] = (point_ops, partition)
+    table = format_table(
+        ["dataset", "strategy", "point-op speedup (vs uniform)",
+         "partition speedup (vs KD-tree)"],
+        rows,
+        title="Fig. 16 — partitioning ablation "
+              "(paper: Fractal 133x faster than KD-tree, 14.9x than octree; "
+              "point ops 4.4x over uniform, 2.1x over octree)",
+    )
+    return table, ratios
+
+
+def test_fig16_partition_ablation(benchmark):
+    table, ratios = benchmark.pedantic(run_fig16, rounds=1, iterations=1)
+    emit("fig16_partition_ablation", table)
+    point_ops, partition = ratios["s3dis"]
+    # Fractal partitioning is far cheaper than KD-tree and cheaper than octree.
+    assert partition["kdtree"] / partition["fractal"] > 20
+    assert partition["octree"] / partition["fractal"] > 1.0
+    # Fractal point ops beat uniform partitioning's (paper: 4.4x).
+    assert point_ops["uniform"] / point_ops["fractal"] > 2.0

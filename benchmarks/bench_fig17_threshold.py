@@ -1,0 +1,52 @@
+"""Fig. 17 — threshold (th) selection: speedup vs accuracy trade-off.
+
+Sweeps the Fractal block threshold on PointNeXt segmentation over an
+S3DIS-like scene: hardware speedup vs the no-Fractal baseline, and the
+block-FPS coverage ratio as the geometric accuracy proxy.
+
+Expected shape (paper): speedup grows as th shrinks (4.6x at th=4K up to
+~21x at th=8) while accuracy collapses below th≈64 (>8% loss at th=8);
+th=256 is the paper's large-scale sweet spot.
+"""
+
+from repro.analysis import format_table, threshold_sweep
+from repro.networks import get_workload
+
+from _common import emit
+
+THRESHOLDS = [None, 4096, 1024, 512, 256, 64, 8]
+N_POINTS = 33_000
+
+
+def run_fig17():
+    spec = get_workload("PNXt(s)")
+    points = threshold_sweep(spec, N_POINTS, THRESHOLDS)
+    rows = []
+    for p in points:
+        rows.append([
+            "no-fractal" if p.threshold is None else p.threshold,
+            f"{p.latency_s * 1e3:.2f}",
+            f"{p.speedup_vs_no_fractal:.1f}x",
+            f"{p.coverage_ratio:.2f}",
+        ])
+    table = format_table(
+        ["threshold", "latency ms", "speedup", "FPS coverage ratio"],
+        rows,
+        title=f"Fig. 17 — threshold sweep @ {N_POINTS} pts "
+              "(paper: th=256 optimal for large-scale; th=8 fast but >8% loss)",
+    )
+    return table, points
+
+
+def test_fig17_threshold(benchmark):
+    table, points = benchmark.pedantic(run_fig17, rounds=1, iterations=1)
+    emit("fig17_threshold", table)
+    by_th = {p.threshold: p for p in points}
+    # Speedup is monotone as the threshold shrinks.
+    assert by_th[8].speedup_vs_no_fractal > by_th[256].speedup_vs_no_fractal
+    assert by_th[256].speedup_vs_no_fractal > by_th[4096].speedup_vs_no_fractal
+    assert by_th[4096].speedup_vs_no_fractal > 1.0
+    # Quality degrades for tiny blocks (the accuracy cliff).
+    assert by_th[8].coverage_ratio > by_th[256].coverage_ratio
+    # The paper's chosen operating point keeps quality near-exact.
+    assert by_th[256].coverage_ratio < 2.0

@@ -1,0 +1,61 @@
+"""Fig. 18 — incremental ablation of RSPU and the four BPPO operations.
+
+Walks the optimisation ladder on PointNeXt segmentation at 289 K points:
+Baseline → +delayed-aggregation (Meso) → +RSPU (reuse & skip) → +BWS
+(block-wise sampling) → +BWG (grouping) → +BWI (interpolation) → +BWGa
+(gathering), reporting cumulative speedup and energy saving over the
+baseline.
+
+Expected shape (paper): Meso alone is marginal (1.004x); RSPU gives
+~1.4x; the block-wise decompositions deliver the bulk (2.3x, 2.2x, 20x,
+1.5x incremental), compounding to >200x total speedup and energy saving.
+"""
+
+from repro.analysis import format_table
+from repro.hw import AcceleratorSim, ablation_ladder
+from repro.networks import get_workload
+
+from _common import emit
+
+N_POINTS = 289_000
+
+
+def run_fig18():
+    spec = get_workload("PNXt(s)")
+    results = [AcceleratorSim(cfg).run(spec, N_POINTS) for cfg in ablation_ladder()]
+    base = results[0]
+    rows = []
+    prev = base
+    for cfg, r in zip(ablation_ladder(), results):
+        rows.append([
+            cfg.name,
+            f"{r.latency_s * 1e3:.2f}",
+            f"{prev.latency_s / r.latency_s:.2f}x",
+            f"{base.latency_s / r.latency_s:.1f}x",
+            f"{base.energy_j / r.energy_j:.1f}x",
+        ])
+        prev = r
+    table = format_table(
+        ["configuration", "latency ms", "incremental", "cumulative speedup",
+         "cumulative energy saving"],
+        rows,
+        title=f"Fig. 18 — BPPO/RSPU incremental ablation @ {N_POINTS} pts "
+              "(paper: 209x speedup, 192x energy over baseline)",
+    )
+    return table, results
+
+
+def test_fig18_bppo_ablation(benchmark):
+    table, results = benchmark.pedantic(run_fig18, rounds=1, iterations=1)
+    emit("fig18_bppo_ablation", table)
+    base, full = results[0], results[-1]
+    # Orders of magnitude end to end.
+    assert base.latency_s / full.latency_s > 50
+    assert base.energy_j / full.energy_j > 20
+    # Every rung is at least as fast as the previous one.
+    for prev, nxt in zip(results, results[1:]):
+        assert nxt.latency_s <= prev.latency_s * 1.02
+    # The block-wise ops (rungs 3+) deliver more than RSPU alone.
+    rspu_gain = results[0].latency_s / results[2].latency_s
+    bppo_gain = results[2].latency_s / results[-1].latency_s
+    assert bppo_gain > rspu_gain

@@ -1,0 +1,56 @@
+"""Extension bench — Fractal-accelerated DGCNN graph construction (§VI-D).
+
+The paper's "Potential Adaptations": dynamic KNN-graph construction with
+block-local search.  Measures, across scales, the distance-computation
+reduction and the edge recall of the block-local graph against the exact
+O(n^2) construction.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core import (
+    FractalConfig,
+    block_knn_graph,
+    edge_recall,
+    exact_knn_graph,
+    fractal_partition,
+)
+from repro.datasets import load_cloud
+
+from _common import emit
+
+SCALES = [1024, 2048, 4096]
+K = 8
+
+
+def run_graph():
+    rows = []
+    recalls = []
+    for n in SCALES:
+        coords = load_cloud("modelnet40", n, seed=1).coords.astype(np.float64)
+        tree = fractal_partition(coords, FractalConfig(threshold=128))
+        structure = tree.block_structure()
+        exact = exact_knn_graph(coords, K)
+        approx, work = block_knn_graph(structure, coords, K)
+        recall = edge_recall(approx, exact)
+        recalls.append(recall)
+        rows.append([
+            n,
+            f"{n * n:,}",
+            f"{work:,}",
+            f"{n * n / work:.1f}x",
+            f"{recall:.3f}",
+        ])
+    table = format_table(
+        ["points", "exact distances", "block distances", "work saving", "edge recall"],
+        rows,
+        title=f"DGCNN graph construction adaptation (k = {K}, th = 128)",
+    )
+    return table, recalls
+
+
+def test_graph_adaptation(benchmark):
+    table, recalls = benchmark.pedantic(run_graph, rounds=1, iterations=1)
+    emit("graph_adaptation", table)
+    assert min(recalls) > 0.75

@@ -1,0 +1,68 @@
+"""§VI-C RSPU ablation — window-check skipping and intra-block reuse.
+
+Isolates the two RSPU mechanisms on microbenchmarks:
+
+- FPS with vs without the window check (computation skipping), at the
+  PointAcc-style global-search configuration;
+- neighbour search with vs without intra-block search-space reuse.
+
+Expected shape (paper): window check ≈3.6x FPS speedup and ≈3.4x
+memory-access reduction; intra-block reuse ≈7.6x memory-access reduction.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.hw import RSPUModel
+
+from _common import emit
+
+
+def run_rspu():
+    rspu = RSPUModel(num_units=16, lanes=8)
+    n, s = 131_000, 32_768
+
+    fps_plain = rspu.fps_global(n, s, window_check=False)
+    fps_skip = rspu.fps_global(n, s, window_check=True)
+
+    blocks = 512
+    centers = np.full(blocks, 64)
+    spaces = np.full(blocks, 512)
+    ns_plain = rspu.neighbor_blocks(centers, spaces, 16, intra_block_reuse=False)
+    ns_reuse = rspu.neighbor_blocks(centers, spaces, 16, intra_block_reuse=True)
+
+    rows = [
+        ["FPS (no skip)", f"{fps_plain.compute_cycles:.3g}",
+         f"{fps_plain.sram_stream_bytes / 1e6:.1f}", "1.0x", "1.0x"],
+        ["FPS (+window check)", f"{fps_skip.compute_cycles:.3g}",
+         f"{fps_skip.sram_stream_bytes / 1e6:.1f}",
+         f"{fps_plain.compute_cycles / fps_skip.compute_cycles:.2f}x",
+         f"{fps_plain.sram_stream_bytes / fps_skip.sram_stream_bytes:.2f}x"],
+        ["NS (no reuse)", f"{ns_plain.compute_cycles:.3g}",
+         f"{ns_plain.sram_stream_bytes / 1e6:.1f}", "1.0x", "1.0x"],
+        ["NS (+intra-block reuse)", f"{ns_reuse.compute_cycles:.3g}",
+         f"{ns_reuse.sram_stream_bytes / 1e6:.1f}",
+         f"{ns_plain.compute_cycles / max(ns_reuse.compute_cycles, 1e-9):.2f}x",
+         f"{ns_plain.sram_stream_bytes / ns_reuse.sram_stream_bytes:.2f}x"],
+    ]
+    table = format_table(
+        ["operation", "cycles", "SRAM MB", "cycle gain", "memory-access gain"],
+        rows,
+        title="RSPU ablation (paper: skip 3.6x speedup / 3.4x accesses; "
+              "reuse 7.6x accesses)",
+    )
+    gains = {
+        "skip_cycles": fps_plain.compute_cycles / fps_skip.compute_cycles,
+        "skip_mem": fps_plain.sram_stream_bytes / fps_skip.sram_stream_bytes,
+        "reuse_mem": ns_plain.sram_stream_bytes / ns_reuse.sram_stream_bytes,
+    }
+    return table, gains
+
+
+def test_rspu_ablation(benchmark):
+    table, gains = benchmark.pedantic(run_rspu, rounds=1, iterations=1)
+    emit("rspu_ablation", table)
+    assert gains["skip_cycles"] > 1.1
+    assert gains["skip_mem"] > 1.1
+    # Reuse: coordinate reads drop by ~the number of centres per block.
+    assert gains["reuse_mem"] > 5

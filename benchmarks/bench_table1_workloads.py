@@ -1,0 +1,50 @@
+"""Table I — evaluated networks and datasets.
+
+Prints the workload registry in the paper's layout and benchmarks a
+functional forward pass of the smallest workload as the timing subject.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.networks import WORKLOADS, PNNClassifier, make_backend
+
+from _common import emit
+
+TASK_NAMES = {"cls": "Classification", "partseg": "Part Segmentation", "seg": "Segmentation"}
+SCENES = {"modelnet40": "Object", "shapenet": "Object", "s3dis": "Indoor"}
+MODEL_NAMES = {"pointnet2": "PointNet++", "pointnext": "PointNeXt", "pointvector": "PointVector"}
+
+
+def run_table1():
+    rows = []
+    for key, spec in WORKLOADS.items():
+        rows.append([
+            MODEL_NAMES[spec.model],
+            key,
+            TASK_NAMES[spec.task],
+            spec.dataset,
+            SCENES[spec.dataset],
+            len(spec.sa_stages),
+            len(spec.fp_stages),
+            spec.num_classes,
+        ])
+    return format_table(
+        ["Model", "Notation", "Task", "Dataset", "Scene",
+         "SA stages", "FP stages", "classes"],
+        rows,
+        title="Table I — evaluated networks and datasets",
+    )
+
+
+def test_table1_workloads(benchmark):
+    table = run_table1()
+    emit("table1_workloads", table)
+    # Benchmark subject: a functional classifier forward pass.
+    model = PNNClassifier(num_classes=10, num_points=256, seed=0)
+    backend = make_backend("fractal", max_points_per_block=64)
+    coords = np.random.default_rng(0).normal(size=(256, 3))
+    coords /= np.linalg.norm(coords, axis=1).max()
+    logits = benchmark(model.forward, coords, backend)
+    assert logits.shape == (10,)
+    assert len(table.splitlines()) == 3 + len(WORKLOADS)

@@ -1,0 +1,42 @@
+"""Table II — evaluated hardware accelerators.
+
+Prints the four accelerator configurations and benchmarks the simulator's
+compile+run path (one PointAcc simulation) as the timing subject.
+"""
+
+from repro.analysis import format_table
+from repro.hw import AcceleratorSim, POINTACC, SOTA_CONFIGS
+from repro.networks import get_workload
+
+from _common import emit
+
+
+def run_table2():
+    rows = []
+    for name, cfg in SOTA_CONFIGS.items():
+        rows.append([
+            name,
+            f"{cfg.pe_rows}x{cfg.pe_cols}",
+            f"{cfg.sram_kb:g}",
+            f"{cfg.frequency_hz / 1e9:g} GHz",
+            f"{cfg.area_mm2:g}",
+            f"DDR4 {cfg.dram_gbps:g} GB/s",
+            "28nm",
+            "512 GOPS",
+            cfg.partitioner,
+        ])
+    return format_table(
+        ["Accelerator", "Cores", "SRAM (KB)", "Freq", "Area (mm2)",
+         "DRAM", "Tech", "Peak", "Partitioner"],
+        rows,
+        title="Table II — evaluated hardware accelerators",
+    )
+
+
+def test_table2_configs(benchmark):
+    table = run_table2()
+    emit("table2_configs", table)
+    spec = get_workload("PN++(c)")
+    result = benchmark(AcceleratorSim(POINTACC).run, spec, 1024)
+    assert result.latency_s > 0
+    assert "FractalCloud" in table and "1.5" in table

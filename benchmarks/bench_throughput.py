@@ -1,0 +1,53 @@
+"""Extension bench — streaming throughput (frames/second) per accelerator.
+
+The edge devices the paper targets (§VI-D) process sensor *streams*, not
+single frames.  With double buffering, an accelerator's phases overlap
+across consecutive frames and throughput is bounded by its busiest
+resource.  This bench reports single-frame latency, the pipeline
+initiation interval, the bottleneck resource, and achievable FPS for a
+33 K-point PointNeXt segmentation stream — against the 10-20 Hz frame
+rates automotive LiDAR produces.
+"""
+
+from repro.analysis import format_table
+from repro.hw import AcceleratorSim, SOTA_CONFIGS
+from repro.hw.pipeline import pipeline_throughput
+from repro.networks import get_workload
+
+from _common import emit
+
+N_POINTS = 33_000
+
+
+def run_throughput():
+    spec = get_workload("PNXt(s)")
+    rows = []
+    fps = {}
+    for name, cfg in SOTA_CONFIGS.items():
+        result = AcceleratorSim(cfg).run(spec, N_POINTS)
+        estimate = pipeline_throughput(result)
+        fps[name] = estimate.frames_per_second
+        rows.append([
+            name,
+            f"{estimate.latency_s * 1e3:.2f}",
+            f"{estimate.initiation_interval_s * 1e3:.2f}",
+            estimate.bottleneck_resource,
+            f"{estimate.frames_per_second:.1f}",
+            "yes" if estimate.frames_per_second >= 20 else "no",
+        ])
+    table = format_table(
+        ["accelerator", "latency ms", "interval ms", "bottleneck",
+         "frames/s", "sustains 20Hz LiDAR"],
+        rows,
+        title=f"Streaming throughput @ {N_POINTS} pts (double-buffered pipeline)",
+    )
+    return table, fps
+
+
+def test_throughput(benchmark):
+    table, fps = benchmark.pedantic(run_throughput, rounds=1, iterations=1)
+    emit("throughput", table)
+    # FractalCloud sustains real-time LiDAR rates at 33 K points;
+    # the global-search baselines cannot.
+    assert fps["FractalCloud"] > 20
+    assert fps["FractalCloud"] > 5 * fps["PointAcc"]

@@ -1,0 +1,48 @@
+"""Accelerator comparison across input scales (a compact Fig. 13 + Fig. 1).
+
+Sweeps PointNeXt segmentation from 4 K to 289 K points and prints, for
+every accelerator and the GPU, the latency, energy, and DRAM traffic —
+showing the crossover the paper builds its case on: baselines competitive
+at small scale, FractalCloud pulling away as n grows.
+
+Run:  python examples/accelerator_comparison.py
+"""
+
+from repro.analysis import format_table
+from repro.hw import AcceleratorSim, GPUModel, SOTA_CONFIGS
+from repro.networks import get_workload
+
+SCALES = [4096, 33_000, 131_000, 289_000]
+
+
+def main() -> None:
+    spec = get_workload("PNXt(s)")
+    gpu = GPUModel()
+    sims = {name: AcceleratorSim(cfg) for name, cfg in SOTA_CONFIGS.items()}
+
+    for n in SCALES:
+        g = gpu.run(spec, n)
+        rows = [[
+            "GPU", f"{g.latency_s * 1e3:.2f}", "1.0x",
+            f"{g.energy_j * 1e3:.0f}", "1.0x", "-",
+        ]]
+        for name, sim in sims.items():
+            r = sim.run(spec, n)
+            rows.append([
+                name,
+                f"{r.latency_s * 1e3:.2f}",
+                f"{g.latency_s / r.latency_s:.1f}x",
+                f"{r.energy_j * 1e3:.1f}",
+                f"{g.energy_j / r.energy_j:.0f}x",
+                f"{r.dram_bytes / 1e6:.0f} MB",
+            ])
+        print(format_table(
+            ["platform", "latency ms", "speedup", "energy mJ",
+             "energy saving", "DRAM"],
+            rows,
+            title=f"\nPNXt(s) @ {n:,} points",
+        ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Legacy setup shim: metadata lives in pyproject.toml.
+
+Kept so ``pip install -e .`` works on environments without the ``wheel``
+package (PEP 660 editable builds require it; ``setup.py develop`` does not).
+"""
+
+from setuptools import setup
+
+setup()

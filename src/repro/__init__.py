@@ -1,0 +1,52 @@
+"""FractalCloud reproduction: fractal-inspired large-scale point cloud processing.
+
+A from-scratch Python implementation of *FractalCloud* (HPCA 2026): the
+Fractal shape-aware partitioner, Block-Parallel Point Operations, a
+cycle-level model of the FractalCloud accelerator and its baselines
+(Mesorasi / PointAcc / Crescent / GPU), the evaluated PNN workloads, and
+synthetic stand-ins for the paper's datasets.
+
+Quick start::
+
+    import numpy as np
+    from repro import fractal_partition, FractalConfig
+    from repro.core import block_fps, block_ball_query
+
+    coords = np.random.default_rng(0).normal(size=(4096, 3))
+    tree = fractal_partition(coords, FractalConfig(threshold=64))
+    structure = tree.block_structure()
+    sampled, _ = block_fps(structure, coords, 1024)
+    neighbors, _ = block_ball_query(structure, coords, sampled, 0.3, 16)
+
+Subpackages:
+
+- :mod:`repro.core` — the paper's contribution (Fractal + BPPO).
+- :mod:`repro.geometry` — point-cloud containers and exact operations.
+- :mod:`repro.partition` — uniform / KD-tree / octree baselines.
+- :mod:`repro.datasets` — synthetic ModelNet40/ShapeNet/S3DIS/LiDAR data.
+- :mod:`repro.networks` — trainable numpy PNNs + Table I workloads.
+- :mod:`repro.hw` — accelerator/GPU performance & energy models.
+- :mod:`repro.runtime` — the workload→hardware compiler.
+- :mod:`repro.analysis` — experiment tables and sweeps.
+"""
+
+from .core import (
+    BlockLayout,
+    BlockStructure,
+    FractalConfig,
+    FractalTree,
+    fractal_partition,
+)
+from .geometry import PointCloud
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BlockLayout",
+    "BlockStructure",
+    "FractalConfig",
+    "FractalTree",
+    "PointCloud",
+    "__version__",
+    "fractal_partition",
+]

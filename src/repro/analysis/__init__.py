@@ -1,0 +1,14 @@
+"""Experiment analysis: tables, ratios, sweeps."""
+
+from .report import format_si, format_table, geomean, ratio
+from .sweeps import ThresholdPoint, scale_sweep, threshold_sweep
+
+__all__ = [
+    "ThresholdPoint",
+    "format_si",
+    "format_table",
+    "geomean",
+    "ratio",
+    "scale_sweep",
+    "threshold_sweep",
+]

@@ -1,0 +1,62 @@
+"""ASCII bar charts for benchmark outputs (no plotting dependency).
+
+The benches print tables; for the figure-shaped results (Fig. 13's grouped
+bars, Fig. 17's trade-off curve) a quick visual in the terminal makes the
+shape reviewable at a glance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["bar_chart", "log_bar_chart"]
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 50,
+    title: str | None = None,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart with linear scaling."""
+    if len(labels) != len(values):
+        raise ValueError(f"{len(labels)} labels but {len(values)} values")
+    if not values:
+        raise ValueError("nothing to chart")
+    if any(v < 0 for v in values):
+        raise ValueError("bar_chart values must be non-negative")
+    peak = max(values) or 1.0
+    label_w = max(len(l) for l in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * max(int(round(value / peak * width)), 1 if value > 0 else 0)
+        lines.append(f"{label.ljust(label_w)} |{bar} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def log_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 50,
+    title: str | None = None,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart with log10 scaling (for 1x..1000x ranges)."""
+    if len(labels) != len(values):
+        raise ValueError(f"{len(labels)} labels but {len(values)} values")
+    if any(v <= 0 for v in values):
+        raise ValueError("log_bar_chart values must be positive")
+    logs = [math.log10(v) for v in values]
+    lo = min(min(logs), 0.0)
+    hi = max(max(logs), lo + 1e-9)
+    label_w = max(len(l) for l in labels)
+    lines = [title] if title else []
+    for label, value, lv in zip(labels, values, logs):
+        frac = (lv - lo) / (hi - lo)
+        bar = "#" * max(int(round(frac * width)), 1)
+        lines.append(f"{label.ljust(label_w)} |{bar} {value:g}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Table formatting and ratio helpers shared by benches and examples."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "geomean", "ratio", "format_si"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width text table (the benches' output format)."""
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's averaging convention for speedups)."""
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def ratio(base: float, other: float) -> float:
+    """``base / other`` with a divide-by-zero guard."""
+    if other == 0:
+        raise ZeroDivisionError("ratio denominator is zero")
+    return base / other
+
+
+def format_si(value: float, unit: str = "") -> str:
+    """Human-size formatting (1.5K, 33K, 1.2M...)."""
+    for threshold, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "K")):
+        if abs(value) >= threshold:
+            return f"{value / threshold:.3g}{suffix}{unit}"
+    return f"{value:.3g}{unit}"

@@ -1,0 +1,92 @@
+"""Parameter-sweep helpers used by the threshold/scale experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import FractalConfig, fractal_partition
+from ..core.bppo import block_fps
+from ..geometry import coverage_radius, farthest_point_sample
+from ..hw import AcceleratorSim, FRACTALCLOUD
+from ..networks.workloads import WorkloadSpec
+
+__all__ = ["ThresholdPoint", "threshold_sweep", "scale_sweep"]
+
+
+@dataclass
+class ThresholdPoint:
+    """One point of the Fig. 17 threshold sweep."""
+
+    threshold: int | None  # None = no Fractal (global ops)
+    latency_s: float
+    speedup_vs_no_fractal: float
+    coverage_ratio: float  # block-FPS coverage vs exact FPS (1.0 = exact)
+
+
+def threshold_sweep(
+    spec: WorkloadSpec,
+    num_points: int,
+    thresholds: list[int | None],
+    *,
+    coords: np.ndarray | None = None,
+    sample_fraction: float = 0.25,
+    seed: int = 0,
+) -> list[ThresholdPoint]:
+    """Hardware latency + sampling-quality across Fractal thresholds.
+
+    Quality proxy: the coverage ratio of block-wise FPS against exact FPS
+    on the same cloud — the geometric driver of the accuracy trend in
+    Fig. 17 (tiny thresholds distort sampling; huge ones lose speed).
+    """
+    from dataclasses import replace as dc_replace
+
+    if coords is None:
+        from ..datasets import load_cloud
+
+        coords = load_cloud(spec.dataset, num_points, seed).coords.astype(np.float64)
+    n_eval = min(len(coords), 4096)
+    rng = np.random.default_rng(seed)
+    eval_coords = coords[rng.choice(len(coords), size=n_eval, replace=False)]
+    n_samples = max(int(n_eval * sample_fraction), 8)
+    exact_cov = coverage_radius(
+        eval_coords, farthest_point_sample(eval_coords, n_samples)
+    )
+
+    base_cfg = dc_replace(
+        FRACTALCLOUD, name="NoFractal", partitioner="none",
+        block_sampling=False, block_grouping=False,
+        block_interpolation=False, block_gathering=False,
+    )
+    base_latency = AcceleratorSim(base_cfg).run(spec, num_points, seed).latency_s
+
+    points: list[ThresholdPoint] = []
+    for th in thresholds:
+        if th is None:
+            points.append(ThresholdPoint(None, base_latency, 1.0, 1.0))
+            continue
+        cfg = dc_replace(FRACTALCLOUD, block_size=th)
+        latency = AcceleratorSim(cfg).run(spec, num_points, seed).latency_s
+        tree = fractal_partition(eval_coords, FractalConfig(threshold=max(th, 2)))
+        idx, _ = block_fps(tree.block_structure(), eval_coords, n_samples)
+        cov = coverage_radius(eval_coords, idx)
+        points.append(
+            ThresholdPoint(
+                threshold=th,
+                latency_s=latency,
+                speedup_vs_no_fractal=base_latency / latency,
+                coverage_ratio=cov / exact_cov if exact_cov > 0 else 1.0,
+            )
+        )
+    return points
+
+
+def scale_sweep(
+    sim: AcceleratorSim,
+    spec: WorkloadSpec,
+    scales: list[int],
+    seed: int = 0,
+):
+    """Latency/energy/traffic across input scales (Fig. 1 backbone)."""
+    return [sim.run(spec, n, seed) for n in scales]

@@ -1,0 +1,124 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three subcommands cover the common workflows without writing any code:
+
+- ``partition`` — partition a generated (or .npy) cloud with any
+  strategy and print the block statistics.
+- ``simulate`` — run a Table I workload at a scale on any accelerator
+  (or the GPU model) and print latency/energy/breakdown.
+- ``compare`` — the Fig. 13-style table for one workload across scales.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .analysis import format_table
+from .datasets import DATASET_NAMES, load_cloud, scale_points
+from .hw import AcceleratorSim, GPUModel, SOTA_CONFIGS
+from .networks import WORKLOADS, get_workload
+from .partition import PARTITIONER_NAMES, get_partitioner, summarize
+
+__all__ = ["main"]
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    if args.input:
+        coords = np.load(args.input)
+    else:
+        coords = load_cloud(args.dataset, args.points, args.seed).coords
+    coords = np.asarray(coords, dtype=np.float64)
+    rows = []
+    strategies = args.strategy.split(",") if args.strategy else list(PARTITIONER_NAMES)
+    for name in strategies:
+        structure = get_partitioner(name, max_points_per_block=args.block_size)(coords)
+        rows.append(summarize(structure).row())
+    print(format_table(
+        ["strategy", "blocks", "max", "mean", "balance", "underfilled",
+         "sorts", "traversals", "levels"],
+        rows,
+        title=f"partitioning {len(coords):,} points (BS = {args.block_size})",
+    ))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    spec = get_workload(args.workload)
+    n = scale_points(args.points)
+    if args.accelerator == "GPU":
+        result = GPUModel().run(spec, n)
+    else:
+        result = AcceleratorSim(SOTA_CONFIGS[args.accelerator]).run(spec, n)
+    print(f"{result.platform}: {spec.key} @ {n:,} points")
+    print(f"  latency {result.latency_s * 1e3:.3f} ms   "
+          f"energy {result.energy_j * 1e3:.3f} mJ   "
+          f"DRAM {result.dram_bytes / 1e6:.1f} MB")
+    rows = [
+        [phase, f"{stats.seconds * 1e3:.4f}", f"{stats.energy_j * 1e3:.4f}"]
+        for phase, stats in sorted(
+            result.phases.items(), key=lambda kv: -kv[1].seconds
+        )
+    ]
+    print(format_table(["phase", "ms", "mJ"], rows))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    spec = get_workload(args.workload)
+    scales = [scale_points(s) for s in args.scales.split(",")]
+    gpu = GPUModel()
+    sims = {name: AcceleratorSim(cfg) for name, cfg in SOTA_CONFIGS.items()}
+    rows = []
+    for n in scales:
+        g = gpu.run(spec, n)
+        row = [n, f"{g.latency_s * 1e3:.1f}"]
+        for name, sim in sims.items():
+            r = sim.run(spec, n)
+            row.append(f"{g.latency_s / r.latency_s:.1f}x")
+        rows.append(row)
+    print(format_table(
+        ["points", "GPU ms"] + list(sims), rows,
+        title=f"speedup over GPU — {spec.key}",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="FractalCloud reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("partition", help="partition a cloud, print block stats")
+    p.add_argument("--dataset", choices=DATASET_NAMES, default="s3dis")
+    p.add_argument("--points", type=int, default=33_000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--block-size", type=int, default=256)
+    p.add_argument("--strategy", help="comma list (default: all)")
+    p.add_argument("--input", help=".npy file of (n, 3) coordinates")
+    p.set_defaults(func=_cmd_partition)
+
+    p = sub.add_parser("simulate", help="simulate one workload on one platform")
+    p.add_argument("--workload", choices=sorted(WORKLOADS), default="PNXt(s)")
+    p.add_argument("--points", default="33K", help="count or scale label (33K)")
+    p.add_argument("--accelerator", choices=list(SOTA_CONFIGS) + ["GPU"],
+                   default="FractalCloud")
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("compare", help="speedup-vs-GPU table across scales")
+    p.add_argument("--workload", choices=sorted(WORKLOADS), default="PNXt(s)")
+    p.add_argument("--scales", default="8K,33K,131K,289K")
+    p.set_defaults(func=_cmd_compare)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests on main()
+    sys.exit(main())

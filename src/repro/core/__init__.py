@@ -1,0 +1,58 @@
+"""FractalCloud's core contribution: Fractal partitioning + BPPO.
+
+- :func:`fractal_partition` — shape-aware threshold-controlled
+  partitioning (paper Alg. 1).
+- :class:`FractalTree` / :class:`BlockLayout` — binary tree and its
+  DFT-contiguous memory layout.
+- :mod:`repro.core.bppo` — block-parallel sampling, neighbour search,
+  interpolation, and gathering.
+"""
+
+from .blocks import Block, BlockStructure, PartitionCost
+from .bppo import (
+    BlockWork,
+    OpTrace,
+    allocate_samples,
+    block_ball_query,
+    block_fps,
+    block_gather,
+    block_interpolate,
+    block_knn,
+)
+from .config import (
+    DEFAULT_LARGE_SCALE_THRESHOLD,
+    DEFAULT_SMALL_SCALE_THRESHOLD,
+    FractalConfig,
+)
+from .fractal import fractal_partition
+from .graph import block_knn_graph, edge_recall, exact_knn_graph
+from .layout import BlockLayout
+from .serialize import load_block_structure, save_block_structure, save_tree
+from .tree import FractalNode, FractalTree
+
+__all__ = [
+    "Block",
+    "BlockLayout",
+    "BlockStructure",
+    "BlockWork",
+    "DEFAULT_LARGE_SCALE_THRESHOLD",
+    "DEFAULT_SMALL_SCALE_THRESHOLD",
+    "FractalConfig",
+    "FractalNode",
+    "FractalTree",
+    "OpTrace",
+    "PartitionCost",
+    "allocate_samples",
+    "block_ball_query",
+    "block_fps",
+    "block_gather",
+    "block_interpolate",
+    "block_knn",
+    "block_knn_graph",
+    "edge_recall",
+    "exact_knn_graph",
+    "fractal_partition",
+    "load_block_structure",
+    "save_block_structure",
+    "save_tree",
+]

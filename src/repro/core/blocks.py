@@ -1,0 +1,167 @@
+"""Generic block structures shared by all partitioning strategies.
+
+Every partitioner in this library (Fractal, uniform grid, KD-tree, octree)
+reduces a point cloud to the same thing: a list of *blocks* (disjoint index
+sets covering all points) plus, per block, a *search space* — the set of
+candidate indices a block-wise neighbour search may consult.  The
+Block-Parallel Point Operations (:mod:`repro.core.bppo`) run against this
+interface, so the same code path evaluates every strategy in the paper's
+comparisons (Fig. 3, Fig. 16).
+
+The per-strategy differences that drive the paper's accuracy results are
+encoded entirely in the search spaces:
+
+- **Fractal / KD-tree** (binary trees): a leaf's search space is its
+  immediate parent's point set (paper §IV-B), except depth-1 leaves which
+  search only themselves.
+- **Uniform grid / octree**: a cell's search space is the cell itself —
+  these strategies have no cheap parent notion, which is exactly why they
+  lose neighbours at cell borders and degrade accuracy.
+
+:class:`PartitionCost` carries the preprocessing-cost counters that the
+hardware model turns into cycles (Fig. 5: exclusive sorts vs inclusive
+traversals).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Block", "PartitionCost", "BlockStructure"]
+
+
+@dataclass
+class Block:
+    """One partition block.
+
+    Attributes:
+        indices: global point indices belonging to this block (disjoint
+            across blocks; union covers the cloud).
+        depth: tree depth of the block (0 = root/whole cloud); grid
+            partitioners report depth 1.
+    """
+
+    indices: np.ndarray
+    depth: int = 1
+
+    def __post_init__(self) -> None:
+        self.indices = np.asarray(self.indices, dtype=np.int64)
+        if self.indices.ndim != 1:
+            raise ValueError(f"block indices must be 1-D, got shape {self.indices.shape}")
+        if len(self.indices) == 0:
+            raise ValueError("blocks must be non-empty")
+        if self.depth < 0:
+            raise ValueError(f"depth must be >= 0, got {self.depth}")
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+
+@dataclass
+class PartitionCost:
+    """Preprocessing work counters for one partitioning run.
+
+    These feed the fractal-engine timing model.  A *sort* is an exclusive
+    merge-sort pass over ``m`` elements (KD-tree median selection); a
+    *traversal* is an inclusive linear min/max pass (Fractal midpoint); a
+    *pass* is a single streaming classification of all points (uniform
+    grid bucketing, and the partition step of each Fractal level).
+
+    Attributes:
+        sorts: list of sort sizes, in the order they must execute.
+            KD-tree sorts are sequentially dependent level to level.
+        traversals: list of traversal sizes (one per tree level for
+            Fractal — all nodes of a level traverse concurrently, so a
+            level's entry is the *total* points touched at that level).
+        passes: list of streaming-pass sizes.
+        levels: number of sequential levels (pipeline depth of the
+            preprocessing; 1 for uniform grid).
+    """
+
+    sorts: list[int] = field(default_factory=list)
+    traversals: list[int] = field(default_factory=list)
+    passes: list[int] = field(default_factory=list)
+    levels: int = 0
+
+    @property
+    def total_sorted_elements(self) -> int:
+        return int(sum(self.sorts))
+
+    @property
+    def total_traversed_elements(self) -> int:
+        return int(sum(self.traversals))
+
+    @property
+    def num_sorts(self) -> int:
+        return len(self.sorts)
+
+    @property
+    def num_traversals(self) -> int:
+        return len(self.traversals)
+
+
+@dataclass
+class BlockStructure:
+    """Blocks + per-block search spaces + preprocessing cost.
+
+    Attributes:
+        num_points: total points in the partitioned cloud.
+        blocks: the partition (disjoint, covering).
+        search_spaces: per-block candidate index arrays for neighbour
+            search; always a superset of the block's own indices.
+        cost: preprocessing cost counters.
+        strategy: short name ("fractal", "uniform", "kdtree", "octree").
+    """
+
+    num_points: int
+    blocks: list[Block]
+    search_spaces: list[np.ndarray]
+    cost: PartitionCost
+    strategy: str = "generic"
+
+    def __post_init__(self) -> None:
+        if len(self.blocks) != len(self.search_spaces):
+            raise ValueError(
+                f"{len(self.blocks)} blocks but {len(self.search_spaces)} search spaces"
+            )
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def block_sizes(self) -> np.ndarray:
+        """``(num_blocks,)`` int array of block populations."""
+        return np.array([len(b) for b in self.blocks], dtype=np.int64)
+
+    @property
+    def search_sizes(self) -> np.ndarray:
+        """``(num_blocks,)`` int array of search-space populations."""
+        return np.array([len(s) for s in self.search_spaces], dtype=np.int64)
+
+    @property
+    def max_block_size(self) -> int:
+        return int(self.block_sizes.max())
+
+    def block_of_point(self) -> np.ndarray:
+        """``(num_points,)`` map from point index to owning block id."""
+        owner = np.full(self.num_points, -1, dtype=np.int64)
+        for block_id, block in enumerate(self.blocks):
+            owner[block.indices] = block_id
+        return owner
+
+    def validate(self) -> None:
+        """Raise unless blocks are disjoint and cover all points."""
+        seen = np.zeros(self.num_points, dtype=bool)
+        for block in self.blocks:
+            if np.any(seen[block.indices]):
+                raise ValueError("blocks overlap")
+            seen[block.indices] = True
+        if not np.all(seen):
+            missing = int((~seen).sum())
+            raise ValueError(f"{missing} points not covered by any block")
+        for block, space in zip(self.blocks, self.search_spaces):
+            if not np.all(np.isin(block.indices, space)):
+                raise ValueError("search space must contain the block's own points")

@@ -1,0 +1,99 @@
+"""DFT-based memory layout (paper §IV-A).
+
+After Fractal, points are stored block-contiguously in depth-first
+traversal order.  Two properties of this layout matter to the hardware:
+
+1. **Subtree contiguity** — every tree node's points occupy one contiguous
+   range of the permuted array (a node's descendants are consecutive in
+   DFT order), so loading a leaf's *parent* search space is a single
+   streamed read.
+2. **Bank separation** — consecutive blocks map to different SRAM banks,
+   so per-block compute units never conflict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .tree import FractalNode, FractalTree
+
+__all__ = ["BlockLayout"]
+
+
+@dataclass
+class BlockLayout:
+    """Memory layout derived from a :class:`FractalTree`.
+
+    Attributes:
+        permutation: ``(n,)`` original point indices in DFT storage order;
+            ``stored[i] = original[permutation[i]]``.
+        inverse: ``(n,)`` map from original index to storage position.
+        block_starts / block_ends: per-leaf ranges into the stored order
+            (leaf ``b`` occupies ``permutation[block_starts[b]:block_ends[b]]``).
+    """
+
+    permutation: np.ndarray
+    inverse: np.ndarray
+    block_starts: np.ndarray
+    block_ends: np.ndarray
+
+    @classmethod
+    def from_tree(cls, tree: FractalTree) -> "BlockLayout":
+        """Build the layout for ``tree``'s DFT leaf order."""
+        sizes = tree.block_sizes
+        ends = np.cumsum(sizes)
+        starts = ends - sizes
+        permutation = tree.dft_permutation()
+        inverse = np.empty_like(permutation)
+        inverse[permutation] = np.arange(len(permutation))
+        return cls(
+            permutation=permutation,
+            inverse=inverse,
+            block_starts=starts.astype(np.int64),
+            block_ends=ends.astype(np.int64),
+        )
+
+    @property
+    def num_points(self) -> int:
+        return len(self.permutation)
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.block_starts)
+
+    def block_range(self, block_id: int) -> tuple[int, int]:
+        """Storage range ``[start, end)`` of leaf ``block_id``."""
+        return int(self.block_starts[block_id]), int(self.block_ends[block_id])
+
+    def node_range(self, node: FractalNode) -> tuple[int, int]:
+        """Storage range covered by an arbitrary tree node.
+
+        DFT layout guarantees each node's points are contiguous; the range
+        is recovered from the node's leftmost/rightmost descendant leaves.
+        """
+        leftmost = node
+        while not leftmost.is_leaf:
+            leftmost = leftmost.left
+        rightmost = node
+        while not rightmost.is_leaf:
+            rightmost = rightmost.right
+        start = int(self.inverse[leftmost.indices].min())
+        end = int(self.inverse[rightmost.indices].max()) + 1
+        return start, end
+
+    def bank_of_block(self, num_banks: int) -> np.ndarray:
+        """Round-robin block→bank assignment (consecutive blocks differ)."""
+        if num_banks < 1:
+            raise ValueError(f"num_banks must be >= 1, got {num_banks}")
+        return np.arange(self.num_blocks, dtype=np.int64) % num_banks
+
+    def reorder(self, array: np.ndarray) -> np.ndarray:
+        """Apply the layout to a per-point array (rows follow the points)."""
+        array = np.asarray(array)
+        if array.shape[0] != self.num_points:
+            raise ValueError(
+                f"array has {array.shape[0]} rows, layout covers {self.num_points} points"
+            )
+        return array[self.permutation]

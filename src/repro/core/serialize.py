@@ -1,0 +1,86 @@
+"""Save/load fractal trees and layouts (npz round-trip).
+
+A downstream system partitions once per frame and reuses the result
+across stages; persisting the tree makes offline pipelines (partition on
+ingest, process later) practical.  The format stores, per leaf: the DFT
+permutation, block boundaries, depths, and the cost counters — enough to
+reconstruct a :class:`BlockStructure` and :class:`BlockLayout` without
+re-running Fractal.  (The full parent hierarchy is captured through the
+per-leaf search spaces.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .blocks import Block, BlockStructure, PartitionCost
+from .tree import FractalTree
+
+__all__ = ["save_block_structure", "load_block_structure", "save_tree"]
+
+_FORMAT_VERSION = 1
+
+
+def save_block_structure(path: str, structure: BlockStructure) -> None:
+    """Serialise a block structure to ``path`` (npz)."""
+    search_offsets = np.cumsum([0] + [len(s) for s in structure.search_spaces])
+    block_offsets = np.cumsum([0] + [len(b.indices) for b in structure.blocks])
+    np.savez_compressed(
+        path,
+        version=np.int64(_FORMAT_VERSION),
+        num_points=np.int64(structure.num_points),
+        strategy=np.bytes_(structure.strategy.encode()),
+        block_indices=np.concatenate([b.indices for b in structure.blocks]),
+        block_offsets=block_offsets.astype(np.int64),
+        block_depths=np.array([b.depth for b in structure.blocks], dtype=np.int64),
+        search_indices=(
+            np.concatenate(structure.search_spaces)
+            if structure.search_spaces
+            else np.empty(0, dtype=np.int64)
+        ),
+        search_offsets=search_offsets.astype(np.int64),
+        cost_sorts=np.array(structure.cost.sorts, dtype=np.int64),
+        cost_traversals=np.array(structure.cost.traversals, dtype=np.int64),
+        cost_passes=np.array(structure.cost.passes, dtype=np.int64),
+        cost_levels=np.int64(structure.cost.levels),
+    )
+
+
+def load_block_structure(path: str) -> BlockStructure:
+    """Load a block structure saved by :func:`save_block_structure`."""
+    with np.load(path) as data:
+        version = int(data["version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported format version {version}")
+        block_offsets = data["block_offsets"]
+        block_indices = data["block_indices"]
+        depths = data["block_depths"]
+        blocks = [
+            Block(block_indices[block_offsets[i]: block_offsets[i + 1]],
+                  depth=int(depths[i]))
+            for i in range(len(block_offsets) - 1)
+        ]
+        search_offsets = data["search_offsets"]
+        search_indices = data["search_indices"]
+        spaces = [
+            search_indices[search_offsets[i]: search_offsets[i + 1]]
+            for i in range(len(search_offsets) - 1)
+        ]
+        cost = PartitionCost(
+            sorts=data["cost_sorts"].tolist(),
+            traversals=data["cost_traversals"].tolist(),
+            passes=data["cost_passes"].tolist(),
+            levels=int(data["cost_levels"]),
+        )
+        return BlockStructure(
+            num_points=int(data["num_points"]),
+            blocks=blocks,
+            search_spaces=spaces,
+            cost=cost,
+            strategy=bytes(data["strategy"]).decode(),
+        )
+
+
+def save_tree(path: str, tree: FractalTree) -> None:
+    """Convenience: serialise a fractal tree's block structure."""
+    save_block_structure(path, tree.block_structure())

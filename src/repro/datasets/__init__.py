@@ -1,0 +1,36 @@
+"""Synthetic stand-ins for the paper's datasets (see DESIGN.md §1).
+
+- :mod:`shapes` — ModelNet40-like labelled objects.
+- :mod:`parts` — ShapeNet-part-like objects with part labels.
+- :mod:`scenes` — S3DIS-like multi-room indoor scenes.
+- :mod:`lidar` — KITTI-like automotive LiDAR frames.
+- :mod:`registry` — name/scale lookup used by benches and examples.
+"""
+
+from .corruptions import CORRUPTIONS, corrupt, corruption_names
+from .lidar import LidarConfig, lidar_scan
+from .parts import PART_CLASSES, make_part_dataset, sample_part_object
+from .registry import DATASET_NAMES, SCALES, load_cloud, scale_points
+from .scenes import SCENE_CLASSES, SceneSpec, make_scene
+from .shapes import SHAPE_CLASSES, make_classification_dataset, sample_shape
+
+__all__ = [
+    "CORRUPTIONS",
+    "DATASET_NAMES",
+    "LidarConfig",
+    "PART_CLASSES",
+    "SCALES",
+    "SCENE_CLASSES",
+    "SHAPE_CLASSES",
+    "SceneSpec",
+    "lidar_scan",
+    "corrupt",
+    "corruption_names",
+    "load_cloud",
+    "make_classification_dataset",
+    "make_part_dataset",
+    "make_scene",
+    "sample_part_object",
+    "sample_shape",
+    "scale_points",
+]

@@ -1,0 +1,137 @@
+"""Point-cloud corruption suite (ModelNet40-C style).
+
+The paper benchmarks on ModelNet40 and cites ModelNet40-C, the
+corruption-robustness variant.  This module implements the common
+corruption families at five severity levels so robustness experiments
+can measure how each partitioning strategy degrades under realistic
+sensor pathologies:
+
+- ``jitter`` — per-point Gaussian noise;
+- ``dropout_global`` — uniform random point removal;
+- ``dropout_local`` — remove points in a few random balls (self-occlusion
+  holes);
+- ``occlusion`` — remove everything behind a random half-space (single
+  viewpoint);
+- ``outliers`` — inject uniform background points;
+- ``scale_anisotropic`` — squash/stretch along random axes.
+
+All corruptions preserve per-point labels where points survive, and keep
+the output size stable where possible (jitter/scale) or report the
+survivor indices (removals).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..geometry import PointCloud
+
+__all__ = ["CORRUPTIONS", "corrupt", "corruption_names"]
+
+_MAX_SEVERITY = 5
+
+
+def _jitter(cloud: PointCloud, severity: int, rng: np.random.Generator) -> PointCloud:
+    sigma = [0.01, 0.02, 0.03, 0.05, 0.08][severity - 1]
+    coords = cloud.coords + rng.normal(scale=sigma, size=cloud.coords.shape).astype(np.float32)
+    return PointCloud(coords, cloud.features, cloud.labels, cloud.class_id)
+
+
+def _dropout_global(cloud, severity, rng):
+    keep_frac = [0.9, 0.75, 0.5, 0.3, 0.15][severity - 1]
+    n_keep = max(int(len(cloud) * keep_frac), 8)
+    keep = rng.choice(len(cloud), size=n_keep, replace=False)
+    return cloud.select(np.sort(keep))
+
+def _dropout_local(cloud, severity, rng):
+    holes = [1, 2, 3, 5, 8][severity - 1]
+    radius = 0.25
+    alive = np.ones(len(cloud), dtype=bool)
+    for _ in range(holes):
+        center = cloud.coords[rng.integers(0, len(cloud))]
+        dist = np.linalg.norm(cloud.coords - center, axis=1)
+        alive &= dist > radius
+    if alive.sum() < 8:  # pathological: keep the nearest 8 to the centroid
+        alive[:] = False
+        centroid = cloud.coords.mean(axis=0)
+        dist = np.linalg.norm(cloud.coords - centroid, axis=1)
+        alive[np.argsort(dist)[:8]] = True
+    return cloud.select(np.nonzero(alive)[0])
+
+
+def _occlusion(cloud, severity, rng):
+    frac = [0.15, 0.25, 0.4, 0.5, 0.6][severity - 1]
+    direction = rng.normal(size=3)
+    direction /= np.linalg.norm(direction)
+    projection = cloud.coords @ direction.astype(np.float32)
+    cutoff = np.quantile(projection, frac)
+    keep = np.nonzero(projection >= cutoff)[0]
+    if len(keep) < 8:
+        keep = np.argsort(-projection)[:8]
+    return cloud.select(np.sort(keep))
+
+
+def _outliers(cloud, severity, rng):
+    frac = [0.01, 0.03, 0.05, 0.1, 0.2][severity - 1]
+    n_out = max(int(len(cloud) * frac), 1)
+    lo = cloud.coords.min(axis=0) - 0.2
+    hi = cloud.coords.max(axis=0) + 0.2
+    noise = rng.uniform(lo, hi, size=(n_out, 3)).astype(np.float32)
+    coords = np.concatenate([cloud.coords, noise])
+    labels = None
+    if cloud.labels is not None:
+        # Outliers inherit the most common label (they are unlabeled junk;
+        # any constant works for robustness metrics).
+        fill = np.bincount(cloud.labels).argmax()
+        labels = np.concatenate([cloud.labels, np.full(n_out, fill, dtype=cloud.labels.dtype)])
+    features = None
+    if cloud.features is not None:
+        features = np.concatenate(
+            [cloud.features, np.zeros((n_out, cloud.num_features), dtype=np.float32)]
+        )
+    return PointCloud(coords, features, labels, cloud.class_id)
+
+
+def _scale_anisotropic(cloud, severity, rng):
+    spread = [0.1, 0.2, 0.3, 0.45, 0.6][severity - 1]
+    scale = rng.uniform(1 - spread, 1 + spread, size=3).astype(np.float32)
+    return PointCloud(cloud.coords * scale, cloud.features, cloud.labels, cloud.class_id)
+
+
+CORRUPTIONS: dict[str, Callable] = {
+    "jitter": _jitter,
+    "dropout_global": _dropout_global,
+    "dropout_local": _dropout_local,
+    "occlusion": _occlusion,
+    "outliers": _outliers,
+    "scale_anisotropic": _scale_anisotropic,
+}
+
+
+def corruption_names() -> list[str]:
+    """Available corruption families."""
+    return list(CORRUPTIONS)
+
+
+def corrupt(
+    cloud: PointCloud,
+    kind: str,
+    severity: int = 3,
+    seed: int = 0,
+) -> PointCloud:
+    """Apply one corruption at ``severity`` in 1..5.
+
+    Args:
+        cloud: input (unchanged; a new cloud is returned).
+        kind: a key of :data:`CORRUPTIONS`.
+        severity: 1 (mild) .. 5 (severe).
+        seed: RNG seed for the corruption's randomness.
+    """
+    if kind not in CORRUPTIONS:
+        raise ValueError(f"unknown corruption {kind!r}; expected one of {corruption_names()}")
+    if not 1 <= severity <= _MAX_SEVERITY:
+        raise ValueError(f"severity must be in 1..{_MAX_SEVERITY}, got {severity}")
+    rng = np.random.default_rng(seed)
+    return CORRUPTIONS[kind](cloud, severity, rng)

@@ -1,0 +1,129 @@
+"""Spinning-LiDAR scan simulator (KITTI-style automotive clouds).
+
+Modern LiDAR sensors produce 30 K–300 K points per frame (paper §I).  This
+simulator spins a multi-ring sensor through a synthetic street scene
+(ground plane, building/vehicle boxes, pole cylinders) with vectorised
+ray casting, producing the ring-structured, range-dependent density that
+real automotive clouds exhibit — another distribution family for the
+partitioning experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geometry import PointCloud
+
+__all__ = ["LidarConfig", "lidar_scan"]
+
+
+@dataclass(frozen=True)
+class LidarConfig:
+    """Sensor and scene parameters.
+
+    Attributes:
+        num_rings: vertical channels (HDL-64-like default).
+        max_range: maximum return distance in metres.
+        sensor_height: sensor origin above ground.
+        num_buildings / num_vehicles / num_poles: scene population.
+        range_noise: per-return Gaussian range noise (metres).
+    """
+
+    num_rings: int = 64
+    max_range: float = 80.0
+    sensor_height: float = 1.73
+    num_buildings: int = 8
+    num_vehicles: int = 12
+    num_poles: int = 10
+    range_noise: float = 0.02
+
+
+def _ray_aabb(origins: np.ndarray, dirs: np.ndarray, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+    """Slab-test distances of rays against one AABB (inf when missed)."""
+    with np.errstate(divide="ignore", invalid="ignore"):
+        inv = 1.0 / dirs
+        t1 = (lo - origins) * inv
+        t2 = (hi - origins) * inv
+    tmin = np.minimum(t1, t2).max(axis=1)
+    tmax = np.maximum(t1, t2).min(axis=1)
+    hit = (tmax >= np.maximum(tmin, 0.0)) & (tmin > 1e-6)
+    return np.where(hit, tmin, np.inf)
+
+
+def lidar_scan(
+    num_points: int,
+    seed: int = 0,
+    config: LidarConfig | None = None,
+) -> PointCloud:
+    """Simulate one LiDAR frame with approximately ``num_points`` returns.
+
+    The azimuth resolution is chosen (and over-provisioned) so that after
+    dropping misses the frame can be subsampled to exactly ``num_points``.
+
+    Labels: 0 = ground, 1 = building, 2 = vehicle, 3 = pole.
+    """
+    if num_points < 64:
+        raise ValueError(f"num_points must be >= 64, got {num_points}")
+    config = config or LidarConfig()
+    rng = np.random.default_rng(seed)
+
+    # Scene: boxes and poles scattered around the sensor.
+    boxes: list[tuple[np.ndarray, np.ndarray, int]] = []
+    for _ in range(config.num_buildings):
+        cx, cy = rng.uniform(-60, 60, size=2)
+        if np.hypot(cx, cy) < 10:
+            continue
+        w, d, h = rng.uniform(8, 20), rng.uniform(8, 20), rng.uniform(6, 15)
+        boxes.append((np.array([cx - w / 2, cy - d / 2, 0.0]),
+                      np.array([cx + w / 2, cy + d / 2, h]), 1))
+    for _ in range(config.num_vehicles):
+        cx, cy = rng.uniform(-30, 30, size=2)
+        if np.hypot(cx, cy) < 4:
+            continue
+        boxes.append((np.array([cx - 2.2, cy - 0.9, 0.0]),
+                      np.array([cx + 2.2, cy + 0.9, 1.6]), 2))
+    for _ in range(config.num_poles):
+        cx, cy = rng.uniform(-40, 40, size=2)
+        if np.hypot(cx, cy) < 3:
+            continue
+        boxes.append((np.array([cx - 0.15, cy - 0.15, 0.0]),
+                      np.array([cx + 0.15, cy + 0.15, rng.uniform(4, 8)]), 3))
+
+    # Rays: rings x azimuth steps; ~35% of rays typically miss, so
+    # over-provision then trim.
+    azimuth_steps = max(16, int(np.ceil(num_points * 1.6 / config.num_rings)))
+    elev = np.deg2rad(np.linspace(-24.8, 2.0, config.num_rings))
+    azim = np.linspace(0, 2 * np.pi, azimuth_steps, endpoint=False)
+    ee, aa = np.meshgrid(elev, azim, indexing="ij")
+    dirs = np.stack(
+        [np.cos(ee) * np.cos(aa), np.cos(ee) * np.sin(aa), np.sin(ee)], axis=-1
+    ).reshape(-1, 3)
+    origin = np.array([0.0, 0.0, config.sensor_height])
+    origins = np.broadcast_to(origin, dirs.shape)
+
+    best_t = np.full(len(dirs), np.inf)
+    best_label = np.zeros(len(dirs), dtype=np.int64)
+    # Ground plane z = 0.
+    down = dirs[:, 2] < -1e-6
+    t_ground = np.where(down, -config.sensor_height / np.where(down, dirs[:, 2], -1.0), np.inf)
+    best_t = np.minimum(best_t, t_ground)
+    for lo, hi, label in boxes:
+        t = _ray_aabb(origins, dirs, lo, hi)
+        closer = t < best_t
+        best_t = np.where(closer, t, best_t)
+        best_label = np.where(closer, label, best_label)
+
+    hit = best_t < config.max_range
+    t = best_t[hit] + rng.normal(scale=config.range_noise, size=int(hit.sum()))
+    points = origin + dirs[hit] * t[:, None]
+    labels = best_label[hit]
+
+    if len(points) < num_points:
+        # Extremely sparse scenes: pad by jittered duplication.
+        extra = rng.integers(0, len(points), size=num_points - len(points))
+        points = np.concatenate([points, points[extra] + rng.normal(scale=0.01, size=(len(extra), 3))])
+        labels = np.concatenate([labels, labels[extra]])
+    keep = rng.choice(len(points), size=num_points, replace=False)
+    return PointCloud(points[keep].astype(np.float32), labels=labels[keep])

@@ -1,0 +1,143 @@
+"""Composite objects with per-point part labels (ShapeNet-part substitute).
+
+Part segmentation workloads — PN++(ps) / PNXt(ps) in Table I — consume
+objects whose points carry a part id.  Each composite here is assembled
+from primitive surfaces (boxes, cylinders, spheres) with one part label
+per primitive group, mirroring ShapeNet-part categories (table, chair,
+lamp, airplane, mug).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry import PointCloud
+from .shapes import _cube, _cylinder, _sphere  # reuse primitive samplers
+
+__all__ = ["PART_CLASSES", "sample_part_object", "make_part_dataset"]
+
+
+def _box(n, rng, center, size):
+    pts = _cube(n, rng) * (np.asarray(size) / 2.0)
+    return pts + np.asarray(center)
+
+
+def _rod(n, rng, center, radius, height):
+    pts = _cylinder(n, rng)
+    pts[:, :2] *= radius / 0.5
+    pts[:, 2] *= height / 2.0
+    return pts + np.asarray(center)
+
+
+def _ball(n, rng, center, radius):
+    return _sphere(n, rng) * radius + np.asarray(center)
+
+
+def _table(rng: np.random.Generator) -> list[tuple[np.ndarray, int, float]]:
+    """(sampler-output, part_id, area_weight) pieces for a table."""
+    pieces = [(_box(256, rng, (0, 0, 0.75), (1.6, 1.0, 0.08)), 0, 4.0)]
+    for sx in (-0.7, 0.7):
+        for sy in (-0.4, 0.4):
+            pieces.append((_rod(256, rng, (sx, sy, 0.375), 0.05, 0.75), 1, 0.6))
+    return pieces
+
+
+def _chair(rng: np.random.Generator) -> list[tuple[np.ndarray, int, float]]:
+    pieces = [
+        (_box(256, rng, (0, 0, 0.45), (0.5, 0.5, 0.06)), 0, 1.5),  # seat
+        (_box(256, rng, (0, -0.25, 0.8), (0.5, 0.06, 0.7)), 1, 1.5),  # back
+    ]
+    for sx in (-0.2, 0.2):
+        for sy in (-0.2, 0.2):
+            pieces.append((_rod(256, rng, (sx, sy, 0.225), 0.03, 0.45), 2, 0.4))
+    return pieces
+
+
+def _lamp(rng: np.random.Generator) -> list[tuple[np.ndarray, int, float]]:
+    return [
+        (_box(256, rng, (0, 0, 0.03), (0.5, 0.5, 0.06)), 0, 1.0),  # base
+        (_rod(256, rng, (0, 0, 0.6), 0.03, 1.1), 1, 0.8),  # pole
+        (_rod(256, rng, (0, 0, 1.25), 0.3, 0.35), 2, 1.6),  # shade
+    ]
+
+
+def _airplane(rng: np.random.Generator) -> list[tuple[np.ndarray, int, float]]:
+    fuselage = _rod(256, rng, (0, 0, 0), 0.18, 2.4)
+    # Rotate fuselage to lie along x.
+    fuselage = fuselage[:, [2, 0, 1]]
+    return [
+        (fuselage, 0, 2.0),
+        (_box(256, rng, (0.1, 0, 0), (0.5, 2.6, 0.05)), 1, 2.6),  # wings
+        (_box(256, rng, (-1.0, 0, 0.25), (0.3, 0.8, 0.05)), 2, 0.6),  # tail wing
+        (_box(256, rng, (-1.05, 0, 0.3), (0.25, 0.05, 0.5)), 3, 0.4),  # fin
+    ]
+
+
+def _mug(rng: np.random.Generator) -> list[tuple[np.ndarray, int, float]]:
+    body = _rod(384, rng, (0, 0, 0.4), 0.35, 0.8)
+    handle = _ball(192, rng, (0.48, 0, 0.4), 0.18)
+    handle = handle[np.abs(handle[:, 1]) < 0.09]  # slice a handle-like band
+    return [(body, 0, 2.2), (handle, 1, 0.5)]
+
+
+PART_CLASSES = {
+    "table": (_table, 2),
+    "chair": (_chair, 3),
+    "lamp": (_lamp, 3),
+    "airplane": (_airplane, 4),
+    "mug": (_mug, 2),
+}
+
+_CLASS_NAMES = list(PART_CLASSES)
+
+
+def sample_part_object(
+    name: str,
+    num_points: int,
+    rng: np.random.Generator,
+    *,
+    noise: float = 0.008,
+) -> PointCloud:
+    """One labelled object of category ``name`` with exactly ``num_points``.
+
+    Pieces are resampled area-proportionally so the output hits the
+    requested size; labels are per-piece part ids.
+    """
+    if name not in PART_CLASSES:
+        raise ValueError(f"unknown category {name!r}; expected one of {_CLASS_NAMES}")
+    builder, _ = PART_CLASSES[name]
+    pieces = builder(rng)
+    weights = np.array([w for _, _, w in pieces], dtype=np.float64)
+    weights /= weights.sum()
+    counts = np.floor(weights * num_points).astype(int)
+    counts[0] += num_points - counts.sum()
+
+    coords_list, labels_list = [], []
+    for (pts, part_id, _), count in zip(pieces, counts):
+        if count == 0:
+            continue
+        idx = rng.integers(0, len(pts), size=count)
+        coords_list.append(pts[idx])
+        labels_list.append(np.full(count, part_id, dtype=np.int64))
+    coords = np.concatenate(coords_list) + rng.normal(scale=noise, size=(num_points, 3))
+    labels = np.concatenate(labels_list)
+    perm = rng.permutation(num_points)
+    cloud = PointCloud(
+        coords[perm].astype(np.float32),
+        labels=labels[perm],
+        class_id=_CLASS_NAMES.index(name),
+    )
+    return cloud.normalized()
+
+
+def make_part_dataset(
+    num_clouds: int,
+    points_per_cloud: int,
+    seed: int = 0,
+) -> list[PointCloud]:
+    """A balanced ShapeNet-part-like dataset."""
+    rng = np.random.default_rng(seed)
+    return [
+        sample_part_object(_CLASS_NAMES[i % len(_CLASS_NAMES)], points_per_cloud, rng)
+        for i in range(num_clouds)
+    ]

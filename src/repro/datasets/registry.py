@@ -1,0 +1,73 @@
+"""Dataset registry keyed by the paper's benchmark names and input scales.
+
+Table I evaluates ModelNet40 (classification, ~1 K), ShapeNet (part
+segmentation, ~2 K), and S3DIS (semantic segmentation, 4 K–289 K; 1 M for
+the asymptotic study).  This registry maps those names to the synthetic
+substitutes and pins the scale labels used throughout the figures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry import PointCloud
+from .lidar import lidar_scan
+from .parts import sample_part_object, PART_CLASSES
+from .scenes import make_scene
+from .shapes import SHAPE_CLASSES, sample_shape
+
+__all__ = ["SCALES", "DATASET_NAMES", "load_cloud", "scale_points"]
+
+#: Scale labels used by the paper's figures → point counts.
+SCALES: dict[str, int] = {
+    "1K": 1_024,
+    "2K": 2_048,
+    "4K": 4_096,
+    "8K": 8_192,
+    "16K": 16_384,
+    "33K": 33_000,
+    "66K": 66_000,
+    "131K": 131_000,
+    "289K": 289_000,
+    "500K": 500_000,
+    "1M": 1_000_000,
+}
+
+DATASET_NAMES = ("modelnet40", "shapenet", "s3dis", "lidar")
+
+
+def scale_points(scale: str | int) -> int:
+    """Resolve a scale label ("33K") or raw integer to a point count."""
+    if isinstance(scale, str):
+        if scale not in SCALES:
+            raise ValueError(f"unknown scale {scale!r}; expected one of {list(SCALES)}")
+        return SCALES[scale]
+    if scale < 1:
+        raise ValueError(f"point count must be >= 1, got {scale}")
+    return int(scale)
+
+
+def load_cloud(dataset: str, scale: str | int, seed: int = 0) -> PointCloud:
+    """Generate one cloud from the named synthetic dataset.
+
+    Args:
+        dataset: ``modelnet40`` (object classification), ``shapenet``
+            (object part segmentation), ``s3dis`` (indoor scene
+            segmentation), or ``lidar`` (automotive scan).
+        scale: scale label or explicit point count.
+        seed: RNG seed.
+    """
+    n = scale_points(scale)
+    rng = np.random.default_rng(seed)
+    if dataset == "modelnet40":
+        names = list(SHAPE_CLASSES)
+        return sample_shape(names[seed % len(names)], n, rng)
+    if dataset == "shapenet":
+        names = list(PART_CLASSES)
+        return sample_part_object(names[seed % len(names)], n, rng)
+    if dataset == "s3dis":
+        cloud, _ = make_scene(n, seed)
+        return cloud
+    if dataset == "lidar":
+        return lidar_scan(n, seed)
+    raise ValueError(f"unknown dataset {dataset!r}; expected one of {DATASET_NAMES}")

@@ -1,0 +1,101 @@
+"""Axis-aligned bounding boxes for point clouds.
+
+The Fractal partitioner (``repro.core.fractal``) splits blocks at the
+midpoint of the current dimension's extrema, so bounding-box bookkeeping is
+on the critical path of the whole system.  This module keeps it small and
+explicit: an :class:`AABB` is an immutable pair of ``(3,)`` float arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["AABB", "aabb_of_points"]
+
+
+@dataclass(frozen=True)
+class AABB:
+    """An axis-aligned bounding box in 3-D.
+
+    Attributes:
+        lo: componentwise minimum corner, shape ``(3,)``.
+        hi: componentwise maximum corner, shape ``(3,)``.
+    """
+
+    lo: np.ndarray
+    hi: np.ndarray
+
+    def __post_init__(self) -> None:
+        lo = np.asarray(self.lo, dtype=np.float64)
+        hi = np.asarray(self.hi, dtype=np.float64)
+        if lo.shape != (3,) or hi.shape != (3,):
+            raise ValueError(f"AABB corners must have shape (3,), got {lo.shape} / {hi.shape}")
+        if np.any(lo > hi):
+            raise ValueError(f"AABB lo must be <= hi componentwise, got lo={lo}, hi={hi}")
+        object.__setattr__(self, "lo", lo)
+        object.__setattr__(self, "hi", hi)
+
+    @property
+    def extent(self) -> np.ndarray:
+        """Edge lengths along each axis, shape ``(3,)``."""
+        return self.hi - self.lo
+
+    @property
+    def center(self) -> np.ndarray:
+        """Geometric centre, shape ``(3,)``."""
+        return (self.lo + self.hi) / 2.0
+
+    @property
+    def volume(self) -> float:
+        """Product of extents (zero for degenerate boxes)."""
+        return float(np.prod(self.extent))
+
+    @property
+    def longest_axis(self) -> int:
+        """Index of the axis with the largest extent (ties break low)."""
+        return int(np.argmax(self.extent))
+
+    def midpoint(self, dim: int) -> float:
+        """Min-max average along ``dim`` — the Fractal split coordinate.
+
+        This mirrors the hardware midpoint-computation unit, which
+        implements ``(max + min) / 2`` as an add and a right shift.
+        """
+        return float((self.lo[dim] + self.hi[dim]) / 2.0)
+
+    def contains(self, points: np.ndarray, *, atol: float = 1e-9) -> np.ndarray:
+        """Boolean mask of which ``(n, 3)`` points fall inside the box."""
+        points = np.asarray(points, dtype=np.float64)
+        return np.all((points >= self.lo - atol) & (points <= self.hi + atol), axis=1)
+
+    def split(self, dim: int, value: float) -> tuple["AABB", "AABB"]:
+        """Split into (low-side, high-side) halves at ``value`` on ``dim``."""
+        if not (self.lo[dim] <= value <= self.hi[dim]):
+            raise ValueError(
+                f"split value {value} outside box range [{self.lo[dim]}, {self.hi[dim]}] on dim {dim}"
+            )
+        lo_hi = self.hi.copy()
+        lo_hi[dim] = value
+        hi_lo = self.lo.copy()
+        hi_lo[dim] = value
+        return AABB(self.lo, lo_hi), AABB(hi_lo, self.hi)
+
+    def union(self, other: "AABB") -> "AABB":
+        """Smallest box containing both boxes."""
+        return AABB(np.minimum(self.lo, other.lo), np.maximum(self.hi, other.hi))
+
+    def intersects(self, other: "AABB") -> bool:
+        """True when the two boxes overlap (touching counts)."""
+        return bool(np.all(self.lo <= other.hi) and np.all(other.lo <= self.hi))
+
+
+def aabb_of_points(points: np.ndarray) -> AABB:
+    """Tight bounding box of an ``(n, 3)`` array (n >= 1)."""
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != 3:
+        raise ValueError(f"expected (n, 3) points, got shape {points.shape}")
+    if len(points) == 0:
+        raise ValueError("cannot bound an empty point set")
+    return AABB(points.min(axis=0), points.max(axis=0))

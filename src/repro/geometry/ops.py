@@ -1,0 +1,244 @@
+"""Exact (global-search) reference point operations.
+
+These are the operations the paper identifies as the large-scale
+bottleneck (§II-B): farthest point sampling, ball query, K-nearest
+neighbours, interpolation, and gathering.  All run a *global* search over
+the candidate set, i.e. they reproduce the O(n²) baseline behaviour of
+PointAcc/Mesorasi-style execution.  The block-parallel variants live in
+``repro.core.bppo`` and are validated against these references.
+
+Conventions (matching PointNet++ semantics):
+
+- Ball query returns exactly ``num`` indices per centre; when fewer than
+  ``num`` points fall within the radius the first found index is repeated
+  (the standard padding used by PointNet++ and its descendants).  When a
+  centre has *no* neighbour within the radius, the nearest point overall is
+  used so downstream gathers never see an invalid index.
+- Interpolation is inverse-distance-weighted over the K=3 nearest sampled
+  points, with an epsilon guard for coincident points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "pairwise_sq_dists",
+    "farthest_point_sample",
+    "ball_query",
+    "knn_search",
+    "interpolate_features",
+    "interpolation_weights",
+    "gather_features",
+]
+
+
+def pairwise_sq_dists(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances between rows of ``a`` (m,3) and ``b`` (n,3).
+
+    Returns an ``(m, n)`` float64 matrix.  Uses the expanded form with a
+    clamp at zero to avoid negative round-off.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    d2 = (
+        np.sum(a * a, axis=1)[:, None]
+        + np.sum(b * b, axis=1)[None, :]
+        - 2.0 * (a @ b.T)
+    )
+    np.maximum(d2, 0.0, out=d2)
+    return d2
+
+
+def farthest_point_sample(
+    coords: np.ndarray,
+    num_samples: int,
+    *,
+    start_index: int = 0,
+) -> np.ndarray:
+    """Exact farthest point sampling (FPS) over the full cloud.
+
+    Iteratively selects the point farthest (in Euclidean distance) from the
+    already-sampled set, starting from ``start_index``.  This is the
+    O(n * num_samples) formulation with an incrementally maintained
+    min-distance array — the same dataflow the PointAcc FPS engine
+    implements in hardware.
+
+    Args:
+        coords: ``(n, 3)`` candidate coordinates.
+        num_samples: number of points to select (1 <= num_samples <= n).
+        start_index: deterministic seed point (papers typically random;
+            a fixed index keeps experiments reproducible).
+
+    Returns:
+        ``(num_samples,)`` int64 indices into ``coords``, in selection order.
+    """
+    coords = np.asarray(coords, dtype=np.float64)
+    n = len(coords)
+    if not 1 <= num_samples <= n:
+        raise ValueError(f"num_samples must be in [1, {n}], got {num_samples}")
+    if not 0 <= start_index < n:
+        raise ValueError(f"start_index must be in [0, {n}), got {start_index}")
+
+    selected = np.empty(num_samples, dtype=np.int64)
+    selected[0] = start_index
+    # min squared distance from each point to the sampled set so far
+    min_d2 = np.sum((coords - coords[start_index]) ** 2, axis=1)
+    for i in range(1, num_samples):
+        nxt = int(np.argmax(min_d2))
+        selected[i] = nxt
+        d2 = np.sum((coords - coords[nxt]) ** 2, axis=1)
+        np.minimum(min_d2, d2, out=min_d2)
+    return selected
+
+
+def ball_query(
+    centers: np.ndarray,
+    candidates: np.ndarray,
+    radius: float,
+    num: int,
+) -> np.ndarray:
+    """Ball query: up to ``num`` candidate indices within ``radius`` of each centre.
+
+    Follows PointNet++ semantics: indices are taken in candidate order, the
+    first in-radius index pads any remaining slots, and a centre with no
+    in-radius candidate falls back to its single nearest candidate.
+
+    Args:
+        centers: ``(m, 3)`` query centres.
+        candidates: ``(n, 3)`` search space.
+        radius: inclusion radius (Euclidean).
+        num: group size (number of neighbour slots per centre).
+
+    Returns:
+        ``(m, num)`` int64 indices into ``candidates``.
+    """
+    if radius <= 0:
+        raise ValueError(f"radius must be positive, got {radius}")
+    if num < 1:
+        raise ValueError(f"num must be >= 1, got {num}")
+    centers = np.asarray(centers, dtype=np.float64)
+    candidates = np.asarray(candidates, dtype=np.float64)
+    d2 = pairwise_sq_dists(centers, candidates)
+    r2 = float(radius) ** 2
+
+    m, n = d2.shape
+    out = np.empty((m, num), dtype=np.int64)
+    for i in range(m):
+        hits = np.nonzero(d2[i] <= r2)[0]
+        if len(hits) == 0:
+            hits = np.array([int(np.argmin(d2[i]))], dtype=np.int64)
+        if len(hits) >= num:
+            out[i] = hits[:num]
+        else:
+            out[i, : len(hits)] = hits
+            out[i, len(hits):] = hits[0]
+    return out
+
+
+def knn_search(centers: np.ndarray, candidates: np.ndarray, k: int) -> np.ndarray:
+    """Exact K-nearest-neighbour indices for each centre.
+
+    Neighbours are ordered nearest-first.  Ties break by candidate index
+    (``argsort`` stability on equal keys is enforced with a lexicographic
+    tiebreak), which keeps results deterministic across platforms.
+
+    Args:
+        centers: ``(m, 3)`` query centres.
+        candidates: ``(n, 3)`` search space with ``n >= k``.
+        k: neighbour count.
+
+    Returns:
+        ``(m, k)`` int64 indices into ``candidates``.
+    """
+    centers = np.asarray(centers, dtype=np.float64)
+    candidates = np.asarray(candidates, dtype=np.float64)
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if len(candidates) < k:
+        raise ValueError(f"need at least k={k} candidates, got {len(candidates)}")
+    d2 = pairwise_sq_dists(centers, candidates)
+    # argpartition then stable sort of the k winners: O(mn + mk log k)
+    part = np.argpartition(d2, k - 1, axis=1)[:, :k]
+    rows = np.arange(len(centers))[:, None]
+    order = np.lexsort((part, d2[rows, part]), axis=1)
+    return part[rows, order].astype(np.int64)
+
+
+def interpolation_weights(
+    centers: np.ndarray,
+    candidates: np.ndarray,
+    k: int = 3,
+    *,
+    eps: float = 1e-8,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Inverse-distance weights over the K nearest candidates of each centre.
+
+    This is the weight computation used by PointNet++ feature propagation
+    (paper Fig. 2(c)): ``w_j = (1/d_j) / sum_i (1/d_i)`` over the K nearest
+    sampled points.
+
+    Returns:
+        ``(indices, weights)`` with shapes ``(m, k)``; weights rows sum to 1.
+    """
+    idx = knn_search(centers, candidates, k)
+    centers = np.asarray(centers, dtype=np.float64)
+    candidates = np.asarray(candidates, dtype=np.float64)
+    diffs = centers[:, None, :] - candidates[idx]
+    d2 = np.sum(diffs * diffs, axis=2)
+    inv = 1.0 / np.maximum(d2, eps)
+    weights = inv / inv.sum(axis=1, keepdims=True)
+    return idx, weights
+
+
+def interpolate_features(
+    centers: np.ndarray,
+    candidates: np.ndarray,
+    candidate_features: np.ndarray,
+    k: int = 3,
+) -> np.ndarray:
+    """Interpolate candidate features onto centres (3-NN inverse distance).
+
+    Args:
+        centers: ``(m, 3)`` points to restore features for.
+        candidates: ``(n, 3)`` sampled points that carry features.
+        candidate_features: ``(n, c)`` features of the candidates.
+        k: neighbour count (3 in all evaluated networks).
+
+    Returns:
+        ``(m, c)`` interpolated features (float64).
+    """
+    candidate_features = np.asarray(candidate_features, dtype=np.float64)
+    if candidate_features.ndim != 2 or len(candidate_features) != len(candidates):
+        raise ValueError(
+            f"candidate_features must be (n, c) with n={len(candidates)}, "
+            f"got {candidate_features.shape}"
+        )
+    idx, weights = interpolation_weights(centers, candidates, k)
+    return np.einsum("mk,mkc->mc", weights, candidate_features[idx])
+
+
+def gather_features(features: np.ndarray, indices: np.ndarray) -> np.ndarray:
+    """Gather feature rows by neighbour indices.
+
+    Functionally this is just fancy indexing — the paper's contribution is
+    about *where the bytes live* (block-local banks vs global random
+    access), which the hardware model accounts for separately.
+
+    Args:
+        features: ``(n, c)`` feature table.
+        indices: ``(m, k)`` (or any integer-shaped) indices into the table.
+
+    Returns:
+        Array of shape ``indices.shape + (c,)``.
+    """
+    features = np.asarray(features)
+    indices = np.asarray(indices)
+    if not np.issubdtype(indices.dtype, np.integer):
+        raise ValueError(f"indices must be integers, got dtype {indices.dtype}")
+    if indices.size and (indices.min() < 0 or indices.max() >= len(features)):
+        raise IndexError(
+            f"indices out of range [0, {len(features)}): "
+            f"[{indices.min()}, {indices.max()}]"
+        )
+    return features[indices]

@@ -1,0 +1,126 @@
+"""The :class:`PointCloud` container used across the library.
+
+A point cloud carries two kinds of information (paper §II-A): spatial
+coordinates ``p`` and per-point features ``f``; segmentation workloads also
+carry per-point integer labels.  Coordinates are always float32 ``(n, 3)``;
+features are float32 ``(n, c)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .bbox import AABB, aabb_of_points
+
+__all__ = ["PointCloud"]
+
+
+@dataclass
+class PointCloud:
+    """An unordered set of 3-D points with optional features and labels.
+
+    Attributes:
+        coords: ``(n, 3)`` float32 spatial coordinates.
+        features: optional ``(n, c)`` float32 per-point features.
+        labels: optional ``(n,)`` integer per-point labels (segmentation)
+            or a scalar class id attached by dataset generators
+            (classification; stored separately as ``class_id``).
+        class_id: optional scalar class label for whole-cloud tasks.
+    """
+
+    coords: np.ndarray
+    features: Optional[np.ndarray] = None
+    labels: Optional[np.ndarray] = None
+    class_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        coords = np.ascontiguousarray(self.coords, dtype=np.float32)
+        if coords.ndim != 2 or coords.shape[1] != 3:
+            raise ValueError(f"coords must be (n, 3), got {coords.shape}")
+        self.coords = coords
+        if self.features is not None:
+            features = np.ascontiguousarray(self.features, dtype=np.float32)
+            if features.ndim != 2 or features.shape[0] != len(coords):
+                raise ValueError(
+                    f"features must be (n, c) with n={len(coords)}, got {features.shape}"
+                )
+            self.features = features
+        if self.labels is not None:
+            labels = np.ascontiguousarray(self.labels)
+            if labels.shape != (len(coords),):
+                raise ValueError(f"labels must be (n,) with n={len(coords)}, got {labels.shape}")
+            if not np.issubdtype(labels.dtype, np.integer):
+                raise ValueError(f"labels must be integers, got dtype {labels.dtype}")
+            self.labels = labels
+
+    def __len__(self) -> int:
+        return len(self.coords)
+
+    @property
+    def num_points(self) -> int:
+        """Number of points ``n``."""
+        return len(self.coords)
+
+    @property
+    def num_features(self) -> int:
+        """Feature channels ``c`` (0 when no features attached)."""
+        return 0 if self.features is None else self.features.shape[1]
+
+    @property
+    def bbox(self) -> AABB:
+        """Tight axis-aligned bounding box of the coordinates."""
+        return aabb_of_points(self.coords)
+
+    def select(self, indices: np.ndarray) -> "PointCloud":
+        """A new cloud containing the points at ``indices`` (fancy index)."""
+        indices = np.asarray(indices)
+        return PointCloud(
+            coords=self.coords[indices],
+            features=None if self.features is None else self.features[indices],
+            labels=None if self.labels is None else self.labels[indices],
+            class_id=self.class_id,
+        )
+
+    def permute(self, permutation: np.ndarray) -> "PointCloud":
+        """Reorder points by ``permutation`` (must be a bijection).
+
+        Used by the DFT memory layout (``repro.core.layout``): after
+        Fractal the cloud is stored block-contiguously in DFT order.
+        """
+        permutation = np.asarray(permutation)
+        if sorted(permutation.tolist()) != list(range(len(self))):
+            raise ValueError("permutation must be a bijection over all point indices")
+        return self.select(permutation)
+
+    def with_features(self, features: np.ndarray) -> "PointCloud":
+        """A copy of this cloud with ``features`` attached."""
+        return PointCloud(self.coords, features, self.labels, self.class_id)
+
+    def normalized(self) -> "PointCloud":
+        """Centre at origin and scale into the unit sphere.
+
+        Standard preprocessing for object-level workloads (ModelNet-style).
+        """
+        centered = self.coords - self.coords.mean(axis=0, keepdims=True)
+        scale = float(np.linalg.norm(centered, axis=1).max())
+        if scale == 0.0:
+            scale = 1.0
+        return PointCloud(centered / scale, self.features, self.labels, self.class_id)
+
+    def nbytes(self, *, bytes_per_scalar: int = 2) -> int:
+        """Storage footprint in bytes (FP16 by default, matching the chip)."""
+        n_scalars = self.coords.size + (0 if self.features is None else self.features.size)
+        return n_scalars * bytes_per_scalar
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [f"n={len(self)}"]
+        if self.features is not None:
+            parts.append(f"c={self.num_features}")
+        if self.labels is not None:
+            parts.append("labeled")
+        if self.class_id is not None:
+            parts.append(f"class={self.class_id}")
+        return f"PointCloud({', '.join(parts)})"

@@ -1,0 +1,57 @@
+"""Voxel-grid downsampling (standard point-cloud preprocessing).
+
+Large-scale pipelines typically voxel-downsample raw scans before the
+network (the S3DIS protocols the paper's workloads follow do exactly
+this).  One representative point survives per occupied voxel — either
+the centroid of the voxel's points or the point nearest that centroid
+(which preserves original coordinates and label alignment).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .pointcloud import PointCloud
+
+__all__ = ["voxel_downsample", "voxel_downsample_indices"]
+
+
+def voxel_downsample_indices(coords: np.ndarray, voxel_size: float) -> np.ndarray:
+    """Indices of one representative point per occupied voxel.
+
+    The representative is the point nearest its voxel's centroid, so the
+    result is a subset of the input (labels/features stay valid).
+
+    Args:
+        coords: ``(n, 3)`` coordinates.
+        voxel_size: cubic voxel edge length (> 0).
+
+    Returns:
+        Sorted int64 indices into ``coords``.
+    """
+    if voxel_size <= 0:
+        raise ValueError(f"voxel_size must be positive, got {voxel_size}")
+    coords = np.asarray(coords, dtype=np.float64)
+    if coords.ndim != 2 or coords.shape[1] != 3:
+        raise ValueError(f"coords must be (n, 3), got {coords.shape}")
+
+    keys = np.floor((coords - coords.min(axis=0)) / voxel_size).astype(np.int64)
+    # Order points by voxel, then pick per-voxel representative.
+    _, inverse, counts = np.unique(
+        keys, axis=0, return_inverse=True, return_counts=True
+    )
+    order = np.argsort(inverse, kind="stable")
+    boundaries = np.concatenate([[0], np.cumsum(counts)])
+    representatives = np.empty(len(counts), dtype=np.int64)
+    for v in range(len(counts)):
+        members = order[boundaries[v]: boundaries[v + 1]]
+        centroid = coords[members].mean(axis=0)
+        nearest = np.argmin(np.sum((coords[members] - centroid) ** 2, axis=1))
+        representatives[v] = members[nearest]
+    return np.sort(representatives)
+
+
+def voxel_downsample(cloud: PointCloud, voxel_size: float) -> PointCloud:
+    """Voxel-downsample a :class:`PointCloud` (subset selection)."""
+    indices = voxel_downsample_indices(cloud.coords, voxel_size)
+    return cloud.select(indices)

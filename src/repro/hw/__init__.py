@@ -1,0 +1,61 @@
+"""Hardware models: the FractalCloud accelerator, its baselines, and the GPU.
+
+- :mod:`configs` — Table II accelerator configurations + Fig. 18 ladder.
+- :mod:`accelerator` — the cycle-level analytic simulator.
+- :mod:`gpu` — TITAN-RTX-class cost model (the evaluation baseline).
+- component models: :mod:`dram`, :mod:`sram`, :mod:`pe_array`,
+  :mod:`fractal_engine`, :mod:`rspu`, :mod:`gather_unit`.
+- :mod:`area` — Fig. 12 area/power budget.
+"""
+
+from .accelerator import AcceleratorSim
+from .area import FRACTALCLOUD_BUDGET, ModuleBudget, total_area_mm2, total_power_w
+from .configs import (
+    CRESCENT,
+    FRACTALCLOUD,
+    MESORASI,
+    POINTACC,
+    SOTA_CONFIGS,
+    AcceleratorConfig,
+    ablation_ladder,
+)
+from .cost import UnitCost
+from .dram import DRAMModel, DRAMTraffic
+from .fractal_engine import FractalEngineModel
+from .gather_unit import GatherUnitModel
+from .gpu import GPUModel
+from .noc import NoCModel
+from .pe_array import MLPCost, PEArrayModel
+from .results import POINT_OP_PHASES, PhaseStats, RunResult, TraceEvent
+from .rspu import RSPUModel
+from .sram import SRAMModel
+
+__all__ = [
+    "AcceleratorConfig",
+    "AcceleratorSim",
+    "CRESCENT",
+    "DRAMModel",
+    "DRAMTraffic",
+    "FRACTALCLOUD",
+    "FRACTALCLOUD_BUDGET",
+    "FractalEngineModel",
+    "GPUModel",
+    "GatherUnitModel",
+    "MESORASI",
+    "MLPCost",
+    "NoCModel",
+    "ModuleBudget",
+    "PEArrayModel",
+    "POINTACC",
+    "POINT_OP_PHASES",
+    "PhaseStats",
+    "RSPUModel",
+    "RunResult",
+    "SOTA_CONFIGS",
+    "SRAMModel",
+    "TraceEvent",
+    "UnitCost",
+    "ablation_ladder",
+    "total_area_mm2",
+    "total_power_w",
+]

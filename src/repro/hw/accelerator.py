@@ -1,0 +1,343 @@
+"""Top-level accelerator simulator.
+
+Executes a compiled :class:`~repro.runtime.program.Program` on an
+:class:`~repro.hw.configs.AcceleratorConfig`, phase by phase:
+
+    partition → sample → neighbor → gather → mlp → pool   (per SA stage)
+    partition → interpolate → gather → mlp                (per FP stage)
+
+Each phase's :class:`~repro.hw.cost.UnitCost` (from the unit models) is
+converted to latency as ``max(compute, SRAM, DRAM)`` — datapaths and
+memory are pipelined — and to energy as the sum of compute, SRAM, and
+DRAM components plus leakage over the total runtime.
+
+Spill behaviour (the paper's large-scale story) is explicit:
+
+- Global FPS re-reads its working set (coords + running distances) every
+  iteration; the part that exceeds the point-op share of the buffer is
+  re-streamed from DRAM each iteration.
+- Global neighbour search streams the candidate set once per resident
+  centre tile.
+- Global gathering over a spilled feature table either pays random DRAM
+  lookups (sparse misses) or multi-pass table re-streaming, whichever is
+  cheaper — block-wise gathering stays on-chip by construction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.bppo import allocate_samples
+from ..networks.workloads import WorkloadSpec
+from ..runtime.compiler import compile_program
+from ..runtime.program import PartitionStats, Program
+from . import energy as E
+from .configs import AcceleratorConfig
+from .cost import UnitCost
+from .dram import DRAMModel, DRAMTraffic
+from .fractal_engine import FractalEngineModel
+from .gather_unit import GatherUnitModel
+from .noc import NoCModel
+from .pe_array import PEArrayModel
+from .results import PhaseStats, RunResult, TraceEvent
+from .rspu import RSPUModel
+from .sram import SRAMModel
+
+__all__ = ["AcceleratorSim", "POINTOP_SRAM_SHARE", "GATHER_REFETCH_CAP"]
+
+#: Fraction of the global buffer available to a point-op working set
+#: (the rest holds weights, activations, and double buffers).
+POINTOP_SRAM_SHARE = 0.5
+
+#: Upper bound on how many times a spilled gather table is re-streamed
+#: (multi-pass gathering beats per-row random DRAM beyond this point).
+GATHER_REFETCH_CAP = 8
+
+
+class AcceleratorSim:
+    """Cycle-level analytic simulator for one accelerator configuration."""
+
+    def __init__(self, config: AcceleratorConfig):
+        self.config = config
+        self.dram = DRAMModel(peak_gbps=config.dram_gbps)
+        self.sram = SRAMModel(capacity_kb=config.sram_kb, num_banks=16)
+        self.pe = PEArrayModel(
+            rows=config.pe_rows, cols=config.pe_cols, utilization=config.pe_utilization
+        )
+        self.engine = FractalEngineModel(
+            lanes=config.total_point_lanes if config.partitioner == "fractal" else 16,
+            sorter_width=config.sorter_width,
+        )
+        self.rspu = RSPUModel(
+            num_units=config.num_point_units, lanes=config.lanes_per_unit
+        )
+        self.gather = GatherUnitModel(num_units=2)
+        self.noc = NoCModel()
+        self._trace_ctx: tuple[int, str] | None = None
+
+    # ------------------------------------------------------------------ util
+    @property
+    def _pointop_sram_bytes(self) -> float:
+        return self.sram.usable_bytes * POINTOP_SRAM_SHARE
+
+    def _charge(self, result: RunResult, phase: str, cost: UnitCost,
+                *, pointop: bool = False) -> None:
+        """Convert a unit cost into phase latency + energy.
+
+        When tracing is enabled (``self._trace_ctx``), every charge also
+        appends a :class:`TraceEvent` to the result's timeline.
+        """
+        f = self.config.frequency_hz
+        compute_cycles = cost.compute_cycles
+        sram_stream = cost.sram_stream_bytes
+        sram_random = cost.sram_random_bytes
+        if pointop and self.config.legacy_pointop_factor != 1.0:
+            # Legacy designs (Mesorasi): point-op datapath both slower and
+            # re-reads operands; cycles scale fully, buffer traffic less so.
+            compute_cycles *= self.config.legacy_pointop_factor
+            sram_stream *= min(self.config.legacy_pointop_factor, 4.0)
+            sram_random *= min(self.config.legacy_pointop_factor, 4.0)
+        compute_s = compute_cycles / f
+        sram_cycles = self.sram.access_cycles(sram_stream, pattern="stream")
+        if sram_random:
+            sram_cycles += self.sram.access_cycles(
+                sram_random, pattern="random",
+                units=self.config.num_point_units,
+            )
+        sram_s = sram_cycles / f
+        traffic = DRAMTraffic(cost.dram_stream_bytes, cost.dram_random_bytes)
+        dram_s = self.dram.time_s(traffic)
+        seconds = compute_s + dram_s if cost.serial else max(compute_s, sram_s, dram_s)
+        if self._trace_ctx is not None:
+            stage_index, stage_kind = self._trace_ctx
+            result.trace.append(TraceEvent(
+                stage_index=stage_index, stage_kind=stage_kind, phase=phase,
+                start_s=result.latency_s, seconds=seconds,
+                compute_cycles=compute_cycles, dram_bytes=traffic.total_bytes,
+            ))
+        stats = result.phase(phase)
+        stats.seconds += seconds
+        stats.compute_j += cost.compute_energy_j
+        stats.sram_j += self.sram.energy_j(sram_stream + sram_random)
+        stats.dram_j += self.dram.energy_j(traffic)
+        stats.dram_bytes += traffic.total_bytes
+        stats.sram_bytes += sram_stream + sram_random
+
+    # ------------------------------------------------------------- point ops
+    def _sample_cost(self, n_in: int, n_out: int,
+                     partition: PartitionStats | None) -> UnitCost:
+        cfg = self.config
+        if cfg.block_sampling and partition is not None:
+            quotas = allocate_samples(partition.block_sizes, max(n_out, 1))
+            return self.rspu.fps_blocks(
+                partition.block_sizes, quotas,
+                window_check=cfg.window_check,
+                block_parallel=cfg.block_parallel,
+            )
+        cost = self.rspu.fps_global(n_in, n_out, window_check=cfg.window_check)
+        # Working set: coordinates + running min-distance per candidate.
+        working = n_in * (E.COORD_BYTES + E.BYTES_PER_SCALAR)
+        spill = max(0.0, working - self._pointop_sram_bytes)
+        if spill > 0:
+            refetches = float(n_out)
+            if cfg.window_check:
+                # Skipped (already-sampled) candidates are not refetched.
+                refetches *= max(1.0 - n_out / (2.0 * max(n_in, 1)), 0.5)
+            cost.dram_stream_bytes += spill * E.FPS_SPILL_FACTOR * refetches
+        return cost
+
+    def _neighbor_cost(self, m: int, n: int, k: int, blocked: bool,
+                       partition: PartitionStats | None,
+                       *, centers_are_blocks: bool = False,
+                       candidate_fraction: float = 1.0) -> UnitCost:
+        cfg = self.config
+        if blocked and partition is not None:
+            if centers_are_blocks:
+                centers = partition.block_sizes.astype(np.float64)
+            else:
+                centers = allocate_samples(partition.block_sizes, max(m, 1)).astype(np.float64)
+            searches = np.maximum(
+                partition.search_sizes.astype(np.float64) * candidate_fraction, float(k)
+            )
+            return self.rspu.neighbor_blocks(
+                centers, searches, k,
+                intra_block_reuse=cfg.intra_block_reuse,
+                block_parallel=cfg.block_parallel,
+            )
+        cost = self.rspu.neighbor_global(m, n, k)
+        working = n * E.COORD_BYTES
+        if working > self._pointop_sram_bytes:
+            # Candidate set streamed once per resident centre tile.
+            tiles = math.ceil((m * E.COORD_BYTES) / max(self._pointop_sram_bytes / 4, 1.0))
+            cost.dram_stream_bytes += working * tiles
+        return cost
+
+    def _gather_cost(self, rows: int, k: int, channels: int, table_rows: int,
+                     blocked: bool) -> UnitCost:
+        table_bytes = float(table_rows) * channels * E.BYTES_PER_SCALAR
+        if blocked:
+            return self.gather.gather_blocks(rows, k, channels, table_bytes, self.sram)
+        cost = self.gather.gather_global(rows, k, channels, table_bytes, self.sram)
+        # Multi-pass streaming beats per-row random DRAM when misses are
+        # dense; take the cheaper strategy, capped.
+        if cost.dram_random_bytes:
+            passes = min(
+                math.ceil(cost.dram_random_bytes / max(table_bytes, 1.0)),
+                GATHER_REFETCH_CAP,
+            )
+            stream_alternative = passes * table_bytes
+            random_time = cost.dram_random_bytes / (
+                self.dram.peak_gbps * 1e9 * E.RANDOM_DRAM_EFFICIENCY
+            )
+            stream_time = stream_alternative / (
+                self.dram.peak_gbps * 1e9 * E.STREAM_DRAM_EFFICIENCY
+            )
+            if stream_time < random_time:
+                cost.dram_stream_bytes += stream_alternative
+                cost.dram_random_bytes = 0.0
+        return cost
+
+    def _mlp_cost(self, rows: int, widths: tuple[int, ...], in_channels: int) -> UnitCost:
+        mc = self.pe.mlp_cost(rows, widths, in_channels)
+        cost = UnitCost(
+            compute_cycles=mc.cycles,
+            macs=mc.macs,
+            sram_stream_bytes=mc.sram_bytes,
+        )
+        # Activations spill when a layer's in+out tensors exceed the buffer.
+        act_bytes = rows * (in_channels + (widths[0] if widths else 0)) * E.BYTES_PER_SCALAR
+        if act_bytes > self.sram.usable_bytes:
+            cost.dram_stream_bytes += act_bytes
+        return cost
+
+    def _pool_cost(self, rows: int, k: int, channels: int) -> UnitCost:
+        ops = float(rows) * k * channels
+        return UnitCost(
+            compute_cycles=ops / 256.0,  # pooling unit: 256 compares/cycle
+            cmp_ops=ops,
+            sram_stream_bytes=ops * E.BYTES_PER_SCALAR,
+        )
+
+    # ------------------------------------------------------------------- run
+    def run_program(self, program: Program, *, trace: bool = False) -> RunResult:
+        """Simulate a compiled program; returns phase-resolved results.
+
+        Args:
+            program: compiled workload.
+            trace: record a per-operation :class:`TraceEvent` timeline
+                on the result (``result.trace`` / ``result.timeline()``).
+        """
+        cfg = self.config
+        result = RunResult(
+            platform=cfg.name, workload=program.workload_key,
+            num_points=program.num_points,
+        )
+        self._trace_ctx = (-1, "setup") if trace else None
+        # Weights stream from DRAM once per inference.
+        self._charge(result, "io", UnitCost(dram_stream_bytes=program.weight_bytes))
+
+        for stage_index, plan in enumerate(program.stages):
+            stage = plan.stage
+            partition = plan.partition
+            if trace:
+                self._trace_ctx = (stage_index, stage.kind)
+            if partition is not None and cfg.uses_partitioning and stage.kind == "sa":
+                self._charge(result, "partition",
+                             self.engine.cost_for(partition.strategy, partition.cost))
+
+            if stage.kind == "sa":
+                # Stage input coordinates stream on-chip once; the NoC
+                # then distributes blocks to the point units.  The DFT
+                # layout keeps blocks contiguous, so Fractal needs one
+                # DMA descriptor where other layouts pay one per block
+                # (the "control complexity" of §IV-A).
+                self._charge(result, "io",
+                             UnitCost(dram_stream_bytes=stage.n_in * E.COORD_BYTES))
+                if partition is not None and cfg.uses_partitioning:
+                    self._charge(result, "io", self.noc.distribute(
+                        stage.n_in * E.COORD_BYTES,
+                        partition.num_blocks,
+                        contiguous=(cfg.partitioner == "fractal"),
+                    ))
+                self._charge(result, "sample",
+                             self._sample_cost(stage.n_in, stage.n_out, partition),
+                             pointop=True)
+                self._charge(
+                    result, "neighbor",
+                    self._neighbor_cost(
+                        stage.n_out, stage.n_in, stage.k,
+                        cfg.block_grouping, partition,
+                    ),
+                    pointop=True,
+                )
+                rows = stage.n_out * stage.k
+                if cfg.delayed_aggregation:
+                    # MLP on the (smaller) input set, gather transformed
+                    # features, aggregate afterwards (Mesorasi).
+                    self._charge(result, "mlp",
+                                 self._mlp_cost(stage.n_in, stage.mlp,
+                                                stage.in_channels + 3))
+                    gather_ch = stage.mlp[-1]
+                else:
+                    gather_ch = stage.in_channels + 3
+                self._charge(
+                    result, "gather",
+                    self._gather_cost(stage.n_out, stage.k, gather_ch,
+                                      stage.n_in, cfg.block_gathering and partition is not None),
+                    pointop=True,
+                )
+                if not cfg.delayed_aggregation:
+                    self._charge(result, "mlp",
+                                 self._mlp_cost(rows, stage.mlp, stage.in_channels + 3))
+                self._charge(result, "pool",
+                             self._pool_cost(stage.n_out, stage.k, stage.mlp[-1]))
+
+            elif stage.kind == "fp":
+                # Interpolation: centres are the dense set (n_out), the
+                # candidates are the sparse set (n_in).
+                frac = stage.n_in / max(stage.n_out, 1)
+                self._charge(
+                    result, "interpolate",
+                    self._neighbor_cost(
+                        stage.n_out, stage.n_in, stage.k,
+                        cfg.block_interpolation, partition,
+                        centers_are_blocks=True,
+                        candidate_fraction=frac,
+                    ),
+                    pointop=True,
+                )
+                self._charge(
+                    result, "gather",
+                    self._gather_cost(stage.n_out, stage.k, stage.in_channels,
+                                      stage.n_in,
+                                      cfg.block_gathering and partition is not None),
+                    pointop=True,
+                )
+                self._charge(result, "mlp",
+                             self._mlp_cost(stage.n_out, stage.mlp, stage.in_channels))
+
+            elif stage.kind == "global":
+                self._charge(result, "mlp",
+                             self._mlp_cost(stage.n_in, stage.mlp, stage.in_channels + 3))
+                self._charge(result, "pool",
+                             self._pool_cost(1, stage.n_in, stage.mlp[-1]))
+
+            elif stage.kind == "head":
+                self._charge(result, "mlp",
+                             self._mlp_cost(stage.n_in, stage.mlp, stage.in_channels))
+
+        result.static_j = (cfg.static_power_w + cfg.platform_power_w) * result.latency_s
+        self._trace_ctx = None
+        return result
+
+    def run(self, spec: WorkloadSpec, num_points: int, seed: int = 0,
+            *, trace: bool = False) -> RunResult:
+        """Compile and simulate ``spec`` at ``num_points``."""
+        partitioner = self.config.partitioner if self.config.uses_partitioning else "none"
+        program = compile_program(
+            spec, num_points, partitioner, self.config.block_size, seed
+        )
+        return self.run_program(program, trace=trace)

@@ -1,0 +1,53 @@
+"""Area and power budget of FractalCloud (paper Fig. 12 / Table II).
+
+Post-layout numbers reported by the paper, exposed as data so the
+Fig. 12 bench can print the breakdown and tests can check consistency
+with Table II.  The per-module split follows the layout figure: the PE
+array and SRAM dominate, with the RSPUs, fractal engine, and gather units
+adding the small incremental cost the paper quotes (~1 % area for the
+fractal engine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ModuleBudget", "FRACTALCLOUD_BUDGET", "total_area_mm2", "total_power_w"]
+
+
+@dataclass(frozen=True)
+class ModuleBudget:
+    """Area/power of one on-chip module."""
+
+    name: str
+    area_mm2: float
+    power_w: float
+
+
+#: Core-area breakdown summing to the reported 1.5 mm^2 / 0.58 W.
+FRACTALCLOUD_BUDGET: tuple[ModuleBudget, ...] = (
+    ModuleBudget("PE array (16x16)", 0.48, 0.210),
+    ModuleBudget("Global buffer (274 KB)", 0.52, 0.120),
+    ModuleBudget("RSPUs (16x)", 0.26, 0.130),
+    ModuleBudget("Gather + pooling units", 0.10, 0.050),
+    ModuleBudget("Fractal engine", 0.015, 0.012),
+    ModuleBudget("RISC-V + NoC + DMA", 0.125, 0.058),
+)
+
+#: Reported chip-level figures (Fig. 12).
+DIE_AREA_MM2 = 3.0
+CORE_AREA_MM2 = 1.5
+AVG_POWER_W = 0.58
+FREQUENCY_HZ = 1e9
+SRAM_KB = 274.0
+TECHNOLOGY_NM = 28
+
+
+def total_area_mm2() -> float:
+    """Sum of module areas (matches the reported core area)."""
+    return sum(m.area_mm2 for m in FRACTALCLOUD_BUDGET)
+
+
+def total_power_w() -> float:
+    """Sum of module powers (matches the reported average power)."""
+    return sum(m.power_w for m in FRACTALCLOUD_BUDGET)

@@ -1,0 +1,192 @@
+"""Accelerator configurations (Table II) and the Fig. 18 ablation ladder.
+
+All four accelerators share the 16x16 PE array, 1 GHz clock, and
+DDR4-2133 (17 GB/s); they differ in buffer size, partitioning strategy,
+point-operation engine, and which of the paper's optimisations they
+implement.  The granular feature flags exist so the Fig. 18 incremental
+ablation (Baseline → +Meso → +RSPU → +BWS → +BWG → +BWI → +BWGa) is just a
+sequence of configs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["AcceleratorConfig", "MESORASI", "POINTACC", "CRESCENT", "FRACTALCLOUD",
+           "SOTA_CONFIGS", "ablation_ladder"]
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """One accelerator's micro-architectural parameters.
+
+    Attributes:
+        name: display name.
+        partitioner: ``none | uniform | kdtree | octree | fractal``.
+        block_size: partition threshold / max block size (BS, th).
+        block_parallel: blocks execute concurrently across point units
+            (False = Crescent-style block-serial).
+        window_check: RSPU FPS computation skipping (§V-C).
+        intra_block_reuse: RSPU shared-search-space data reuse (§V-C).
+        delayed_aggregation: Mesorasi's MLP-before-gather transform.
+        block_sampling / block_grouping / block_interpolation /
+        block_gathering: the four BPPO decompositions (§IV-B).
+        num_point_units: parallel point-operation cores (RSPUs).
+        lanes_per_unit: distance lanes per core.
+        sram_kb: global buffer capacity (Table II).
+        pe_rows / pe_cols: systolic array shape.
+        frequency_hz: core clock.
+        dram_gbps: DRAM bandwidth.
+        area_mm2: reported core area (Table II; reference only).
+        sorter_width: KD-tree merge-sort throughput (elements/cycle).
+        pe_utilization: sustained fraction of PE-array peak.
+        legacy_pointop_factor: slowdown multiplier on point operations
+            for designs whose results the paper scales from older work
+            (Mesorasi's pre-PointAcc point-op pipeline).
+        platform_power_w: constant platform power beyond the accelerator
+            core (Mesorasi augments a mobile SoC rather than being a
+            standalone ASIC, so its energy includes the host SoC).
+    """
+
+    name: str
+    partitioner: str = "none"
+    block_size: int = 256
+    block_parallel: bool = False
+    window_check: bool = False
+    intra_block_reuse: bool = False
+    delayed_aggregation: bool = False
+    block_sampling: bool = False
+    block_grouping: bool = False
+    block_interpolation: bool = False
+    block_gathering: bool = False
+    num_point_units: int = 1
+    lanes_per_unit: int = 16
+    sram_kb: float = 274.0
+    pe_rows: int = 16
+    pe_cols: int = 16
+    frequency_hz: float = 1e9
+    dram_gbps: float = 17.0
+    area_mm2: float = 0.0
+    sorter_width: int = 1
+    pe_utilization: float = 0.85
+    legacy_pointop_factor: float = 1.0
+    platform_power_w: float = 0.0
+
+    @property
+    def total_point_lanes(self) -> int:
+        return self.num_point_units * self.lanes_per_unit
+
+    @property
+    def static_power_w(self) -> float:
+        """Leakage grows with buffer size (dominant static component)."""
+        return 0.05 + 0.0002 * self.sram_kb
+
+    @property
+    def uses_partitioning(self) -> bool:
+        return self.partitioner != "none" and (
+            self.block_sampling
+            or self.block_grouping
+            or self.block_interpolation
+            or self.block_gathering
+        )
+
+
+#: Mesorasi (MICRO'20): delayed aggregation, no partitioning.  Its point
+#: operations predate PointAcc's engine; per the paper it is equipped
+#: with PointAcc's FPS engine, but its overall point-op datapath remains
+#: narrower (results for it are scaled from the original paper).
+MESORASI = AcceleratorConfig(
+    name="Mesorasi",
+    delayed_aggregation=True,
+    num_point_units=1,
+    lanes_per_unit=8,
+    sram_kb=1624.0,
+    area_mm2=4.59,
+    legacy_pointop_factor=20.0,
+    platform_power_w=8.0,
+)
+
+#: PointAcc (MICRO'21): lossless global point operations, small buffer.
+POINTACC = AcceleratorConfig(
+    name="PointAcc",
+    num_point_units=1,
+    lanes_per_unit=16,
+    sram_kb=274.0,
+    area_mm2=1.91,
+)
+
+#: Crescent (ISCA'22): KD-tree partitioning for memory streaming,
+#: delayed aggregation, large buffer, block-serial execution, global FPS
+#: (the paper equips it with PointAcc's FPS engine).
+CRESCENT = AcceleratorConfig(
+    name="Crescent",
+    partitioner="kdtree",
+    block_parallel=False,
+    delayed_aggregation=True,
+    block_grouping=True,
+    block_interpolation=True,
+    block_gathering=True,
+    num_point_units=1,
+    lanes_per_unit=16,
+    sram_kb=1622.8,
+    area_mm2=4.75,
+)
+
+#: FractalCloud (this paper): Fractal partitioning + full BPPO + RSPUs.
+FRACTALCLOUD = AcceleratorConfig(
+    name="FractalCloud",
+    partitioner="fractal",
+    block_parallel=True,
+    window_check=True,
+    intra_block_reuse=True,
+    delayed_aggregation=True,
+    block_sampling=True,
+    block_grouping=True,
+    block_interpolation=True,
+    block_gathering=True,
+    num_point_units=16,
+    lanes_per_unit=8,
+    sram_kb=274.0,
+    area_mm2=1.5,
+    # Delayed aggregation + DFT-streamed operands keep the systolic array
+    # fed with no gather stalls, sustaining near-peak utilisation.
+    pe_utilization=0.95,
+)
+
+SOTA_CONFIGS = {
+    "Mesorasi": MESORASI,
+    "PointAcc": POINTACC,
+    "Crescent": CRESCENT,
+    "FractalCloud": FRACTALCLOUD,
+}
+
+
+def ablation_ladder() -> list[AcceleratorConfig]:
+    """The Fig. 18 incremental configurations, in order.
+
+    Starts from FractalCloud hardware with every optimisation off
+    (global point ops on the RSPU lane budget) and enables one technique
+    per rung: delayed aggregation (Meso), RSPU reuse+skip, then the four
+    block-wise point operations.
+    """
+    base = replace(
+        FRACTALCLOUD,
+        name="Baseline",
+        partitioner="none",
+        block_parallel=False,
+        window_check=False,
+        intra_block_reuse=False,
+        delayed_aggregation=False,
+        block_sampling=False,
+        block_grouping=False,
+        block_interpolation=False,
+        block_gathering=False,
+    )
+    meso = replace(base, name="Baseline(Meso)", delayed_aggregation=True)
+    rspu = replace(meso, name="+RSPU", window_check=True, intra_block_reuse=True)
+    bws = replace(rspu, name="+BWS", partitioner="fractal", block_parallel=True,
+                  block_sampling=True)
+    bwg = replace(bws, name="+BWG", block_grouping=True)
+    bwi = replace(bwg, name="+BWI", block_interpolation=True)
+    bwga = replace(bwi, name="+BWGa", block_gathering=True)
+    return [base, meso, rspu, bws, bwg, bwi, bwga]

@@ -1,0 +1,53 @@
+"""Common cost record flowing from unit models to the accelerator simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import energy as E
+
+__all__ = ["UnitCost"]
+
+
+@dataclass
+class UnitCost:
+    """Raw resource usage of one hardware operation.
+
+    The accelerator turns this into latency (max of compute/SRAM/DRAM
+    pipelines) and energy (sum of components).
+
+    Attributes:
+        compute_cycles: cycles occupied by the issuing unit's datapath.
+        cmp_ops: 16-bit compare/select operations (distance updates,
+            pooling, partition comparisons).
+        macs: multiply-accumulates (MLP work).
+        sram_stream_bytes / sram_random_bytes: on-chip traffic by pattern.
+        dram_stream_bytes / dram_random_bytes: off-chip traffic by pattern.
+        serial: True when the op cannot overlap with DRAM prefetch
+            (sequentially dependent, e.g. KD-tree sorts).
+    """
+
+    compute_cycles: float = 0.0
+    cmp_ops: float = 0.0
+    macs: float = 0.0
+    sram_stream_bytes: float = 0.0
+    sram_random_bytes: float = 0.0
+    dram_stream_bytes: float = 0.0
+    dram_random_bytes: float = 0.0
+    serial: bool = False
+
+    def merge(self, other: "UnitCost") -> "UnitCost":
+        return UnitCost(
+            compute_cycles=self.compute_cycles + other.compute_cycles,
+            cmp_ops=self.cmp_ops + other.cmp_ops,
+            macs=self.macs + other.macs,
+            sram_stream_bytes=self.sram_stream_bytes + other.sram_stream_bytes,
+            sram_random_bytes=self.sram_random_bytes + other.sram_random_bytes,
+            dram_stream_bytes=self.dram_stream_bytes + other.dram_stream_bytes,
+            dram_random_bytes=self.dram_random_bytes + other.dram_random_bytes,
+            serial=self.serial or other.serial,
+        )
+
+    @property
+    def compute_energy_j(self) -> float:
+        return (self.cmp_ops * E.PJ_PER_CMP + self.macs * E.PJ_PER_MAC_FP16) * 1e-12

@@ -1,0 +1,60 @@
+"""DDR4 DRAM timing/energy model (DRAMsim3-lite).
+
+Aggregate model of a DDR4-2133 x64 channel (17 GB/s peak per Table II):
+streamed transfers run near peak bandwidth; random (row-missing) access
+drops to ~a fifth of peak and pays activation energy per access.  This is
+the mechanism that separates conventional gathering (random) from
+Fractal's DFT-organised block gathering (streamed) — paper §V-B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import energy as E
+
+__all__ = ["DRAMModel", "DRAMTraffic"]
+
+
+@dataclass
+class DRAMTraffic:
+    """Accumulated traffic of one simulated phase."""
+
+    streamed_bytes: float = 0.0
+    random_bytes: float = 0.0
+
+    @property
+    def total_bytes(self) -> float:
+        return self.streamed_bytes + self.random_bytes
+
+    def merge(self, other: "DRAMTraffic") -> "DRAMTraffic":
+        return DRAMTraffic(
+            self.streamed_bytes + other.streamed_bytes,
+            self.random_bytes + other.random_bytes,
+        )
+
+
+@dataclass(frozen=True)
+class DRAMModel:
+    """Bandwidth/energy model of one DRAM channel.
+
+    Attributes:
+        peak_gbps: peak bandwidth in GB/s (17 for DDR4-2133 per Table II).
+    """
+
+    peak_gbps: float = 17.0
+
+    def time_s(self, traffic: DRAMTraffic) -> float:
+        """Transfer time in seconds for the given traffic mix."""
+        peak = self.peak_gbps * 1e9
+        return (
+            traffic.streamed_bytes / (peak * E.STREAM_DRAM_EFFICIENCY)
+            + traffic.random_bytes / (peak * E.RANDOM_DRAM_EFFICIENCY)
+        )
+
+    def energy_j(self, traffic: DRAMTraffic) -> float:
+        """Access energy in joules for the given traffic mix."""
+        return (
+            traffic.streamed_bytes * E.DRAM_STREAM_PJ_PER_BYTE
+            + traffic.random_bytes * E.DRAM_RANDOM_PJ_PER_BYTE
+        ) * 1e-12

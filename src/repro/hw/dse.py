@@ -1,0 +1,111 @@
+"""Design-space exploration over the FractalCloud hardware parameters.
+
+The paper picks its threshold by "greedy design-space exploration"
+(§VI-C); the same methodology applies to the micro-architectural knobs —
+RSPU core count, lanes per core, buffer capacity, block size.  This
+module sweeps configurations, estimates area from a simple per-resource
+model anchored to the Fig. 12 budget, and extracts the latency/area
+Pareto frontier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable
+
+from ..networks.workloads import WorkloadSpec
+from .accelerator import AcceleratorSim
+from .configs import FRACTALCLOUD, AcceleratorConfig
+
+__all__ = ["DesignPoint", "estimate_area_mm2", "sweep", "pareto_frontier"]
+
+# Per-resource area model anchored to the Fig. 12 module budget:
+# 16 RSPUs x 8 lanes = 0.26 mm2 -> ~2.03e-3 mm2 per lane;
+# 274 KB SRAM = 0.52 mm2 -> ~1.9e-3 mm2 per KB;
+# PE array 16x16 = 0.48 mm2 -> 1.875e-3 mm2 per MAC.
+_MM2_PER_POINT_LANE = 0.26 / (16 * 8)
+_MM2_PER_SRAM_KB = 0.52 / 274.0
+_MM2_PER_PE = 0.48 / 256.0
+_MM2_FIXED = 0.24  # engine + gather/pool + RISC-V + NoC/DMA
+
+
+def estimate_area_mm2(config: AcceleratorConfig) -> float:
+    """Area estimate of a configuration (mm², 28 nm)."""
+    return (
+        _MM2_FIXED
+        + config.num_point_units * config.lanes_per_unit * _MM2_PER_POINT_LANE
+        + config.sram_kb * _MM2_PER_SRAM_KB
+        + config.pe_rows * config.pe_cols * _MM2_PER_PE
+    )
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated configuration."""
+
+    num_point_units: int
+    lanes_per_unit: int
+    sram_kb: float
+    block_size: int
+    latency_s: float
+    energy_j: float
+    area_mm2: float
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product (the usual DSE objective)."""
+        return self.latency_s * self.energy_j
+
+
+def sweep(
+    spec: WorkloadSpec,
+    num_points: int,
+    *,
+    unit_counts: Iterable[int] = (4, 8, 16, 32),
+    lane_counts: Iterable[int] = (4, 8, 16),
+    sram_kbs: Iterable[float] = (274.0,),
+    block_sizes: Iterable[int] = (256,),
+) -> list[DesignPoint]:
+    """Evaluate the cross-product of hardware knobs on one workload."""
+    points = []
+    for units in unit_counts:
+        for lanes in lane_counts:
+            for sram in sram_kbs:
+                for bs in block_sizes:
+                    config = replace(
+                        FRACTALCLOUD,
+                        name=f"FC-u{units}l{lanes}s{sram:g}b{bs}",
+                        num_point_units=units,
+                        lanes_per_unit=lanes,
+                        sram_kb=sram,
+                        block_size=bs,
+                    )
+                    result = AcceleratorSim(config).run(spec, num_points)
+                    points.append(DesignPoint(
+                        num_point_units=units,
+                        lanes_per_unit=lanes,
+                        sram_kb=sram,
+                        block_size=bs,
+                        latency_s=result.latency_s,
+                        energy_j=result.energy_j,
+                        area_mm2=estimate_area_mm2(config),
+                    ))
+    return points
+
+
+def pareto_frontier(
+    points: list[DesignPoint], *, objectives: tuple[str, str] = ("latency_s", "area_mm2")
+) -> list[DesignPoint]:
+    """Non-dominated points under two minimisation objectives."""
+    a, b = objectives
+    frontier = []
+    for p in points:
+        dominated = any(
+            getattr(q, a) <= getattr(p, a)
+            and getattr(q, b) <= getattr(p, b)
+            and (getattr(q, a) < getattr(p, a) or getattr(q, b) < getattr(p, b))
+            for q in points
+        )
+        if not dominated:
+            frontier.append(p)
+    return sorted(frontier, key=lambda p: getattr(p, a))

@@ -1,0 +1,118 @@
+"""Fractal-engine timing model (paper §V-B, Fig. 9).
+
+The engine implements all mainstream partitioning methods with one
+datapath: parallel comparators (partition unit), min/max averaging
+(midpoint unit), counters, and a merge-sort unit for KD-tree medians.
+The cost asymmetry the paper exploits is captured directly:
+
+- **Fractal**: midpoint and partition units run pipelined, touching every
+  point once per level — inclusive, lane-parallel traversals.
+- **KD-tree**: each node needs an exclusive ``m log2 m`` merge sort, and
+  sorts are *sequentially dependent* (a node's sort cannot start before
+  its parent's finished), so no lane-parallelism across nodes helps the
+  critical path.
+- **Uniform**: a single streaming pass.
+- **Octree**: streaming passes with three comparators per point plus
+  per-level child-management control overhead.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.blocks import PartitionCost
+from . import energy as E
+from .cost import UnitCost
+
+__all__ = ["FractalEngineModel"]
+
+
+@dataclass(frozen=True)
+class FractalEngineModel:
+    """Timing model of the partition engine.
+
+    Attributes:
+        lanes: comparator/midpoint lanes (points processed per cycle).
+        sorter_width: merge-sort elements consumed per cycle.
+        level_overhead: control cycles to launch one tree level.
+    """
+
+    lanes: int = 16
+    sorter_width: int = 16
+    level_overhead: int = 64
+
+    def fractal_cost(self, cost: PartitionCost) -> UnitCost:
+        """Fractal partitioning: pipelined traverse+partition per level."""
+        touched = float(cost.total_traversed_elements)
+        passes = float(sum(cost.passes))
+        # Midpoint traversal and partition pass overlap in the pipeline
+        # (Fig. 9(c)); the longer stream bounds the level latency.
+        cycles = max(touched, passes) / self.lanes + cost.levels * self.level_overhead
+        # Each level streams coordinates in and writes them back
+        # reorganised into the two sub-blocks.
+        sram = 2.0 * (touched + passes) / 2.0 * E.COORD_BYTES
+        return UnitCost(
+            compute_cycles=cycles,
+            cmp_ops=2.0 * touched,  # min+max per point, then one compare
+            sram_stream_bytes=sram,
+        )
+
+    def kdtree_cost(self, cost: PartitionCost) -> UnitCost:
+        """KD-tree: exclusive, sequentially dependent merge sorts."""
+        cycles = 0.0
+        cmp = 0.0
+        sram = 0.0
+        for m in cost.sorts:
+            log_m = max(math.log2(max(m, 2)), 1.0)
+            cycles += m * log_m / self.sorter_width
+            cmp += m * log_m
+            # Merge sort streams the node's keys+indices every pass.
+            sram += m * log_m * (E.BYTES_PER_SCALAR + 4)
+        cycles += cost.levels * self.level_overhead
+        return UnitCost(
+            compute_cycles=cycles, cmp_ops=cmp, sram_stream_bytes=sram, serial=True
+        )
+
+    def uniform_cost(self, cost: PartitionCost) -> UnitCost:
+        """Uniform grid: one streaming bucketing pass.
+
+        Bucketing needs a scaled multiply + clamp + scatter per point, so
+        the pass runs at half the comparator-lane throughput.
+        """
+        n = float(sum(cost.passes))
+        return UnitCost(
+            compute_cycles=2.0 * n / self.lanes + self.level_overhead,
+            cmp_ops=3.0 * n,
+            sram_stream_bytes=2.0 * n * E.COORD_BYTES,
+        )
+
+    def octree_cost(self, cost: PartitionCost) -> UnitCost:
+        """Octree: per-level passes + 8-way child management.
+
+        Each level classifies points into eight children (three compares
+        plus an 8-way scatter with per-child occupancy bookkeeping),
+        which utilises the comparator lanes poorly — the "increased
+        control complexity" the paper attributes to octrees (§VI-C).
+        """
+        touched = float(sum(cost.passes))
+        cycles = 4.0 * touched / self.lanes + cost.levels * 4 * self.level_overhead
+        return UnitCost(
+            compute_cycles=cycles,
+            cmp_ops=3.0 * touched,
+            sram_stream_bytes=2.0 * touched * E.COORD_BYTES,
+        )
+
+    def cost_for(self, strategy: str, cost: PartitionCost) -> UnitCost:
+        """Dispatch on partitioner name (``none`` is free)."""
+        if strategy == "fractal":
+            return self.fractal_cost(cost)
+        if strategy == "kdtree":
+            return self.kdtree_cost(cost)
+        if strategy == "uniform":
+            return self.uniform_cost(cost)
+        if strategy == "octree":
+            return self.octree_cost(cost)
+        if strategy == "none":
+            return UnitCost()
+        raise ValueError(f"unknown partitioning strategy {strategy!r}")

@@ -1,0 +1,85 @@
+"""Gathering-unit timing model (paper §V-B, Fig. 10).
+
+Gathering retrieves feature rows by neighbour index.  The access pattern
+is what the paper optimises:
+
+- **Global gathering** hits random addresses across the whole feature
+  table: bank conflicts on-chip, and — when the table exceeds the buffer —
+  random DRAM lookups (PointAcc's large-scale penalty).
+- **Block-wise gathering** confines each unit to its own bank, the
+  block + parent data always fit on-chip, and any DRAM refill is a
+  streamed block read thanks to the DFT layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import energy as E
+from .cost import UnitCost
+from .sram import SRAMModel
+
+__all__ = ["GatherUnitModel"]
+
+
+@dataclass(frozen=True)
+class GatherUnitModel:
+    """Gather engine with ``num_units`` parallel index streams."""
+
+    num_units: int = 2
+    rows_per_cycle_per_unit: int = 1
+
+    def gather_global(
+        self, rows: int, k: int, channels: int, table_bytes: float, sram: SRAMModel
+    ) -> UnitCost:
+        """Random gathering over a global feature table.
+
+        Args:
+            rows: number of centres (each gathers ``k`` rows).
+            k: neighbours per centre.
+            channels: feature channels per row.
+            table_bytes: size of the full feature table.
+            sram: buffer model (decides on-chip vs DRAM residency).
+        """
+        accesses = float(rows) * k
+        gathered_bytes = accesses * channels * E.BYTES_PER_SCALAR
+        throughput = self.num_units * self.rows_per_cycle_per_unit
+        cycles = accesses / throughput
+        if sram.fits(table_bytes):
+            # Random on-chip access: bank conflicts handled by the SRAM
+            # model via the random-pattern bytes.
+            return UnitCost(
+                compute_cycles=cycles,
+                sram_random_bytes=gathered_bytes,
+                dram_stream_bytes=table_bytes,  # initial fill
+            )
+        # Table spills: the miss fraction goes to DRAM at random-access
+        # efficiency — the conventional-gathering penalty.
+        on_chip_fraction = sram.usable_bytes / table_bytes
+        hit_bytes = gathered_bytes * on_chip_fraction
+        miss_bytes = gathered_bytes - hit_bytes
+        return UnitCost(
+            compute_cycles=cycles,
+            sram_random_bytes=hit_bytes,
+            dram_stream_bytes=sram.usable_bytes,
+            dram_random_bytes=miss_bytes,
+        )
+
+    def gather_blocks(
+        self, rows: int, k: int, channels: int, table_bytes: float, sram: SRAMModel
+    ) -> UnitCost:
+        """Block-wise gathering: conflict-free, fully on-chip retrieval.
+
+        The whole table still streams from DRAM once (block by block, in
+        DFT order), but every lookup is served on-chip from the unit's
+        own bank.
+        """
+        accesses = float(rows) * k
+        gathered_bytes = accesses * channels * E.BYTES_PER_SCALAR
+        throughput = self.num_units * self.rows_per_cycle_per_unit
+        cycles = accesses / throughput
+        return UnitCost(
+            compute_cycles=cycles,
+            sram_stream_bytes=gathered_bytes,
+            dram_stream_bytes=table_bytes,
+        )

@@ -1,0 +1,123 @@
+"""GPU cost model (TITAN RTX class) — the paper's latency/energy baseline.
+
+An analytic model of CUDA-optimised PNN inference (Openpoints-style),
+calibrated to the scaling behaviour the paper reports in Fig. 4:
+
+- MLPs are fast and scale linearly (tensor cores + cuDNN), but carry a
+  fixed per-layer framework overhead that dominates small inputs.
+- Point operations scale as O(n^2): FPS is iteration-serial (a device-wide
+  sync per selected point), neighbour search and interpolation do
+  all-pairs work, and gathers run at random-access bandwidth.
+
+The result reproduces the Fig. 4 bottleneck shift — ~30-40 % of latency
+in point operations at 1 K points rising to >90 % at 289 K — and serves
+as the denominator for every speedup/energy bar in Fig. 13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..networks.workloads import WorkloadSpec
+from .results import PhaseStats, RunResult
+
+__all__ = ["GPUModel"]
+
+
+@dataclass(frozen=True)
+class GPUModel:
+    """TITAN-RTX-like device (24 GB, ~16 TFLOPS fp32, 672 GB/s).
+
+    Attributes:
+        mlp_tflops: sustained tensor throughput for dense layers.
+        pointop_tflops: sustained throughput of irregular point-op
+            kernels (all-pairs distance + top-k); far below peak.
+        mem_gbps: streamed memory bandwidth.
+        gather_gbps: achieved bandwidth of random gathers.
+        layer_overhead_s: framework/kernel overhead per MLP layer
+            (dispatch + BN/ReLU + tensor reshapes).
+        pointop_overhead_s: overhead per point-op kernel invocation.
+        fps_step_s: device-wide synchronisation per FPS iteration.
+        idle_w / dynamic_w: power model P = idle + dynamic * utilisation.
+    """
+
+    mlp_tflops: float = 12.0
+    pointop_tflops: float = 0.35
+    mem_gbps: float = 600.0
+    gather_gbps: float = 80.0
+    layer_overhead_s: float = 350e-6
+    pointop_overhead_s: float = 150e-6
+    fps_step_s: float = 5.0e-6
+    idle_w: float = 40.0
+    dynamic_w: float = 180.0
+
+    # Utilisation by phase (drives the power model).
+    _UTIL = {
+        "mlp": 0.65,
+        "sample": 0.10,
+        "neighbor": 0.45,
+        "interpolate": 0.45,
+        "gather": 0.15,
+        "pool": 0.25,
+    }
+
+    def _power(self, phase: str) -> float:
+        return self.idle_w + self.dynamic_w * self._UTIL.get(phase, 0.2)
+
+    def _fps_s(self, n: int, s: int) -> float:
+        """Iteration-serial FPS: s sequential steps over n candidates."""
+        per_iter = max(
+            n * 4.0 / (self.mem_gbps * 1e9),  # distance array touch
+            n * 8.0 / (self.pointop_tflops * 1e12),
+        ) + self.fps_step_s
+        return self.pointop_overhead_s + s * per_iter
+
+    def _pairs_s(self, m: int, n: int) -> float:
+        """All-pairs distance kernel (ball query / KNN)."""
+        flops = 10.0 * m * n
+        return self.pointop_overhead_s + flops / (self.pointop_tflops * 1e12)
+
+    def _gather_s(self, rows: int, k: int, channels: int) -> float:
+        bytes_moved = rows * k * channels * 4.0  # fp32 on GPU
+        return self.pointop_overhead_s + bytes_moved / (self.gather_gbps * 1e9)
+
+    def _mlp_s(self, rows: int, widths: tuple[int, ...], in_channels: int) -> float:
+        seconds = 0.0
+        c_in = in_channels
+        for c_out in widths:
+            flops = 2.0 * rows * c_in * c_out
+            compute = flops / (self.mlp_tflops * 1e12)
+            memory = rows * (c_in + c_out) * 4.0 / (self.mem_gbps * 1e9)
+            seconds += self.layer_overhead_s + max(compute, memory)
+            c_in = c_out
+        return seconds
+
+    def run(self, spec: WorkloadSpec, num_points: int) -> RunResult:
+        """Simulate one inference; returns phase-resolved latency/energy."""
+        result = RunResult(platform="GPU", workload=spec.key, num_points=num_points)
+
+        def charge(phase: str, seconds: float) -> None:
+            stats = result.phase(phase)
+            stats.seconds += seconds
+            stats.compute_j += seconds * self._power(phase)
+
+        for stage in spec.concrete(num_points):
+            if stage.kind == "sa":
+                charge("sample", self._fps_s(stage.n_in, stage.n_out))
+                charge("neighbor", self._pairs_s(stage.n_out, stage.n_in))
+                charge("gather", self._gather_s(stage.n_out, stage.k, stage.in_channels + 3))
+                rows = stage.n_out * stage.k
+                charge("mlp", self._mlp_s(rows, stage.mlp, stage.in_channels + 3))
+                charge("pool", self.pointop_overhead_s
+                       + rows * stage.mlp[-1] * 4.0 / (self.mem_gbps * 1e9))
+            elif stage.kind == "fp":
+                charge("interpolate", self._pairs_s(stage.n_out, stage.n_in))
+                charge("gather", self._gather_s(stage.n_out, stage.k, stage.in_channels))
+                charge("mlp", self._mlp_s(stage.n_out, stage.mlp, stage.in_channels))
+            elif stage.kind == "global":
+                charge("mlp", self._mlp_s(stage.n_in, stage.mlp, stage.in_channels + 3))
+                charge("pool", self.pointop_overhead_s
+                       + stage.n_in * stage.mlp[-1] * 4.0 / (self.mem_gbps * 1e9))
+            elif stage.kind == "head":
+                charge("mlp", self._mlp_s(stage.n_in, stage.mlp, stage.in_channels))
+        return result

@@ -1,0 +1,52 @@
+"""Network-on-Chip / DMA model (paper §V-A memory interface).
+
+The NoC distributes block data from the global buffer to the per-block
+compute units; the DMA moves stage inputs/outputs between DRAM and the
+buffer.  Both are bandwidth-limited pipes whose latency overlaps with
+compute, so the accelerator model needs only their transfer times and
+per-transfer setup overheads — which matter at small block sizes, where
+a naive design would pay one DMA descriptor per tiny block.  The DFT
+layout keeps blocks contiguous, so one descriptor covers a whole subtree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .cost import UnitCost
+
+__all__ = ["NoCModel"]
+
+
+@dataclass(frozen=True)
+class NoCModel:
+    """On-chip interconnect + DMA engine.
+
+    Attributes:
+        bytes_per_cycle: NoC payload width (global buffer → units).
+        dma_setup_cycles: fixed cost to program one DMA descriptor.
+        max_outstanding: concurrently active DMA descriptors.
+    """
+
+    bytes_per_cycle: int = 64
+    dma_setup_cycles: int = 32
+    max_outstanding: int = 8
+
+    def distribute(self, total_bytes: float, num_blocks: int, *,
+                   contiguous: bool = True) -> UnitCost:
+        """Move block data to compute units.
+
+        Args:
+            total_bytes: payload across all blocks.
+            num_blocks: number of block transfers.
+            contiguous: DFT layout lets one descriptor cover consecutive
+                blocks; a scattered layout needs one per block.
+        """
+        transfer = total_bytes / self.bytes_per_cycle
+        descriptors = 1 if contiguous else max(num_blocks, 1)
+        setup = descriptors * self.dma_setup_cycles / self.max_outstanding
+        return UnitCost(compute_cycles=transfer + setup)
+
+    def transfer_time_cycles(self, nbytes: float) -> float:
+        """Pure payload time for one stream."""
+        return nbytes / self.bytes_per_cycle

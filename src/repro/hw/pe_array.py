@@ -1,0 +1,77 @@
+"""16x16 systolic PE array model for MLP / feature computation.
+
+All four accelerators in Table II use a 16x16 array at 1 GHz (512 GOPS
+peak, counting one MAC as two ops).  The model tiles a pointwise MLP
+(GEMM of ``n_points x c_in`` by ``c_in x c_out`` per layer) onto the
+array with output-stationary tiling, charging pipeline fill per tile and
+weight/activation traffic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from . import energy as E
+
+__all__ = ["PEArrayModel", "MLPCost"]
+
+
+@dataclass
+class MLPCost:
+    """Cycles + traffic of one MLP execution."""
+
+    cycles: float
+    macs: float
+    sram_bytes: float
+    weight_bytes: float
+
+    @property
+    def compute_energy_j(self) -> float:
+        return self.macs * E.PJ_PER_MAC_FP16 * 1e-12
+
+
+@dataclass(frozen=True)
+class PEArrayModel:
+    """Systolic array of ``rows x cols`` MACs.
+
+    Attributes:
+        rows / cols: array dimensions (16 x 16 per Table II).
+        utilization: sustained fraction of peak under realistic tiling.
+    """
+
+    rows: int = 16
+    cols: int = 16
+    utilization: float = 0.85
+
+    @property
+    def macs_per_cycle(self) -> float:
+        return self.rows * self.cols * self.utilization
+
+    def mlp_cost(self, n_points: int, widths: tuple[int, ...], in_channels: int) -> MLPCost:
+        """Cost of a shared MLP over ``n_points`` rows.
+
+        Args:
+            n_points: rows fed through the MLP (points or grouped points).
+            widths: layer output widths.
+            in_channels: input width of the first layer.
+        """
+        if n_points <= 0:
+            return MLPCost(0.0, 0.0, 0.0, 0.0)
+        cycles = 0.0
+        macs = 0.0
+        sram_bytes = 0.0
+        weight_bytes = 0.0
+        c_in = in_channels
+        for c_out in widths:
+            layer_macs = float(n_points) * c_in * c_out
+            macs += layer_macs
+            # Weight-stationary column strips: row tiles stream back to
+            # back through a loaded strip, so fill/drain is paid once per
+            # strip rather than once per tile.
+            strips = math.ceil(c_out / self.cols)
+            cycles += layer_macs / self.macs_per_cycle + strips * (self.rows + self.cols)
+            sram_bytes += float(n_points) * (c_in + c_out) * E.BYTES_PER_SCALAR
+            weight_bytes += float(c_in) * c_out * E.BYTES_PER_SCALAR
+            c_in = c_out
+        return MLPCost(cycles=cycles, macs=macs, sram_bytes=sram_bytes, weight_bytes=weight_bytes)

@@ -1,0 +1,72 @@
+"""Frame-pipelined throughput model (double-buffered streaming inference).
+
+The latency results treat one inference in isolation; a deployed edge
+device streams frames, and the accelerator's phases use *different*
+resources (fractal engine, RSPUs, PE array, DMA), so consecutive frames
+overlap: while frame i occupies the PE array, frame i+1 can already be
+partitioning and sampling.
+
+Given a traced :class:`~repro.hw.results.RunResult`, this model computes
+the steady-state initiation interval as the largest per-resource busy
+time (the classic pipeline bound) and reports achievable frames/second
+against the single-frame latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .results import RunResult
+
+__all__ = ["PipelineEstimate", "pipeline_throughput", "RESOURCE_OF_PHASE"]
+
+#: Which hardware resource each phase occupies.
+RESOURCE_OF_PHASE = {
+    "partition": "fractal_engine",
+    "sample": "rspu",
+    "neighbor": "rspu",
+    "interpolate": "rspu",
+    "gather": "gather_unit",
+    "mlp": "pe_array",
+    "pool": "pool_unit",
+    "io": "dma",
+}
+
+
+@dataclass
+class PipelineEstimate:
+    """Steady-state streaming throughput of one configuration."""
+
+    latency_s: float
+    initiation_interval_s: float
+    bottleneck_resource: str
+    resource_busy_s: dict[str, float]
+
+    @property
+    def frames_per_second(self) -> float:
+        return 1.0 / self.initiation_interval_s if self.initiation_interval_s else 0.0
+
+    @property
+    def overlap_speedup(self) -> float:
+        """Throughput gain of pipelining vs back-to-back frames."""
+        return self.latency_s / self.initiation_interval_s
+
+
+def pipeline_throughput(result: RunResult) -> PipelineEstimate:
+    """Pipeline bound from a run's phase totals.
+
+    Uses phase aggregates (trace not required): the initiation interval
+    of a resource-pipelined stream is the maximum total busy time of any
+    single resource.
+    """
+    busy: dict[str, float] = {}
+    for phase, stats in result.phases.items():
+        resource = RESOURCE_OF_PHASE.get(phase, "other")
+        busy[resource] = busy.get(resource, 0.0) + stats.seconds
+    bottleneck = max(busy, key=busy.get)
+    return PipelineEstimate(
+        latency_s=result.latency_s,
+        initiation_interval_s=busy[bottleneck],
+        bottleneck_resource=bottleneck,
+        resource_busy_s=busy,
+    )

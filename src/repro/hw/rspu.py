@@ -1,0 +1,169 @@
+"""Reuse-and-Skip-enabled Point Unit (RSPU) timing model (paper §V-C).
+
+Covers both the baseline execution style (one point-operation engine with
+point-level lane parallelism, global search — PointAcc/Mesorasi) and the
+FractalCloud style (multiple RSPU cores, inter-block parallelism for FPS,
+intra-block centre parallelism with shared search space for neighbour
+search, window-check computation skipping).
+
+Latency of block-parallel phases is the *makespan* of distributing block
+workloads over the RSPU cores (longest-processing-time bound:
+``max(max_block, total/units)``), which is how partial imbalance shows up
+as the paper's ≤3 % overhead (§VI-D) rather than a cliff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from . import energy as E
+from .cost import UnitCost
+
+__all__ = ["RSPUModel"]
+
+
+def _makespan(per_block_cycles: np.ndarray, units: int) -> float:
+    """LPT scheduling bound for distributing blocks over ``units`` cores."""
+    if len(per_block_cycles) == 0:
+        return 0.0
+    total = float(per_block_cycles.sum())
+    longest = float(per_block_cycles.max())
+    return max(longest, total / units)
+
+
+@dataclass(frozen=True)
+class RSPUModel:
+    """Point-operation engine model.
+
+    Attributes:
+        num_units: RSPU cores (inter-block parallel ways).
+        lanes: distance-compute lanes per core.
+        iter_overhead: per-FPS-iteration pipeline overhead (argmax drain).
+        center_overhead: per-centre top-k/merge overhead cycles.
+    """
+
+    num_units: int = 16
+    lanes: int = 8
+    iter_overhead: int = 4
+    center_overhead: int = 8
+
+    @property
+    def total_lanes(self) -> int:
+        return self.num_units * self.lanes
+
+    # ------------------------------------------------------------------ FPS
+    def fps_global(self, n: int, s: int, *, window_check: bool = False) -> UnitCost:
+        """Global farthest point sampling: ``s`` sequential iterations.
+
+        Every iteration scans the candidate set with all lanes cooperating
+        (the operation is iteration-serial, so cores cannot split it).
+        With the window check, already-sampled points are skipped, so
+        iteration ``i`` scans ``n - i`` candidates.
+        """
+        if s <= 0 or n <= 0:
+            return UnitCost()
+        s = min(s, n)
+        if window_check:
+            work = s * n - s * (s - 1) / 2.0
+        else:
+            work = float(s) * n
+        cycles = work / self.total_lanes + s * self.iter_overhead
+        # Each scanned candidate: coordinate read + distance compare.
+        return UnitCost(
+            compute_cycles=cycles,
+            cmp_ops=4.0 * work,  # 3 sub/mul-acc + 1 compare per candidate
+            sram_stream_bytes=work * E.COORD_BYTES,
+        )
+
+    def fps_blocks(
+        self,
+        block_sizes: np.ndarray,
+        quotas: np.ndarray,
+        *,
+        window_check: bool = True,
+        block_parallel: bool = True,
+    ) -> UnitCost:
+        """Block-wise FPS: independent per-block runs (inter-block parallel).
+
+        Args:
+            block_sizes: points per block.
+            quotas: samples per block (same length).
+            window_check: skip sampled points inside each block's scan.
+            block_parallel: False models Crescent-style block-serial
+                execution (one block at a time, all lanes on it).
+        """
+        block_sizes = np.asarray(block_sizes, dtype=np.float64)
+        quotas = np.asarray(quotas, dtype=np.float64)
+        if window_check:
+            work = quotas * block_sizes - quotas * (quotas - 1) / 2.0
+        else:
+            work = quotas * block_sizes
+        work = np.maximum(work, 0.0)
+        if block_parallel:
+            per_block = work / self.lanes + quotas * self.iter_overhead
+            cycles = _makespan(per_block, self.num_units)
+        else:
+            per_block = work / self.total_lanes + quotas * self.iter_overhead
+            cycles = float(per_block.sum())
+        total_work = float(work.sum())
+        return UnitCost(
+            compute_cycles=cycles,
+            cmp_ops=4.0 * total_work,
+            sram_stream_bytes=total_work * E.COORD_BYTES,
+        )
+
+    # ------------------------------------------------------- neighbour search
+    def neighbor_global(self, m: int, n: int, k: int) -> UnitCost:
+        """Global ball query / KNN: every centre scans all ``n`` candidates.
+
+        Point-level parallel (lanes split the candidate scan); centres are
+        processed one at a time, so the search space is re-read per centre
+        (no intra-block reuse — the inefficiency RSPU removes).
+        """
+        if m <= 0 or n <= 0:
+            return UnitCost()
+        work = float(m) * n
+        cycles = work / self.total_lanes + m * self.center_overhead
+        return UnitCost(
+            compute_cycles=cycles,
+            cmp_ops=4.0 * work + float(m) * n,  # distances + top-k compares
+            sram_stream_bytes=work * E.COORD_BYTES,
+        )
+
+    def neighbor_blocks(
+        self,
+        centers_per_block: np.ndarray,
+        search_sizes: np.ndarray,
+        k: int,
+        *,
+        intra_block_reuse: bool = True,
+        block_parallel: bool = True,
+    ) -> UnitCost:
+        """Block-wise neighbour search over (centres, search-space) pairs.
+
+        With intra-block reuse, the RSPUs assigned to a block share its
+        search-space data from one buffer, so coordinates are read once
+        per block rather than once per centre (the 7.6x memory-access
+        reduction of §VI-C).
+        """
+        centers = np.asarray(centers_per_block, dtype=np.float64)
+        spaces = np.asarray(search_sizes, dtype=np.float64)
+        work = centers * spaces
+        if block_parallel:
+            per_block = work / self.lanes + centers * self.center_overhead
+            cycles = _makespan(per_block, self.num_units)
+        else:
+            per_block = work / self.total_lanes + centers * self.center_overhead
+            cycles = float(per_block.sum())
+        total_work = float(work.sum())
+        if intra_block_reuse:
+            sram = float(spaces.sum()) * E.COORD_BYTES + float(centers.sum()) * E.COORD_BYTES
+        else:
+            sram = total_work * E.COORD_BYTES
+        return UnitCost(
+            compute_cycles=cycles,
+            cmp_ops=5.0 * total_work,
+            sram_stream_bytes=sram,
+        )

@@ -1,0 +1,82 @@
+"""Multi-banked global buffer model.
+
+Models the two behaviours the paper leans on:
+
+- **Capacity-dependent access energy** — bigger buffers (Crescent's
+  1622.8 KB) pay more per byte than the 274 KB design (Fig. 15(b)).
+- **Bank conflicts** — before Fractal, multiple compute units hitting
+  random addresses collide in the same bank; after Fractal each unit owns
+  a bank, so block-parallel access is conflict-free (§IV-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import energy as E
+
+__all__ = ["SRAMModel"]
+
+
+@dataclass(frozen=True)
+class SRAMModel:
+    """One multi-banked scratchpad.
+
+    Attributes:
+        capacity_kb: total capacity (Table II: 274 or 1622.8 / 1624).
+        num_banks: independently addressable banks.
+        bytes_per_cycle_per_bank: port width (16 B = 8 FP16 words).
+    """
+
+    capacity_kb: float = 274.0
+    num_banks: int = 16
+    bytes_per_cycle_per_bank: int = 16
+
+    @property
+    def capacity_bytes(self) -> float:
+        return self.capacity_kb * 1024.0
+
+    @property
+    def usable_bytes(self) -> float:
+        """Capacity available for point-operation working sets.
+
+        A fraction is reserved for weights/double-buffering; 80 % is the
+        conventional allocation.
+        """
+        return 0.8 * self.capacity_bytes
+
+    def access_cycles(self, nbytes: float, *, pattern: str = "stream", units: int = 1) -> float:
+        """Cycles to move ``nbytes`` through the buffer.
+
+        Args:
+            nbytes: total bytes accessed.
+            pattern: ``stream`` (bank-striped, conflict-free), ``blocked``
+                (each unit owns a bank — the post-Fractal layout), or
+                ``random`` (pre-Fractal global layout; conflicting).
+            units: number of compute units issuing accesses in parallel.
+        """
+        if pattern not in ("stream", "blocked", "random"):
+            raise ValueError(f"unknown SRAM pattern {pattern!r}")
+        peak = self.num_banks * self.bytes_per_cycle_per_bank
+        if pattern == "stream":
+            bandwidth = peak
+        elif pattern == "blocked":
+            # Each unit reads its own bank at full port width.
+            bandwidth = min(units, self.num_banks) * self.bytes_per_cycle_per_bank
+        else:
+            # Random multi-unit access: expected conflict serialisation.
+            # With u units hitting b banks uniformly, effective
+            # throughput ≈ b * (1 - (1 - 1/b)^u) ports per cycle.
+            u = max(units, 1)
+            b = self.num_banks
+            live_banks = b * (1.0 - (1.0 - 1.0 / b) ** u)
+            bandwidth = live_banks * self.bytes_per_cycle_per_bank * 0.5
+        return nbytes / bandwidth
+
+    def energy_j(self, nbytes: float) -> float:
+        """Access energy in joules (capacity-dependent pJ/byte)."""
+        return nbytes * E.sram_pj_per_byte(self.capacity_kb) * 1e-12
+
+    def fits(self, nbytes: float) -> bool:
+        """Whether a working set fits in the usable capacity."""
+        return nbytes <= self.usable_bytes

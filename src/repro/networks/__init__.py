@@ -1,0 +1,61 @@
+"""Point-based neural networks: trainable numpy backbones + workload specs.
+
+- :mod:`layers` / :mod:`modules` / :mod:`models` — small trainable
+  PointNet++ / PointNeXt / PointVector variants with manual backprop.
+- :mod:`backends` — exact vs block-parallel point-operation backends.
+- :mod:`train` — training loops and OA / mIoU metrics.
+- :mod:`workloads` — Table I registry driving the hardware simulator.
+"""
+
+from .augment import AugmentConfig, augment_cloud
+from .backends import BlockBackend, ExactBackend, PointOpsBackend, make_backend
+from .layers import Adam, Dense, Module, Parameter, ReLU, SharedMLP, softmax_cross_entropy
+from .models import ARCHS, ArchSpec, PNNClassifier, PNNSegmenter
+from .modules import FPStage, GlobalSA, InvResBlock, SAStage
+from .msg import SAStageMSG
+from .train import (
+    TrainResult,
+    evaluate_classifier,
+    evaluate_segmenter,
+    mean_iou,
+    train_classifier,
+    train_segmenter,
+)
+from .workloads import WORKLOADS, ConcreteStage, FPConfig, SAConfig, WorkloadSpec, get_workload
+
+__all__ = [
+    "ARCHS",
+    "AugmentConfig",
+    "Adam",
+    "ArchSpec",
+    "BlockBackend",
+    "ConcreteStage",
+    "Dense",
+    "ExactBackend",
+    "FPConfig",
+    "FPStage",
+    "GlobalSA",
+    "InvResBlock",
+    "Module",
+    "PNNClassifier",
+    "PNNSegmenter",
+    "Parameter",
+    "PointOpsBackend",
+    "ReLU",
+    "SAConfig",
+    "SAStage",
+    "SAStageMSG",
+    "SharedMLP",
+    "TrainResult",
+    "WORKLOADS",
+    "WorkloadSpec",
+    "augment_cloud",
+    "evaluate_classifier",
+    "evaluate_segmenter",
+    "get_workload",
+    "make_backend",
+    "mean_iou",
+    "softmax_cross_entropy",
+    "train_classifier",
+    "train_segmenter",
+]

@@ -1,0 +1,63 @@
+"""Training-time augmentations for the numpy PNNs.
+
+The standard point-cloud recipe (random rotation about the up axis,
+anisotropic scale, jitter, point dropout) — the same family the released
+PointNet++/PointNeXt training configs use.  Applied per cloud inside the
+training loop; deterministic given the generator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry import PointCloud
+
+__all__ = ["AugmentConfig", "augment_cloud"]
+
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AugmentConfig:
+    """Augmentation strengths (zero disables a transform)."""
+
+    rotate_z: bool = True
+    scale_low: float = 0.85
+    scale_high: float = 1.15
+    jitter_sigma: float = 0.01
+    jitter_clip: float = 0.03
+    dropout_max: float = 0.2
+
+
+def augment_cloud(
+    cloud: PointCloud, rng: np.random.Generator, config: AugmentConfig | None = None
+) -> PointCloud:
+    """One augmented view of ``cloud`` (labels follow surviving points)."""
+    config = config or AugmentConfig()
+    coords = cloud.coords.astype(np.float64)
+    labels = cloud.labels
+
+    if config.rotate_z:
+        angle = rng.uniform(0, 2 * np.pi)
+        c, s = np.cos(angle), np.sin(angle)
+        rot = np.array([[c, -s, 0.0], [s, c, 0.0], [0.0, 0.0, 1.0]])
+        coords = coords @ rot.T
+
+    if config.scale_high > config.scale_low:
+        coords = coords * rng.uniform(config.scale_low, config.scale_high, size=3)
+
+    if config.jitter_sigma > 0:
+        noise = rng.normal(scale=config.jitter_sigma, size=coords.shape)
+        np.clip(noise, -config.jitter_clip, config.jitter_clip, out=noise)
+        coords = coords + noise
+
+    if config.dropout_max > 0:
+        drop = rng.uniform(0, config.dropout_max)
+        keep = max(int(len(coords) * (1 - drop)), 8)
+        idx = np.sort(rng.choice(len(coords), size=keep, replace=False))
+        coords = coords[idx]
+        if labels is not None:
+            labels = labels[idx]
+
+    return PointCloud(coords.astype(np.float32), labels=labels, class_id=cloud.class_id)

@@ -1,0 +1,133 @@
+"""Point-operation backends: exact global search vs block-parallel.
+
+The PNN backbones never call point operations directly; they go through a
+backend, so the *same trained architecture* can run with the original
+global-search operations (PointAcc baseline), or with block-wise
+operations over any partitioning strategy (uniform / KD-tree / octree /
+Fractal).  The accuracy experiments (Fig. 3, 14, 17) are exactly this
+swap.
+"""
+
+from __future__ import annotations
+
+import abc
+import hashlib
+
+import numpy as np
+
+from ..core import blocks as core_blocks
+from ..core import bppo
+from ..geometry import ops as exact_ops
+from ..partition.base import Partitioner, get_partitioner
+
+__all__ = ["PointOpsBackend", "ExactBackend", "BlockBackend", "make_backend"]
+
+
+class PointOpsBackend(abc.ABC):
+    """Interface consumed by the network stages."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def sample(self, coords: np.ndarray, num_samples: int) -> np.ndarray:
+        """FPS-style sampling: ``(num_samples,)`` indices into ``coords``."""
+
+    @abc.abstractmethod
+    def group(
+        self, coords: np.ndarray, center_indices: np.ndarray, radius: float, k: int
+    ) -> np.ndarray:
+        """Ball-query grouping: ``(m, k)`` indices into ``coords``."""
+
+    @abc.abstractmethod
+    def interpolate_indices(
+        self,
+        coords: np.ndarray,
+        center_indices: np.ndarray,
+        candidate_indices: np.ndarray,
+        k: int = 3,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """KNN + inverse-distance weights for feature propagation.
+
+        Returns ``(indices, weights)`` of shapes ``(m, k)``; indices are
+        global point ids drawn from ``candidate_indices``; weight rows
+        sum to one.
+        """
+
+
+def _idw_weights(centers: np.ndarray, neighbors_xyz: np.ndarray) -> np.ndarray:
+    d2 = np.sum((centers[:, None, :] - neighbors_xyz) ** 2, axis=2)
+    inv = 1.0 / np.maximum(d2, 1e-8)
+    return inv / inv.sum(axis=1, keepdims=True)
+
+
+class ExactBackend(PointOpsBackend):
+    """Original global-search operations (accuracy-lossless anchor)."""
+
+    name = "exact"
+
+    def sample(self, coords: np.ndarray, num_samples: int) -> np.ndarray:
+        return exact_ops.farthest_point_sample(coords, num_samples)
+
+    def group(self, coords, center_indices, radius, k):
+        return exact_ops.ball_query(coords[center_indices], coords, radius, k)
+
+    def interpolate_indices(self, coords, center_indices, candidate_indices, k=3):
+        candidate_indices = np.asarray(candidate_indices, dtype=np.int64)
+        local = exact_ops.knn_search(
+            coords[center_indices], coords[candidate_indices], k
+        )
+        idx = candidate_indices[local]
+        weights = _idw_weights(coords[center_indices], coords[idx])
+        return idx, weights
+
+
+class BlockBackend(PointOpsBackend):
+    """Block-parallel operations over a partitioning strategy.
+
+    Partitions are cached per coordinate set (keyed by content hash), so a
+    forward pass that calls sample/group/interpolate on the same level
+    partitions once — matching the hardware, where Fractal runs once per
+    stage input.
+    """
+
+    def __init__(self, partitioner: Partitioner, cache_size: int = 8):
+        self.partitioner = partitioner
+        self.name = partitioner.name
+        self._cache: dict[bytes, core_blocks.BlockStructure] = {}
+        self._cache_size = cache_size
+
+    def _structure(self, coords: np.ndarray) -> core_blocks.BlockStructure:
+        key = hashlib.blake2b(
+            np.ascontiguousarray(coords, dtype=np.float32).tobytes(), digest_size=16
+        ).digest()
+        if key not in self._cache:
+            if len(self._cache) >= self._cache_size:
+                self._cache.pop(next(iter(self._cache)))
+            self._cache[key] = self.partitioner(coords)
+        return self._cache[key]
+
+    def sample(self, coords: np.ndarray, num_samples: int) -> np.ndarray:
+        structure = self._structure(coords)
+        indices, _ = bppo.block_fps(structure, coords, num_samples)
+        return indices
+
+    def group(self, coords, center_indices, radius, k):
+        structure = self._structure(coords)
+        neighbors, _ = bppo.block_ball_query(structure, coords, center_indices, radius, k)
+        return neighbors
+
+    def interpolate_indices(self, coords, center_indices, candidate_indices, k=3):
+        structure = self._structure(coords)
+        idx, _ = bppo.block_knn(structure, coords, center_indices, candidate_indices, k)
+        weights = _idw_weights(
+            np.asarray(coords, dtype=np.float64)[center_indices],
+            np.asarray(coords, dtype=np.float64)[idx],
+        )
+        return idx, weights
+
+
+def make_backend(name: str, *, max_points_per_block: int = 64) -> PointOpsBackend:
+    """Factory: ``exact`` or any partitioner name from :mod:`repro.partition`."""
+    if name == "exact":
+        return ExactBackend()
+    return BlockBackend(get_partitioner(name, max_points_per_block=max_points_per_block))

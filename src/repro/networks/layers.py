@@ -1,0 +1,211 @@
+"""Numpy neural-network layers with manual backpropagation.
+
+Just enough machinery to train the small PNN backbones used by the
+accuracy experiments: dense layers, ReLU, shared (pointwise) MLPs,
+neighbourhood max pooling, softmax cross-entropy, and Adam.  Every layer
+follows the same contract — ``forward`` caches what ``backward`` needs,
+``backward`` accumulates parameter gradients and returns the input
+gradient — and gradients are verified against finite differences in
+``tests/test_layers.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "Parameter",
+    "Module",
+    "Dense",
+    "ReLU",
+    "SharedMLP",
+    "max_pool",
+    "max_pool_backward",
+    "softmax_cross_entropy",
+    "Adam",
+]
+
+
+class Parameter:
+    """A trainable tensor with its gradient accumulator."""
+
+    def __init__(self, value: np.ndarray):
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.value.shape
+
+
+class Module:
+    """Base class: parameter collection + gradient reset."""
+
+    def parameters(self) -> list[Parameter]:
+        params: list[Parameter] = []
+        for attr in vars(self).values():
+            if isinstance(attr, Parameter):
+                params.append(attr)
+            elif isinstance(attr, Module):
+                params.extend(attr.parameters())
+            elif isinstance(attr, (list, tuple)):
+                for item in attr:
+                    if isinstance(item, Module):
+                        params.extend(item.parameters())
+                    elif isinstance(item, Parameter):
+                        params.append(item)
+        return params
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.grad[...] = 0.0
+
+
+class Dense(Module):
+    """Affine layer ``y = x @ W + b`` over the last axis.
+
+    Accepts arbitrary leading dimensions, so the same layer implements
+    both per-point (shared/1x1-conv) and fully-connected computation.
+    """
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator):
+        scale = np.sqrt(2.0 / in_features)  # He init (ReLU nets)
+        self.weight = Parameter(rng.normal(scale=scale, size=(in_features, out_features)))
+        # Small positive bias keeps ReLUs alive even for degenerate
+        # all-zero groups (a centre whose ball query found only itself).
+        self.bias = Parameter(np.full(out_features, 0.01))
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return x @ self.weight.value + self.bias.value
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        x = self._x
+        if x is None:
+            raise RuntimeError("backward called before forward")
+        in_f, out_f = self.weight.shape
+        x2 = x.reshape(-1, in_f)
+        g2 = grad.reshape(-1, out_f)
+        self.weight.grad += x2.T @ g2
+        self.bias.grad += g2.sum(axis=0)
+        return grad @ self.weight.value.T
+
+
+class ReLU(Module):
+    """Elementwise rectifier."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return np.where(self._mask, grad, 0.0)
+
+
+class SharedMLP(Module):
+    """Stack of Dense+ReLU applied pointwise (the PNN "MLP" block).
+
+    Args:
+        widths: channel sizes ``[c_in, c_1, ..., c_out]``.
+        rng: initialiser RNG.
+        final_relu: apply ReLU after the last layer too (True inside
+            set-abstraction blocks, False for logits heads).
+    """
+
+    def __init__(self, widths: list[int], rng: np.random.Generator, final_relu: bool = True):
+        if len(widths) < 2:
+            raise ValueError("SharedMLP needs at least [c_in, c_out]")
+        self.layers: list[Module] = []
+        for i in range(len(widths) - 1):
+            self.layers.append(Dense(widths[i], widths[i + 1], rng))
+            if i < len(widths) - 2 or final_relu:
+                self.layers.append(ReLU())
+        self.widths = list(widths)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+
+def max_pool(x: np.ndarray, axis: int = 1) -> tuple[np.ndarray, np.ndarray]:
+    """Max over ``axis``; returns ``(pooled, argmax)`` for the backward pass."""
+    arg = np.argmax(x, axis=axis)
+    pooled = np.take_along_axis(x, np.expand_dims(arg, axis), axis=axis).squeeze(axis)
+    return pooled, arg
+
+
+def max_pool_backward(
+    grad: np.ndarray, arg: np.ndarray, input_shape: tuple[int, ...], axis: int = 1
+) -> np.ndarray:
+    """Scatter pooled gradients back to the argmax positions."""
+    out = np.zeros(input_shape, dtype=grad.dtype)
+    np.put_along_axis(
+        out, np.expand_dims(arg, axis), np.expand_dims(grad, axis), axis=axis
+    )
+    return out
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[float, np.ndarray, np.ndarray]:
+    """Mean cross-entropy over rows.
+
+    Returns:
+        ``(loss, grad, probs)`` where ``grad`` is d(loss)/d(logits).
+    """
+    labels = np.asarray(labels)
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    probs = exp / exp.sum(axis=1, keepdims=True)
+    n = len(labels)
+    eps = 1e-12
+    loss = float(-np.log(probs[np.arange(n), labels] + eps).mean())
+    grad = probs.copy()
+    grad[np.arange(n), labels] -= 1.0
+    grad /= n
+    return loss, grad, probs
+
+
+class Adam:
+    """Standard Adam over a parameter list."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+    ):
+        self.params = params
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self._m = [np.zeros_like(p.value) for p in params]
+        self._v = [np.zeros_like(p.value) for p in params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        for p, m, v in zip(self.params, self._m, self._v):
+            m[...] = b1 * m + (1 - b1) * p.grad
+            v[...] = b2 * v + (1 - b2) * p.grad**2
+            m_hat = m / (1 - b1**self._t)
+            v_hat = v / (1 - b2**self._t)
+            p.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad[...] = 0.0

@@ -1,0 +1,169 @@
+"""Trainable PNN backbones (PointNet++ / PointNeXt / PointVector variants).
+
+Small-but-real versions of the three evaluated networks, sharing one
+set-abstraction/feature-propagation skeleton and differing exactly where
+the real architectures differ:
+
+- **pointnet2** — plain SA stages, max pooling (Qi et al., NeurIPS'17).
+- **pointnext** — adds a pointwise stem and inverted-residual blocks
+  after each SA stage (Qian et al., NeurIPS'22).
+- **pointvector** — adds the stem and a max+mean vector-aggregation
+  fusion in place of pure max pooling (Deng et al., CVPR'23).
+
+They are trained from scratch in numpy by :mod:`repro.networks.train`;
+the accuracy experiments swap the point-operation backend and retrain,
+exactly like the paper retrains its modified networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .backends import PointOpsBackend
+from .layers import Module, SharedMLP
+from .modules import FPStage, GlobalSA, SAStage
+
+__all__ = ["ArchSpec", "ARCHS", "PNNClassifier", "PNNSegmenter"]
+
+
+@dataclass(frozen=True)
+class ArchSpec:
+    """Variant switches distinguishing the three backbones."""
+
+    name: str
+    stem_channels: int  # 0 = no stem MLP
+    pooling: str  # "max" | "maxmean"
+    post_blocks: int  # InvResBlocks per SA stage
+
+
+ARCHS: dict[str, ArchSpec] = {
+    "pointnet2": ArchSpec("pointnet2", 0, "max", 0),
+    "pointnext": ArchSpec("pointnext", 32, "max", 1),
+    "pointvector": ArchSpec("pointvector", 32, "maxmean", 0),
+}
+
+
+def _resolve(arch: str | ArchSpec) -> ArchSpec:
+    if isinstance(arch, ArchSpec):
+        return arch
+    if arch not in ARCHS:
+        raise ValueError(f"unknown architecture {arch!r}; expected one of {list(ARCHS)}")
+    return ARCHS[arch]
+
+
+class PNNClassifier(Module):
+    """Two-stage SA classifier with a global pooling head (Fig. 2(d), top).
+
+    Args:
+        num_classes: output classes.
+        num_points: nominal input size (stage widths derive from it).
+        arch: one of ``pointnet2 | pointnext | pointvector``.
+        seed: parameter-init seed.
+    """
+
+    def __init__(
+        self,
+        num_classes: int,
+        num_points: int = 1024,
+        arch: str | ArchSpec = "pointnet2",
+        seed: int = 0,
+    ):
+        spec = _resolve(arch)
+        rng = np.random.default_rng(seed)
+        self.spec = spec
+        self.num_classes = num_classes
+
+        c0 = spec.stem_channels
+        self.stem = SharedMLP([3, c0], rng) if c0 else None
+        self.sa1 = SAStage(
+            n_out=max(num_points // 4, 32), radius=0.25, k=16,
+            in_channels=c0, mlp_widths=[32, 64], rng=rng,
+            pooling=spec.pooling, post_blocks=spec.post_blocks,
+        )
+        self.sa2 = SAStage(
+            n_out=max(num_points // 16, 16), radius=0.5, k=16,
+            in_channels=64, mlp_widths=[64, 128], rng=rng,
+            pooling=spec.pooling, post_blocks=spec.post_blocks,
+        )
+        self.global_sa = GlobalSA(128, [256], rng)
+        self.head = SharedMLP([256, 128, num_classes], rng, final_relu=False)
+
+    def forward(self, coords: np.ndarray, backend: PointOpsBackend) -> np.ndarray:
+        """Logits ``(num_classes,)`` for one cloud."""
+        feats = self.stem.forward(coords) if self.stem else None
+        c1, f1, _ = self.sa1.forward(coords, feats, backend)
+        c2, f2, _ = self.sa2.forward(c1, f1, backend)
+        g = self.global_sa.forward(c2, f2)
+        return self.head.forward(g[None, :])[0]
+
+    def backward(self, grad_logits: np.ndarray) -> None:
+        grad = self.head.backward(grad_logits[None, :])[0]
+        grad_f2 = self.global_sa.backward(grad)
+        grad_f1 = self.sa2.backward(grad_f2)
+        grad_f0 = self.sa1.backward(grad_f1)
+        if self.stem is not None and grad_f0 is not None:
+            self.stem.backward(grad_f0)
+
+
+class PNNSegmenter(Module):
+    """SA encoder + FP decoder per-point segmenter (Fig. 2(d), bottom).
+
+    Same two SA stages as the classifier, mirrored by two feature-
+    propagation stages with skip connections, ending in a per-point head.
+    """
+
+    def __init__(
+        self,
+        num_classes: int,
+        num_points: int = 1024,
+        arch: str | ArchSpec = "pointnet2",
+        seed: int = 0,
+    ):
+        spec = _resolve(arch)
+        rng = np.random.default_rng(seed)
+        self.spec = spec
+        self.num_classes = num_classes
+
+        c0 = spec.stem_channels
+        self.stem = SharedMLP([3, c0], rng) if c0 else None
+        self.sa1 = SAStage(
+            n_out=max(num_points // 4, 32), radius=0.25, k=16,
+            in_channels=c0, mlp_widths=[32, 64], rng=rng,
+            pooling=spec.pooling, post_blocks=spec.post_blocks,
+        )
+        self.sa2 = SAStage(
+            n_out=max(num_points // 16, 16), radius=0.5, k=16,
+            in_channels=64, mlp_widths=[64, 128], rng=rng,
+            pooling=spec.pooling, post_blocks=spec.post_blocks,
+        )
+        self.fp2 = FPStage(sparse_channels=128, skip_channels=64, mlp_widths=[128], rng=rng)
+        self.fp1 = FPStage(sparse_channels=128, skip_channels=c0, mlp_widths=[128, 64], rng=rng)
+        self.head = SharedMLP([64, num_classes], rng, final_relu=False)
+
+    def forward(self, coords: np.ndarray, backend: PointOpsBackend) -> np.ndarray:
+        """Per-point logits ``(n, num_classes)``."""
+        feats = self.stem.forward(coords) if self.stem else None
+        c1, f1, i1 = self.sa1.forward(coords, feats, backend)
+        c2, f2, i2 = self.sa2.forward(c1, f1, backend)
+        p1 = self.fp2.forward(c1, f1, i2, f2, backend)
+        p0 = self.fp1.forward(coords, feats, i1, p1, backend)
+        return self.head.forward(p0)
+
+    def backward(self, grad_logits: np.ndarray) -> None:
+        grad_p0 = self.head.backward(grad_logits)
+        grad_p1, grad_skip0 = self.fp1.backward(grad_p0)
+        grad_f2, grad_skip1 = self.fp2.backward(grad_p1)
+        grad_f1 = self.sa2.backward(grad_f2)
+        if grad_skip1 is not None:
+            grad_f1 = grad_f1 + grad_skip1
+        grad_f0 = self.sa1.backward(grad_f1)
+        if self.stem is not None:
+            total = None
+            if grad_f0 is not None:
+                total = grad_f0
+            if grad_skip0 is not None:
+                total = grad_skip0 if total is None else total + grad_skip0
+            if total is not None:
+                self.stem.backward(total)

@@ -1,0 +1,249 @@
+"""PNN building blocks: set abstraction and feature propagation.
+
+These implement the two computational pathways of Fig. 2(d) with manual
+backprop.  Point operations (sampling / grouping / interpolation) go
+through an injected :class:`~repro.networks.backends.PointOpsBackend`;
+their index outputs are treated as constants of the backward pass (the
+standard straight-through treatment — neighbour selection is not
+differentiable), while feature gradients flow through gathers,
+interpolation weights, MLPs, and pooling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .backends import PointOpsBackend
+from .layers import Dense, Module, ReLU, SharedMLP, max_pool, max_pool_backward
+
+__all__ = ["SAStage", "GlobalSA", "FPStage", "InvResBlock"]
+
+
+class InvResBlock(Module):
+    """Inverted-residual pointwise block (PointNeXt's InvResMLP, simplified).
+
+    ``y = relu(x + W2 relu(W1 x))`` with an expansion factor of 2.
+    """
+
+    def __init__(self, channels: int, rng: np.random.Generator, expansion: int = 2):
+        hidden = channels * expansion
+        self.fc1 = Dense(channels, hidden, rng)
+        self.act1 = ReLU()
+        self.fc2 = Dense(hidden, channels, rng)
+        self.act2 = ReLU()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        h = self.fc2.forward(self.act1.forward(self.fc1.forward(x)))
+        return self.act2.forward(x + h)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        grad = self.act2.backward(grad)
+        grad_h = self.fc1.backward(self.act1.backward(self.fc2.backward(grad)))
+        return grad + grad_h
+
+
+class SAStage(Module):
+    """Set-abstraction stage: sample → group → gather → MLP → pool.
+
+    Args:
+        n_out: number of sampled centres this stage keeps.
+        radius: ball-query radius.
+        k: group size.
+        in_channels: input feature channels (0 when only coordinates).
+        mlp_widths: hidden/output widths of the shared MLP (applied to
+            ``3 + in_channels`` inputs: relative xyz ++ features).
+        pooling: ``max`` (PointNet++/PointNeXt) or ``maxmean``
+            (PointVector-style vector aggregation).
+        post_blocks: number of InvResBlocks after pooling (PointNeXt).
+    """
+
+    def __init__(
+        self,
+        n_out: int,
+        radius: float,
+        k: int,
+        in_channels: int,
+        mlp_widths: list[int],
+        rng: np.random.Generator,
+        pooling: str = "max",
+        post_blocks: int = 0,
+    ):
+        if pooling not in ("max", "maxmean"):
+            raise ValueError(f"pooling must be 'max' or 'maxmean', got {pooling!r}")
+        self.n_out = n_out
+        self.radius = radius
+        self.k = k
+        self.in_channels = in_channels
+        self.pooling = pooling
+        self.mlp = SharedMLP([3 + in_channels] + list(mlp_widths), rng)
+        self.out_channels = mlp_widths[-1]
+        if pooling == "maxmean":
+            self.fuse = Dense(2 * self.out_channels, self.out_channels, rng)
+            self.fuse_act = ReLU()
+        self.post = [InvResBlock(self.out_channels, rng) for _ in range(post_blocks)]
+        self._ctx: dict | None = None
+
+    def forward(
+        self, coords: np.ndarray, feats: np.ndarray | None, backend: PointOpsBackend
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Returns ``(center_coords, out_feats, center_indices)``."""
+        n = len(coords)
+        n_out = min(self.n_out, n)
+        centers = backend.sample(coords, n_out)
+        neighbors = backend.group(coords, centers, self.radius, self.k)
+
+        rel = coords[neighbors] - coords[centers][:, None, :]
+        if feats is not None:
+            grouped = np.concatenate([rel, feats[neighbors]], axis=2)
+        else:
+            grouped = rel
+        h = self.mlp.forward(grouped)
+
+        pooled_max, arg = max_pool(h, axis=1)
+        if self.pooling == "maxmean":
+            pooled_mean = h.mean(axis=1)
+            fused = self.fuse_act.forward(
+                self.fuse.forward(np.concatenate([pooled_max, pooled_mean], axis=1))
+            )
+            out = fused
+        else:
+            out = pooled_max
+        for block in self.post:
+            out = block.forward(out)
+
+        self._ctx = {
+            "n": n,
+            "neighbors": neighbors,
+            "arg": arg,
+            "h_shape": h.shape,
+            "has_feats": feats is not None,
+        }
+        return coords[centers], out, centers
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray | None:
+        """Backprop to the *input features*; returns None when stage had none."""
+        ctx = self._ctx
+        if ctx is None:
+            raise RuntimeError("backward called before forward")
+        for block in reversed(self.post):
+            grad_out = block.backward(grad_out)
+        if self.pooling == "maxmean":
+            grad_out = self.fuse.backward(self.fuse_act.backward(grad_out))
+            c = self.out_channels
+            grad_max, grad_mean = grad_out[:, :c], grad_out[:, c:]
+            grad_h = max_pool_backward(grad_max, ctx["arg"], ctx["h_shape"], axis=1)
+            grad_h += grad_mean[:, None, :] / ctx["h_shape"][1]
+        else:
+            grad_h = max_pool_backward(grad_out, ctx["arg"], ctx["h_shape"], axis=1)
+
+        grad_grouped = self.mlp.backward(grad_h)
+        if not ctx["has_feats"]:
+            return None
+        grad_feat_part = grad_grouped[:, :, 3:]
+        grad_feats = np.zeros((ctx["n"], self.in_channels))
+        np.add.at(grad_feats, ctx["neighbors"], grad_feat_part)
+        return grad_feats
+
+
+class GlobalSA(Module):
+    """Final whole-cloud abstraction for classification heads.
+
+    Applies a shared MLP to every point (coords ++ features) and
+    max-pools over the full cloud into one global descriptor.
+    """
+
+    def __init__(self, in_channels: int, mlp_widths: list[int], rng: np.random.Generator):
+        self.mlp = SharedMLP([3 + in_channels] + list(mlp_widths), rng)
+        self.in_channels = in_channels
+        self.out_channels = mlp_widths[-1]
+        self._ctx: dict | None = None
+
+    def forward(self, coords: np.ndarray, feats: np.ndarray) -> np.ndarray:
+        x = np.concatenate([coords, feats], axis=1)
+        h = self.mlp.forward(x)
+        pooled, arg = max_pool(h[None, :, :], axis=1)
+        self._ctx = {"arg": arg, "h_shape": (1,) + h.shape, "n": len(coords)}
+        return pooled[0]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        ctx = self._ctx
+        if ctx is None:
+            raise RuntimeError("backward called before forward")
+        grad_h = max_pool_backward(grad_out[None, :], ctx["arg"], ctx["h_shape"], axis=1)[0]
+        grad_x = self.mlp.backward(grad_h)
+        return grad_x[:, 3:]  # drop the coords part
+
+
+class FPStage(Module):
+    """Feature propagation: interpolate sparse features onto dense points.
+
+    Implements the propagation pathway of Fig. 2(d): 3-NN inverse-distance
+    interpolation of the sparser level's features, concatenated with the
+    denser level's skip features, then a pointwise MLP.
+    """
+
+    def __init__(
+        self,
+        sparse_channels: int,
+        skip_channels: int,
+        mlp_widths: list[int],
+        rng: np.random.Generator,
+        k: int = 3,
+    ):
+        self.k = k
+        self.sparse_channels = sparse_channels
+        self.skip_channels = skip_channels
+        self.mlp = SharedMLP([sparse_channels + skip_channels] + list(mlp_widths), rng)
+        self.out_channels = mlp_widths[-1]
+        self._ctx: dict | None = None
+
+    def forward(
+        self,
+        dense_coords: np.ndarray,
+        skip_feats: np.ndarray | None,
+        sparse_indices: np.ndarray,
+        sparse_feats: np.ndarray,
+        backend: PointOpsBackend,
+    ) -> np.ndarray:
+        """``sparse_indices`` are ids *into dense_coords* (FPS subset)."""
+        m = len(dense_coords)
+        all_dense = np.arange(m)
+        idx, weights = backend.interpolate_indices(
+            dense_coords, all_dense, np.asarray(sparse_indices, dtype=np.int64), self.k
+        )
+        # Map global point ids back to rows of sparse_feats.
+        row_of = np.full(m, -1, dtype=np.int64)
+        row_of[np.asarray(sparse_indices, dtype=np.int64)] = np.arange(len(sparse_indices))
+        rows = row_of[idx]
+        interp = np.einsum("mk,mkc->mc", weights, sparse_feats[rows])
+
+        if skip_feats is not None:
+            x = np.concatenate([interp, skip_feats], axis=1)
+        else:
+            x = interp
+        out = self.mlp.forward(x)
+        self._ctx = {
+            "rows": rows,
+            "weights": weights,
+            "n_sparse": len(sparse_indices),
+            "has_skip": skip_feats is not None,
+        }
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> tuple[np.ndarray, np.ndarray | None]:
+        """Returns ``(grad_sparse_feats, grad_skip_feats)``."""
+        ctx = self._ctx
+        if ctx is None:
+            raise RuntimeError("backward called before forward")
+        grad_x = self.mlp.backward(grad_out)
+        grad_interp = grad_x[:, : self.sparse_channels]
+        grad_skip = grad_x[:, self.sparse_channels:] if ctx["has_skip"] else None
+        grad_sparse = np.zeros((ctx["n_sparse"], self.sparse_channels))
+        np.add.at(
+            grad_sparse,
+            ctx["rows"],
+            ctx["weights"][:, :, None] * grad_interp[:, None, :],
+        )
+        return grad_sparse, grad_skip

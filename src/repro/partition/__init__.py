@@ -1,0 +1,37 @@
+"""Partitioning strategies compared in the paper (Fig. 3 / Fig. 16).
+
+``fractal`` is the paper's method (adapter over :mod:`repro.core`);
+``uniform`` (PNNPU), ``kdtree`` (Crescent), ``octree`` (HGPCN-style), and
+``none`` (PointAcc/Mesorasi) are the baselines, all built from scratch.
+"""
+
+from .base import PARTITIONER_NAMES, Partitioner, get_partitioner
+from .fractal_adapter import FractalPartitioner
+from .kdtree import KDTreePartitioner
+from .morton import MortonPartitioner, morton_codes
+from .none import NoPartitioner
+from .octree import OctreePartitioner
+from .stats import (
+    PartitionSummary,
+    fractal_traversal_count,
+    kdtree_sort_count,
+    summarize,
+)
+from .uniform import UniformPartitioner
+
+__all__ = [
+    "PARTITIONER_NAMES",
+    "FractalPartitioner",
+    "KDTreePartitioner",
+    "MortonPartitioner",
+    "NoPartitioner",
+    "OctreePartitioner",
+    "PartitionSummary",
+    "Partitioner",
+    "UniformPartitioner",
+    "fractal_traversal_count",
+    "get_partitioner",
+    "kdtree_sort_count",
+    "morton_codes",
+    "summarize",
+]

@@ -1,0 +1,70 @@
+"""Common interface for all partitioning strategies (paper Fig. 3).
+
+Every strategy maps ``(n, 3)`` coordinates to a
+:class:`~repro.core.blocks.BlockStructure`; the Block-Parallel Point
+Operations and the hardware model consume that structure without knowing
+which strategy produced it.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..core.blocks import BlockStructure
+
+__all__ = ["Partitioner", "get_partitioner", "PARTITIONER_NAMES"]
+
+PARTITIONER_NAMES = ("fractal", "uniform", "kdtree", "octree", "morton", "none")
+
+
+class Partitioner(abc.ABC):
+    """A strategy that splits a point cloud into blocks.
+
+    Subclasses set :attr:`name` and implement :meth:`partition`.
+    """
+
+    #: Short identifier used in experiment tables.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def partition(self, coords: np.ndarray) -> BlockStructure:
+        """Partition ``coords`` ((n, 3)) into blocks."""
+
+    def __call__(self, coords: np.ndarray) -> BlockStructure:
+        structure = self.partition(np.asarray(coords, dtype=np.float64))
+        structure.validate()
+        return structure
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+def get_partitioner(name: str, *, max_points_per_block: int = 256) -> Partitioner:
+    """Factory over the strategies compared in the paper.
+
+    Args:
+        name: one of ``fractal | uniform | kdtree | octree | none``.
+        max_points_per_block: the block-size threshold (``th`` / BS).
+            The uniform grid derives its cell count from this so all
+            strategies target comparable average block populations.
+    """
+    from .fractal_adapter import FractalPartitioner
+    from .kdtree import KDTreePartitioner
+    from .morton import MortonPartitioner
+    from .octree import OctreePartitioner
+    from .uniform import UniformPartitioner
+    from .none import NoPartitioner
+
+    factories = {
+        "fractal": lambda: FractalPartitioner(threshold=max_points_per_block),
+        "uniform": lambda: UniformPartitioner(target_block_size=max_points_per_block),
+        "kdtree": lambda: KDTreePartitioner(max_leaf_size=max_points_per_block),
+        "octree": lambda: OctreePartitioner(max_leaf_size=max_points_per_block),
+        "morton": lambda: MortonPartitioner(block_size=max_points_per_block),
+        "none": lambda: NoPartitioner(),
+    }
+    if name not in factories:
+        raise ValueError(f"unknown partitioner {name!r}; expected one of {PARTITIONER_NAMES}")
+    return factories[name]()

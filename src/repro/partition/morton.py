@@ -1,0 +1,93 @@
+"""Morton-order (Z-curve) partitioning — an extra linear-time baseline.
+
+Space-filling-curve bucketing is the other hardware-friendly partitioning
+family used in practice (GPU BVH builders, point-cloud compaction): sort
+points by their interleaved-bit Morton code and cut the sorted order into
+equal-size blocks.  Like the KD-tree it yields perfectly balanced blocks;
+like the uniform grid it needs no recursion — but it pays one *global
+sort* (the very operation Fractal eliminates), and curve-order neighbours
+are only *mostly* spatial neighbours (Z-curve locality has jumps), so its
+search spaces lose some geometric coherence.
+
+Included as an extension baseline beyond the paper's four strategies; the
+cost counters model the single exclusive sort so the fractal engine can
+price it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.blocks import Block, BlockStructure, PartitionCost
+from .base import Partitioner
+
+__all__ = ["MortonPartitioner", "morton_codes"]
+
+_BITS = 21  # 3 x 21 = 63 bits: fits int64
+
+
+def _spread_bits(values: np.ndarray) -> np.ndarray:
+    """Insert two zero bits between every bit of 21-bit integers."""
+    v = values.astype(np.uint64)
+    v = (v | (v << np.uint64(32))) & np.uint64(0x1F00000000FFFF)
+    v = (v | (v << np.uint64(16))) & np.uint64(0x1F0000FF0000FF)
+    v = (v | (v << np.uint64(8))) & np.uint64(0x100F00F00F00F00F)
+    v = (v | (v << np.uint64(4))) & np.uint64(0x10C30C30C30C30C3)
+    v = (v | (v << np.uint64(2))) & np.uint64(0x1249249249249249)
+    return v
+
+
+def morton_codes(coords: np.ndarray) -> np.ndarray:
+    """64-bit Morton codes of ``(n, 3)`` points (box-normalised)."""
+    coords = np.asarray(coords, dtype=np.float64)
+    lo = coords.min(axis=0)
+    extent = coords.max(axis=0) - lo
+    extent[extent == 0] = 1.0
+    grid = ((coords - lo) / extent * (2**_BITS - 1)).astype(np.uint64)
+    return (
+        _spread_bits(grid[:, 0]) << np.uint64(2)
+        | _spread_bits(grid[:, 1]) << np.uint64(1)
+        | _spread_bits(grid[:, 2])
+    )
+
+
+class MortonPartitioner(Partitioner):
+    """Equal-size blocks along the Z-order curve.
+
+    Args:
+        block_size: points per block (last block may be smaller).
+        neighbor_expansion: include the preceding and following curve
+            blocks in each block's search space (the curve analogue of
+            the parent rule; default True).
+    """
+
+    name = "morton"
+
+    def __init__(self, block_size: int = 256, neighbor_expansion: bool = True):
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        self.block_size = block_size
+        self.neighbor_expansion = neighbor_expansion
+
+    def partition(self, coords: np.ndarray) -> BlockStructure:
+        n = len(coords)
+        if n == 0:
+            raise ValueError("cannot partition an empty point cloud")
+        codes = morton_codes(coords)
+        order = np.argsort(codes, kind="stable")
+        num_blocks = max(1, int(np.ceil(n / self.block_size)))
+        chunks = np.array_split(order, num_blocks)
+        blocks = [Block(np.sort(c).astype(np.int64), depth=1) for c in chunks]
+        spaces = []
+        for i, chunk in enumerate(chunks):
+            if self.neighbor_expansion:
+                parts = [chunks[j] for j in (i - 1, i, i + 1) if 0 <= j < len(chunks)]
+                spaces.append(np.sort(np.concatenate(parts)).astype(np.int64))
+            else:
+                spaces.append(blocks[i].indices)
+        # One global exclusive sort of all n points.
+        cost = PartitionCost(sorts=[n], passes=[n], levels=1)
+        return BlockStructure(
+            num_points=n, blocks=blocks, search_spaces=spaces,
+            cost=cost, strategy=self.name,
+        )

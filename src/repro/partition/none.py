@@ -1,0 +1,35 @@
+"""The non-partitioned baseline (PointAcc / Mesorasi execution model).
+
+A single block containing every point, whose search space is the whole
+cloud — i.e. every point operation degenerates to the original global
+search.  Used as the accuracy-lossless, efficiency-poor anchor of
+Fig. 3(a) and as the execution model of the non-partitioning accelerators.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.blocks import Block, BlockStructure, PartitionCost
+from .base import Partitioner
+
+__all__ = ["NoPartitioner"]
+
+
+class NoPartitioner(Partitioner):
+    """Identity partition: one block, global search space, zero cost."""
+
+    name = "none"
+
+    def partition(self, coords: np.ndarray) -> BlockStructure:
+        n = len(coords)
+        if n == 0:
+            raise ValueError("cannot partition an empty point cloud")
+        indices = np.arange(n, dtype=np.int64)
+        return BlockStructure(
+            num_points=n,
+            blocks=[Block(indices, depth=0)],
+            search_spaces=[indices],
+            cost=PartitionCost(levels=0),
+            strategy=self.name,
+        )

@@ -1,0 +1,103 @@
+"""Partition statistics and the Fig. 5 analytic sort/traversal counts.
+
+These formulas are what the paper prints next to its workflow diagrams:
+
+- KD-tree on ``n`` points with block size ``BS`` needs
+  ``2^ceil(log2(n/BS)) - 1`` exclusive sorts (every internal node of a
+  complete binary tree with ``ceil(n/BS)`` leaves): 15 sorts for 1 K / 64,
+  2047 for 289 K / 256.
+- Fractal needs ``ceil(log2(n/BS))`` inclusive traversals (one per tree
+  level): 4 for 1 K / 64, 11 for 289 K / 256.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.blocks import BlockStructure
+
+__all__ = [
+    "kdtree_sort_count",
+    "fractal_traversal_count",
+    "PartitionSummary",
+    "summarize",
+]
+
+
+def _levels(num_points: int, block_size: int) -> int:
+    """Balanced-tree depth needed to reach blocks of at most ``block_size``."""
+    if num_points <= 0 or block_size <= 0:
+        raise ValueError("num_points and block_size must be positive")
+    if num_points <= block_size:
+        return 0
+    return math.ceil(math.log2(num_points / block_size))
+
+
+def kdtree_sort_count(num_points: int, block_size: int) -> int:
+    """Number of exclusive sorts a KD-tree build performs (Fig. 5 left)."""
+    return 2 ** _levels(num_points, block_size) - 1
+
+
+def fractal_traversal_count(num_points: int, block_size: int) -> int:
+    """Number of inclusive traversals Fractal performs (Fig. 5 right)."""
+    return _levels(num_points, block_size)
+
+
+@dataclass
+class PartitionSummary:
+    """Balance and cost summary of one partitioning run."""
+
+    strategy: str
+    num_points: int
+    num_blocks: int
+    max_block: int
+    mean_block: float
+    balance_factor: float
+    underfilled_fraction: float
+    num_sorts: int
+    num_traversals: int
+    num_passes: int
+    levels: int
+
+    def row(self) -> list:
+        """Row for experiment tables."""
+        return [
+            self.strategy,
+            self.num_blocks,
+            self.max_block,
+            round(self.mean_block, 1),
+            round(self.balance_factor, 2),
+            round(self.underfilled_fraction, 3),
+            self.num_sorts,
+            self.num_traversals,
+            self.levels,
+        ]
+
+
+def summarize(structure: BlockStructure, *, underfilled_below: float = 0.25) -> PartitionSummary:
+    """Compute a :class:`PartitionSummary` for a block structure.
+
+    Args:
+        structure: the partition.
+        underfilled_below: a block counts as underfilled when its
+            population is below this fraction of the mean (the paper's
+            outlier discussion, §VI-D).
+    """
+    sizes = structure.block_sizes.astype(np.float64)
+    mean = float(sizes.mean())
+    return PartitionSummary(
+        strategy=structure.strategy,
+        num_points=structure.num_points,
+        num_blocks=structure.num_blocks,
+        max_block=int(sizes.max()),
+        mean_block=mean,
+        balance_factor=float(sizes.max() / mean),
+        underfilled_fraction=float((sizes < underfilled_below * mean).mean()),
+        num_sorts=structure.cost.num_sorts,
+        num_traversals=structure.cost.num_traversals,
+        num_passes=len(structure.cost.passes),
+        levels=structure.cost.levels,
+    )

@@ -1,0 +1,6 @@
+"""Runtime: op-level IR and the workload compiler."""
+
+from .compiler import clear_caches, compile_program
+from .program import PartitionStats, Program, StagePlan
+
+__all__ = ["PartitionStats", "Program", "StagePlan", "clear_caches", "compile_program"]

@@ -1,0 +1,147 @@
+"""Compiler: workload spec x input scale x partitioner → :class:`Program`.
+
+Mirrors the paper's software stack (§V-A "large operations are
+automatically tiled by the compiler based on input size and hardware
+configurations"): it instantiates the stage pipeline at the requested
+scale, materialises a representative input cloud from the workload's
+dataset family, and partitions every stage's input point set with the
+accelerator's strategy to obtain measured block statistics.
+
+Stage inputs below level 0 are approximated by random subsampling of the
+level-0 cloud — FPS output is a spatially uniform thinning, so block-size
+distributions of the subsample match those of the true sampled set (the
+approximation is validated in ``tests/test_compiler.py``).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from ..core.blocks import PartitionCost
+from ..datasets import load_cloud
+from ..networks.workloads import WorkloadSpec
+from ..partition import get_partitioner
+from .program import PartitionStats, Program, StagePlan
+
+__all__ = ["compile_program", "clear_caches"]
+
+
+@lru_cache(maxsize=32)
+def _cached_cloud(dataset: str, num_points: int, seed: int) -> np.ndarray:
+    return load_cloud(dataset, num_points, seed).coords.astype(np.float64)
+
+
+@lru_cache(maxsize=256)
+def _cached_partition_stats(
+    dataset: str,
+    total_points: int,
+    stage_points: int,
+    strategy: str,
+    block_size: int,
+    seed: int,
+) -> PartitionStats:
+    coords = _cached_cloud(dataset, total_points, seed)
+    if stage_points < len(coords):
+        rng = np.random.default_rng(seed + stage_points)
+        coords = coords[rng.choice(len(coords), size=stage_points, replace=False)]
+    structure = get_partitioner(strategy, max_points_per_block=block_size)(coords)
+    return PartitionStats(
+        strategy=strategy,
+        block_sizes=structure.block_sizes,
+        search_sizes=structure.search_sizes,
+        cost=structure.cost,
+    )
+
+
+def clear_caches() -> None:
+    """Drop compiler caches (tests that vary generators use this)."""
+    _cached_cloud.cache_clear()
+    _cached_partition_stats.cache_clear()
+
+
+def _weight_bytes(spec: WorkloadSpec, bytes_per_scalar: int = 2) -> float:
+    """Total parameter bytes of the workload's MLPs (FP16)."""
+    total = 0
+    ch = spec.in_channels
+    for sa in spec.sa_stages:
+        c_in = ch + 3
+        for c_out in sa.mlp:
+            total += c_in * c_out
+            c_in = c_out
+        ch = sa.mlp[-1]
+    if spec.task == "cls":
+        c_in = ch + 3
+        for c_out in spec.global_mlp:
+            total += c_in * c_out
+            c_in = c_out
+        for c_out in spec.head:
+            total += c_in * c_out
+            c_in = c_out
+    else:
+        skip = [spec.in_channels] + [sa.mlp[-1] for sa in spec.sa_stages[:-1]]
+        for depth, fp in enumerate(spec.fp_stages):
+            c_in = ch + skip[len(spec.sa_stages) - 1 - depth]
+            for c_out in fp.mlp:
+                total += c_in * c_out
+                c_in = c_out
+            ch = fp.mlp[-1]
+        c_in = ch
+        for c_out in spec.head:
+            total += c_in * c_out
+            c_in = c_out
+    return float(total * bytes_per_scalar)
+
+
+def compile_program(
+    spec: WorkloadSpec,
+    num_points: int,
+    partitioner: str = "none",
+    block_size: int = 256,
+    seed: int = 0,
+) -> Program:
+    """Compile ``spec`` at ``num_points`` for a partitioning strategy.
+
+    Args:
+        spec: a Table I workload.
+        num_points: input scale.
+        partitioner: the accelerator's strategy ("none" skips partition
+            statistics entirely).
+        block_size: partition threshold (th / BS).
+        seed: dataset seed.
+
+    Returns:
+        A :class:`Program` with per-stage partition statistics attached
+        to every stage that partitions its input (SA and FP stages).
+    """
+    if num_points < spec.min_points():
+        raise ValueError(
+            f"{spec.key} needs at least {spec.min_points()} points, got {num_points}"
+        )
+    program = Program(
+        workload_key=spec.key,
+        num_points=num_points,
+        partitioner=partitioner,
+        weight_bytes=_weight_bytes(spec),
+    )
+    for stage in spec.concrete(num_points):
+        partition = None
+        if partitioner != "none" and stage.kind in ("sa", "fp"):
+            # SA stages partition their input set; FP stages partition the
+            # *dense* side (centres of the interpolation).
+            stage_points = stage.n_in if stage.kind == "sa" else stage.n_out
+            if stage_points > block_size:
+                partition = _cached_partition_stats(
+                    spec.dataset, num_points, stage_points,
+                    partitioner, block_size, seed,
+                )
+            else:
+                partition = PartitionStats(
+                    strategy=partitioner,
+                    block_sizes=np.array([stage_points], dtype=np.int64),
+                    search_sizes=np.array([stage_points], dtype=np.int64),
+                    cost=PartitionCost(levels=0),
+                )
+        program.stages.append(StagePlan(stage=stage, partition=partition))
+    return program

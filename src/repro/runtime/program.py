@@ -1,0 +1,60 @@
+"""Op-level intermediate representation fed to the hardware simulator.
+
+A :class:`Program` is a workload instantiated at one input scale against
+one partitioning strategy: a sequence of :class:`StagePlan` objects, each
+pairing a concrete network stage with the *measured* partition statistics
+of that stage's input point set (block sizes, search-space sizes, and the
+preprocessing cost counters the fractal engine turns into cycles).
+
+The block statistics are grounded: the compiler partitions actual
+synthetic point clouds (the same generators the functional experiments
+use), so imbalance, search-space growth, and level counts reflect real
+point distributions rather than balanced-tree idealisations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.blocks import PartitionCost
+
+__all__ = ["PartitionStats", "StagePlan", "Program"]
+
+
+@dataclass
+class PartitionStats:
+    """Measured block structure of one stage input."""
+
+    strategy: str
+    block_sizes: np.ndarray
+    search_sizes: np.ndarray
+    cost: PartitionCost
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.block_sizes)
+
+    @property
+    def num_points(self) -> int:
+        return int(self.block_sizes.sum())
+
+
+@dataclass
+class StagePlan:
+    """One concrete stage plus the partition of its input (if any)."""
+
+    stage: object  # networks.workloads.ConcreteStage
+    partition: PartitionStats | None = None
+
+
+@dataclass
+class Program:
+    """A compiled workload: the unit of simulation."""
+
+    workload_key: str
+    num_points: int
+    partitioner: str
+    stages: list[StagePlan] = field(default_factory=list)
+    weight_bytes: float = 0.0

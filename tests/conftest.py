@@ -1,0 +1,42 @@
+"""Shared fixtures: deterministic RNGs and representative point clouds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import FractalConfig, fractal_partition
+from repro.datasets import load_cloud
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def gaussian_cloud(rng) -> np.ndarray:
+    """A 1 K unstructured cloud (worst case for shape-aware methods)."""
+    return rng.normal(size=(1000, 3))
+
+
+@pytest.fixture
+def scene_coords() -> np.ndarray:
+    """An 8 K S3DIS-like scene (surface-aligned, non-uniform density)."""
+    return load_cloud("s3dis", 8192, seed=7).coords.astype(np.float64)
+
+
+@pytest.fixture
+def object_coords() -> np.ndarray:
+    """A 1 K ModelNet-like object."""
+    return load_cloud("modelnet40", 1024, seed=3).coords.astype(np.float64)
+
+
+@pytest.fixture
+def small_tree(gaussian_cloud):
+    return fractal_partition(gaussian_cloud, FractalConfig(threshold=64))
+
+
+@pytest.fixture
+def small_structure(small_tree):
+    return small_tree.block_structure()

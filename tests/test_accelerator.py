@@ -1,0 +1,179 @@
+"""Tests for the top-level accelerator simulator and Table II configs."""
+
+import pytest
+
+from repro.hw import (
+    CRESCENT,
+    FRACTALCLOUD,
+    MESORASI,
+    POINTACC,
+    SOTA_CONFIGS,
+    AcceleratorSim,
+    ablation_ladder,
+)
+from repro.networks import get_workload
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return get_workload("PNXt(s)")
+
+
+@pytest.fixture(scope="module")
+def results(spec):
+    """One simulation per accelerator at 33 K (the Fig. 15 setting)."""
+    return {
+        name: AcceleratorSim(cfg).run(spec, 33_000)
+        for name, cfg in SOTA_CONFIGS.items()
+    }
+
+
+class TestConfigs:
+    def test_table2_fields(self):
+        assert POINTACC.sram_kb == 274.0
+        assert CRESCENT.sram_kb == pytest.approx(1622.8)
+        assert MESORASI.sram_kb == 1624.0
+        assert FRACTALCLOUD.sram_kb == 274.0
+        for cfg in SOTA_CONFIGS.values():
+            assert cfg.pe_rows == cfg.pe_cols == 16
+            assert cfg.frequency_hz == 1e9
+            assert cfg.dram_gbps == 17.0
+
+    def test_areas_match_table2(self):
+        assert MESORASI.area_mm2 == 4.59
+        assert POINTACC.area_mm2 == 1.91
+        assert CRESCENT.area_mm2 == 4.75
+        assert FRACTALCLOUD.area_mm2 == 1.5
+
+    def test_feature_flags(self):
+        assert not POINTACC.uses_partitioning
+        assert CRESCENT.partitioner == "kdtree" and not CRESCENT.block_parallel
+        assert not CRESCENT.block_sampling  # global FPS (PointAcc engine)
+        assert FRACTALCLOUD.block_parallel and FRACTALCLOUD.window_check
+        assert all([FRACTALCLOUD.block_sampling, FRACTALCLOUD.block_grouping,
+                    FRACTALCLOUD.block_interpolation, FRACTALCLOUD.block_gathering])
+
+    def test_ablation_ladder_order(self):
+        ladder = ablation_ladder()
+        names = [cfg.name for cfg in ladder]
+        assert names == ["Baseline", "Baseline(Meso)", "+RSPU", "+BWS",
+                         "+BWG", "+BWI", "+BWGa"]
+        # Each rung only adds features.
+        assert not ladder[0].delayed_aggregation
+        assert ladder[1].delayed_aggregation
+        assert ladder[2].window_check
+        assert ladder[3].block_sampling and ladder[3].partitioner == "fractal"
+        assert ladder[6].block_gathering
+
+
+class TestSimulatorSanity:
+    def test_positive_latency_energy(self, results):
+        for name, r in results.items():
+            assert r.latency_s > 0, name
+            assert r.energy_j > 0, name
+            assert r.dram_bytes > 0, name
+
+    def test_phases_present(self, results):
+        fract = results["FractalCloud"]
+        for phase in ("partition", "sample", "neighbor", "interpolate",
+                      "gather", "mlp", "pool", "io"):
+            assert phase in fract.phases, phase
+        assert "partition" not in results["PointAcc"].phases
+
+    def test_breakdown_sums_to_total(self, results):
+        for r in results.values():
+            assert r.point_op_seconds + r.mlp_seconds + r.other_seconds == (
+                pytest.approx(r.latency_s)
+            )
+            bd = r.energy_breakdown()
+            assert sum(bd.values()) == pytest.approx(r.energy_j)
+
+    def test_latency_monotone_in_scale(self, spec):
+        sim = AcceleratorSim(FRACTALCLOUD)
+        latencies = [sim.run(spec, n).latency_s for n in (8192, 33_000, 131_000)]
+        assert latencies[0] < latencies[1] < latencies[2]
+
+    def test_deterministic(self, spec):
+        sim = AcceleratorSim(FRACTALCLOUD)
+        a = sim.run(spec, 8192)
+        b = sim.run(spec, 8192)
+        assert a.latency_s == b.latency_s
+        assert a.energy_j == b.energy_j
+
+
+class TestPaperOrderings:
+    """The qualitative results the paper's evaluation rests on."""
+
+    def test_fractalcloud_fastest_at_33k(self, results):
+        fract = results["FractalCloud"].latency_s
+        for name in ("Mesorasi", "PointAcc", "Crescent"):
+            assert results[name].latency_s > fract, name
+
+    def test_fractalcloud_most_efficient(self, results):
+        fract = results["FractalCloud"].energy_j
+        for name in ("Mesorasi", "PointAcc", "Crescent"):
+            assert results[name].energy_j > fract, name
+
+    def test_pointacc_pointop_dominated_at_33k(self, results):
+        """Fig. 15: point operations dominate PointAcc's latency."""
+        r = results["PointAcc"]
+        assert r.point_op_seconds > 0.5 * r.latency_s
+
+    def test_fractalcloud_mlp_dominated(self, results):
+        """After BPPO, point ops collapse and MLPs dominate."""
+        r = results["FractalCloud"]
+        assert r.mlp_seconds > r.point_op_seconds
+
+    def test_fractal_partition_overhead_below_1pct(self, results):
+        """Paper: Fractal adds <0.8% of end-to-end latency."""
+        r = results["FractalCloud"]
+        assert r.phases["partition"].seconds < 0.01 * r.latency_s
+
+    def test_crescent_partition_overhead_significant(self, spec):
+        """KD-tree partitioning is a visible share of Crescent latency."""
+        r = AcceleratorSim(CRESCENT).run(spec, 33_000)
+        assert r.phases["partition"].seconds > 0.01 * r.latency_s
+
+    def test_crescent_sram_energy_exceeds_fractalclouds(self, results):
+        """Fig. 15(b): the big buffer costs energy per access."""
+        crescent = results["Crescent"].energy_breakdown()["sram"]
+        fract = results["FractalCloud"].energy_breakdown()["sram"]
+        assert crescent > fract
+
+    def test_crescent_within_2x_of_fractalcloud_at_1k(self):
+        """Paper: 'Crescent is only 20% slower than ours' at small scale."""
+        spec_c = get_workload("PN++(c)")
+        crescent = AcceleratorSim(CRESCENT).run(spec_c, 1024).latency_s
+        fract = AcceleratorSim(FRACTALCLOUD).run(spec_c, 1024).latency_s
+        assert crescent < 2.0 * fract
+
+    def test_crescent_gap_explodes_at_large_scale(self, spec):
+        """...but the gap grows to an order of magnitude at 289 K."""
+        crescent = AcceleratorSim(CRESCENT).run(spec, 289_000).latency_s
+        fract = AcceleratorSim(FRACTALCLOUD).run(spec, 289_000).latency_s
+        assert crescent > 10 * fract
+
+    def test_speedup_grows_with_scale(self, spec):
+        """FractalCloud's advantage over PointAcc widens with n (Fig. 13)."""
+        ratios = []
+        for n in (8192, 131_000):
+            pa = AcceleratorSim(POINTACC).run(spec, n).latency_s
+            fc = AcceleratorSim(FRACTALCLOUD).run(spec, n).latency_s
+            ratios.append(pa / fc)
+        assert ratios[1] > 2 * ratios[0]
+
+    def test_ablation_ladder_monotone(self, spec):
+        """Fig. 18: every optimisation rung reduces latency."""
+        latencies = [
+            AcceleratorSim(cfg).run(spec, 33_000).latency_s
+            for cfg in ablation_ladder()
+        ]
+        for prev, nxt in zip(latencies, latencies[1:]):
+            assert nxt <= prev * 1.02  # allow sub-percent noise
+
+    def test_ablation_total_gain_large(self, spec):
+        """Fig. 18: baseline → full stack is orders of magnitude."""
+        ladder = ablation_ladder()
+        base = AcceleratorSim(ladder[0]).run(spec, 131_000).latency_s
+        full = AcceleratorSim(ladder[-1]).run(spec, 131_000).latency_s
+        assert base / full > 20

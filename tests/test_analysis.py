@@ -1,0 +1,52 @@
+"""Tests for analysis helpers (tables, geomeans, sweeps)."""
+
+import pytest
+
+from repro.analysis import format_si, format_table, geomean, ratio, threshold_sweep
+from repro.networks import get_workload
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 22], [333, 4]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_geomean(self):
+        assert geomean([1, 100]) == pytest.approx(10.0)
+        assert geomean([7]) == pytest.approx(7.0)
+
+    def test_geomean_validates(self):
+        with pytest.raises(ValueError, match="empty"):
+            geomean([])
+        with pytest.raises(ValueError, match="positive"):
+            geomean([1.0, 0.0])
+
+    def test_ratio(self):
+        assert ratio(10, 4) == pytest.approx(2.5)
+        with pytest.raises(ZeroDivisionError):
+            ratio(1, 0)
+
+    def test_format_si(self):
+        assert format_si(1024) == "1.02K"
+        assert format_si(2_000_000) == "2M"
+        assert format_si(12) == "12"
+
+
+class TestThresholdSweep:
+    def test_sweep_shape_and_tradeoff(self):
+        """Fig. 17's qualitative trade-off: small thresholds are faster
+        but distort sampling; no-fractal is the slow/lossless anchor."""
+        spec = get_workload("PNXt(s)")
+        points = threshold_sweep(spec, 8192, [None, 512, 64, 8])
+        assert points[0].threshold is None
+        assert points[0].speedup_vs_no_fractal == pytest.approx(1.0)
+        by_th = {p.threshold: p for p in points}
+        # Speedup: every fractal point beats no-fractal; smaller th faster.
+        assert by_th[64].speedup_vs_no_fractal > 1.0
+        assert by_th[8].speedup_vs_no_fractal >= by_th[512].speedup_vs_no_fractal
+        # Quality: coverage distortion grows as blocks shrink.
+        assert by_th[8].coverage_ratio >= by_th[512].coverage_ratio
+        assert by_th[512].coverage_ratio >= 0.99

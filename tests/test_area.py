@@ -1,0 +1,33 @@
+"""Tests for the Fig. 12 area/power budget."""
+
+import pytest
+
+from repro.hw import FRACTALCLOUD, FRACTALCLOUD_BUDGET, total_area_mm2, total_power_w
+from repro.hw import area
+
+
+class TestBudget:
+    def test_totals_match_reported_figures(self):
+        assert total_area_mm2() == pytest.approx(area.CORE_AREA_MM2, rel=0.01)
+        assert total_power_w() == pytest.approx(area.AVG_POWER_W, rel=0.01)
+
+    def test_budget_consistent_with_table2(self):
+        assert area.CORE_AREA_MM2 == FRACTALCLOUD.area_mm2
+        assert area.SRAM_KB == FRACTALCLOUD.sram_kb
+        assert area.FREQUENCY_HZ == FRACTALCLOUD.frequency_hz
+
+    def test_fractal_engine_overhead_small(self):
+        """Paper: the fractal engine adds ~1% area."""
+        engine = next(m for m in FRACTALCLOUD_BUDGET if "Fractal engine" in m.name)
+        assert engine.area_mm2 / total_area_mm2() < 0.02
+
+    def test_all_modules_positive(self):
+        for module in FRACTALCLOUD_BUDGET:
+            assert module.area_mm2 > 0
+            assert module.power_w > 0
+
+    def test_smaller_than_every_baseline(self):
+        from repro.hw import CRESCENT, MESORASI, POINTACC
+
+        for cfg in (MESORASI, POINTACC, CRESCENT):
+            assert FRACTALCLOUD.area_mm2 < cfg.area_mm2

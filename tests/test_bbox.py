@@ -1,0 +1,116 @@
+"""Unit + property tests for axis-aligned bounding boxes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import AABB, aabb_of_points
+
+
+def _finite_points(min_n=1, max_n=64):
+    return st.lists(
+        st.tuples(
+            st.floats(-100, 100, allow_nan=False),
+            st.floats(-100, 100, allow_nan=False),
+            st.floats(-100, 100, allow_nan=False),
+        ),
+        min_size=min_n,
+        max_size=max_n,
+    ).map(lambda rows: np.array(rows, dtype=np.float64))
+
+
+class TestAABBConstruction:
+    def test_basic_fields(self):
+        box = AABB(np.zeros(3), np.ones(3))
+        assert np.allclose(box.extent, 1.0)
+        assert np.allclose(box.center, 0.5)
+        assert box.volume == pytest.approx(1.0)
+
+    def test_rejects_inverted_corners(self):
+        with pytest.raises(ValueError, match="lo must be <="):
+            AABB(np.ones(3), np.zeros(3))
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            AABB(np.zeros(2), np.ones(2))
+
+    def test_degenerate_box_allowed(self):
+        box = AABB(np.zeros(3), np.zeros(3))
+        assert box.volume == 0.0
+
+    def test_of_points_tight(self):
+        pts = np.array([[0, 0, 0], [1, 2, 3], [-1, 0.5, 2]], dtype=float)
+        box = aabb_of_points(pts)
+        assert np.allclose(box.lo, [-1, 0, 0])
+        assert np.allclose(box.hi, [1, 2, 3])
+
+    def test_of_points_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            aabb_of_points(np.empty((0, 3)))
+
+    def test_of_points_rejects_wrong_shape(self):
+        with pytest.raises(ValueError, match=r"\(n, 3\)"):
+            aabb_of_points(np.zeros((4, 2)))
+
+
+class TestAABBOperations:
+    def test_midpoint_is_minmax_average(self):
+        box = AABB(np.array([0.0, -2.0, 1.0]), np.array([4.0, 2.0, 3.0]))
+        assert box.midpoint(0) == pytest.approx(2.0)
+        assert box.midpoint(1) == pytest.approx(0.0)
+        assert box.midpoint(2) == pytest.approx(2.0)
+
+    def test_longest_axis(self):
+        box = AABB(np.zeros(3), np.array([1.0, 5.0, 2.0]))
+        assert box.longest_axis == 1
+
+    def test_split_partitions_volume(self):
+        box = AABB(np.zeros(3), np.ones(3))
+        lo, hi = box.split(0, 0.25)
+        assert lo.volume + hi.volume == pytest.approx(box.volume)
+        assert lo.hi[0] == pytest.approx(0.25)
+        assert hi.lo[0] == pytest.approx(0.25)
+
+    def test_split_outside_range_rejected(self):
+        box = AABB(np.zeros(3), np.ones(3))
+        with pytest.raises(ValueError, match="outside"):
+            box.split(1, 2.0)
+
+    def test_contains(self):
+        box = AABB(np.zeros(3), np.ones(3))
+        pts = np.array([[0.5, 0.5, 0.5], [2.0, 0.0, 0.0]])
+        assert box.contains(pts).tolist() == [True, False]
+
+    def test_union_covers_both(self):
+        a = AABB(np.zeros(3), np.ones(3))
+        b = AABB(np.array([2.0, 2.0, 2.0]), np.array([3.0, 3.0, 3.0]))
+        u = a.union(b)
+        assert np.allclose(u.lo, 0.0)
+        assert np.allclose(u.hi, 3.0)
+
+    def test_intersects(self):
+        a = AABB(np.zeros(3), np.ones(3))
+        b = AABB(np.array([0.5, 0.5, 0.5]), np.array([2.0, 2.0, 2.0]))
+        c = AABB(np.array([5.0, 5.0, 5.0]), np.array([6.0, 6.0, 6.0]))
+        assert a.intersects(b)
+        assert b.intersects(a)
+        assert not a.intersects(c)
+
+
+class TestAABBProperties:
+    @given(_finite_points())
+    def test_box_contains_all_its_points(self, pts):
+        box = aabb_of_points(pts)
+        assert box.contains(pts).all()
+
+    @given(_finite_points(min_n=2), st.integers(0, 2))
+    def test_split_at_midpoint_separates_points(self, pts, dim):
+        box = aabb_of_points(pts)
+        mid = box.midpoint(dim)
+        lo, hi = box.split(dim, mid)
+        below = pts[pts[:, dim] <= mid]
+        above = pts[pts[:, dim] > mid]
+        if len(below):
+            assert lo.contains(below).all()
+        if len(above):
+            assert hi.contains(above).all()

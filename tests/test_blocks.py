@@ -1,0 +1,88 @@
+"""Tests for the generic block structures and cost counters."""
+
+import numpy as np
+import pytest
+
+from repro.core import Block, BlockStructure, PartitionCost
+
+
+class TestBlock:
+    def test_coerces_indices(self):
+        b = Block([3, 1, 2])
+        assert b.indices.dtype == np.int64
+        assert len(b) == 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            Block(np.array([], dtype=np.int64))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            Block(np.zeros((2, 2), dtype=np.int64))
+
+    def test_rejects_negative_depth(self):
+        with pytest.raises(ValueError, match="depth"):
+            Block(np.array([0]), depth=-1)
+
+
+class TestPartitionCost:
+    def test_aggregates(self):
+        cost = PartitionCost(sorts=[8, 4, 4], traversals=[16, 16], passes=[16], levels=2)
+        assert cost.total_sorted_elements == 16
+        assert cost.total_traversed_elements == 32
+        assert cost.num_sorts == 3
+        assert cost.num_traversals == 2
+
+    def test_empty_defaults(self):
+        cost = PartitionCost()
+        assert cost.total_sorted_elements == 0
+        assert cost.levels == 0
+
+
+class TestBlockStructure:
+    def _make(self, blocks, spaces, n):
+        return BlockStructure(
+            num_points=n,
+            blocks=blocks,
+            search_spaces=spaces,
+            cost=PartitionCost(),
+        )
+
+    def test_validate_passes_for_partition(self):
+        blocks = [Block(np.array([0, 1])), Block(np.array([2, 3]))]
+        spaces = [np.array([0, 1, 2, 3]), np.array([2, 3])]
+        self._make(blocks, spaces, 4).validate()
+
+    def test_validate_catches_overlap(self):
+        blocks = [Block(np.array([0, 1])), Block(np.array([1, 2]))]
+        spaces = [b.indices for b in blocks]
+        with pytest.raises(ValueError, match="overlap"):
+            self._make(blocks, spaces, 3).validate()
+
+    def test_validate_catches_missing_points(self):
+        blocks = [Block(np.array([0, 1]))]
+        spaces = [blocks[0].indices]
+        with pytest.raises(ValueError, match="not covered"):
+            self._make(blocks, spaces, 3).validate()
+
+    def test_validate_requires_space_superset(self):
+        blocks = [Block(np.array([0, 1])), Block(np.array([2]))]
+        spaces = [np.array([0]), np.array([2])]  # first space misses point 1
+        with pytest.raises(ValueError, match="search space"):
+            self._make(blocks, spaces, 3).validate()
+
+    def test_mismatched_spaces_rejected_at_init(self):
+        with pytest.raises(ValueError, match="search spaces"):
+            self._make([Block(np.array([0]))], [], 1)
+
+    def test_block_of_point(self):
+        blocks = [Block(np.array([0, 2])), Block(np.array([1, 3]))]
+        spaces = [b.indices for b in blocks]
+        owner = self._make(blocks, spaces, 4).block_of_point()
+        assert owner.tolist() == [0, 1, 0, 1]
+
+    def test_size_accessors(self, small_structure):
+        sizes = small_structure.block_sizes
+        assert sizes.sum() == small_structure.num_points
+        assert small_structure.max_block_size == sizes.max()
+        assert (small_structure.search_sizes >= sizes).all()

@@ -1,0 +1,203 @@
+"""Tests for Block-Parallel Point Operations (paper §IV-B)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    allocate_samples,
+    block_ball_query,
+    block_fps,
+    block_gather,
+    block_interpolate,
+    block_knn,
+    FractalConfig,
+    fractal_partition,
+)
+from repro.geometry import (
+    ball_query,
+    coverage_radius,
+    farthest_point_sample,
+    gather_features,
+    interpolate_features,
+    neighbor_recall,
+    knn_search,
+)
+
+
+class TestAllocateSamples:
+    def test_exact_total(self):
+        quotas = allocate_samples(np.array([10, 20, 30]), 30)
+        assert quotas.sum() == 30
+
+    def test_proportionality(self):
+        quotas = allocate_samples(np.array([100, 200, 300]), 60)
+        assert quotas.tolist() == [10, 20, 30]
+
+    def test_never_exceeds_block_size(self):
+        quotas = allocate_samples(np.array([2, 1000]), 500)
+        assert quotas[0] <= 2
+        assert quotas.sum() == 500
+
+    def test_validates_input(self):
+        with pytest.raises(ValueError, match="positive"):
+            allocate_samples(np.array([0, 5]), 2)
+        with pytest.raises(ValueError, match="num_samples"):
+            allocate_samples(np.array([4, 4]), 9)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.integers(1, 500), min_size=1, max_size=40),
+        st.data(),
+    )
+    def test_property_exact_and_bounded(self, sizes, data):
+        sizes = np.array(sizes)
+        s = data.draw(st.integers(1, int(sizes.sum())))
+        quotas = allocate_samples(sizes, s)
+        assert quotas.sum() == s
+        assert (quotas >= 0).all()
+        assert (quotas <= sizes).all()
+
+
+class TestBlockFPS:
+    def test_exact_count_and_uniqueness(self, small_structure, gaussian_cloud):
+        idx, trace = block_fps(small_structure, gaussian_cloud, 250)
+        assert len(idx) == 250
+        assert len(set(idx.tolist())) == 250
+        assert trace.kind == "fps"
+        assert trace.total_outputs == 250
+
+    def test_samples_come_from_their_blocks(self, small_structure, gaussian_cloud):
+        idx, _ = block_fps(small_structure, gaussian_cloud, 100)
+        owner = small_structure.block_of_point()
+        # Every sampled point's block received a non-zero quota.
+        sampled_blocks, counts = np.unique(owner[idx], return_counts=True)
+        quotas = allocate_samples(small_structure.block_sizes, 100)
+        for b, c in zip(sampled_blocks, counts):
+            assert quotas[b] == c
+
+    def test_coverage_close_to_exact_fps(self, scene_coords):
+        """Block-wise sampling preserves coverage (the <0.2% accuracy
+        claim's geometric driver)."""
+        tree = fractal_partition(scene_coords, FractalConfig(threshold=256))
+        structure = tree.block_structure()
+        n_s = len(scene_coords) // 4
+        approx, _ = block_fps(structure, scene_coords, n_s)
+        exact = farthest_point_sample(scene_coords, n_s)
+        ratio = coverage_radius(scene_coords, approx) / coverage_radius(scene_coords, exact)
+        assert ratio < 2.0  # same order of coverage; typically ~1.1-1.5
+
+    def test_trace_block_work(self, small_structure, gaussian_cloud):
+        _, trace = block_fps(small_structure, gaussian_cloud, 100)
+        assert trace.num_blocks == small_structure.num_blocks
+        for work in trace.blocks:
+            assert work.n_search == work.n_points  # FPS searches its own block
+
+
+class TestBlockBallQuery:
+    def test_neighbors_within_search_space(self, small_structure, gaussian_cloud):
+        centers, _ = block_fps(small_structure, gaussian_cloud, 200)
+        nbrs, trace = block_ball_query(small_structure, gaussian_cloud, centers, 0.5, 8)
+        assert nbrs.shape == (200, 8)
+        owner = small_structure.block_of_point()
+        for row, c in enumerate(centers):
+            space = set(small_structure.search_spaces[owner[c]].tolist())
+            assert set(nbrs[row].tolist()) <= space
+
+    def test_radius_respected_or_fallback(self, small_structure, gaussian_cloud):
+        centers, _ = block_fps(small_structure, gaussian_cloud, 50)
+        r = 0.4
+        nbrs, _ = block_ball_query(small_structure, gaussian_cloud, centers, r, 8)
+        d = np.linalg.norm(
+            gaussian_cloud[centers][:, None, :] - gaussian_cloud[nbrs], axis=2
+        )
+        # Each row either has all-within-radius or is a nearest-fallback row.
+        within = (d <= r + 1e-9).all(axis=1)
+        assert within.mean() > 0.9
+
+    def test_high_recall_vs_global_search(self, scene_coords):
+        """Parent-expanded search spaces recover almost all true
+        neighbours — the mechanism behind <0.6% accuracy loss (Fig. 14)."""
+        tree = fractal_partition(scene_coords, FractalConfig(threshold=256))
+        structure = tree.block_structure()
+        centers, _ = block_fps(structure, scene_coords, 512)
+        approx, _ = block_ball_query(structure, scene_coords, centers, 0.2, 16)
+        exact = ball_query(scene_coords[centers], scene_coords, 0.2, 16)
+        # Most true neighbours are recovered; the residual loss is what
+        # retraining absorbs (paper §VI-B).
+        assert neighbor_recall(approx, exact) > 0.75
+
+
+class TestBlockKNN:
+    def test_subset_of_candidates(self, small_structure, gaussian_cloud, rng):
+        cands = rng.choice(len(gaussian_cloud), size=200, replace=False)
+        centers = np.arange(len(gaussian_cloud))
+        nbrs, _ = block_knn(small_structure, gaussian_cloud, centers, cands, 3)
+        assert set(nbrs.ravel().tolist()) <= set(cands.tolist())
+
+    def test_widening_on_candidate_starved_blocks(self, small_structure, gaussian_cloud):
+        # Only 3 candidates total: every block must widen to the full set.
+        cands = np.array([0, 1, 2])
+        centers = np.arange(50)
+        nbrs, trace = block_knn(small_structure, gaussian_cloud, centers, cands, 3)
+        assert trace.num_widened >= 1
+        assert set(nbrs.ravel().tolist()) <= {0, 1, 2}
+
+    def test_needs_k_candidates(self, small_structure, gaussian_cloud):
+        with pytest.raises(ValueError, match="candidates"):
+            block_knn(small_structure, gaussian_cloud, np.arange(5), np.array([1]), 3)
+
+    def test_matches_exact_when_single_block(self, gaussian_cloud, rng):
+        from repro.partition import NoPartitioner
+
+        structure = NoPartitioner()(gaussian_cloud)
+        cands = rng.choice(len(gaussian_cloud), size=100, replace=False)
+        centers = np.arange(40)
+        ours, _ = block_knn(structure, gaussian_cloud, centers, cands, 3)
+        exact_local = knn_search(gaussian_cloud[centers], gaussian_cloud[cands], 3)
+        assert np.array_equal(ours, cands[exact_local])
+
+
+class TestBlockInterpolate:
+    def test_matches_exact_for_single_block(self, gaussian_cloud, rng):
+        from repro.partition import NoPartitioner
+
+        structure = NoPartitioner()(gaussian_cloud)
+        cands = np.sort(rng.choice(len(gaussian_cloud), size=120, replace=False))
+        feats = rng.normal(size=(120, 8))
+        centers = np.arange(len(gaussian_cloud))
+        ours, _ = block_interpolate(structure, gaussian_cloud, centers, cands, feats)
+        exact = interpolate_features(gaussian_cloud, gaussian_cloud[cands], feats)
+        assert np.allclose(ours, exact, atol=1e-6)
+
+    def test_feature_alignment_checked(self, small_structure, gaussian_cloud, rng):
+        with pytest.raises(ValueError, match="align"):
+            block_interpolate(
+                small_structure, gaussian_cloud, np.arange(5),
+                np.array([0, 1, 2, 3]), rng.normal(size=(3, 4)),
+            )
+
+    def test_interpolation_close_to_global(self, scene_coords, rng):
+        tree = fractal_partition(scene_coords, FractalConfig(threshold=256))
+        structure = tree.block_structure()
+        cands = np.sort(rng.choice(len(scene_coords), size=2048, replace=False))
+        feats = rng.normal(size=(2048, 4))
+        centers = rng.choice(len(scene_coords), size=1000, replace=False)
+        ours, trace = block_interpolate(structure, scene_coords, centers, cands, feats)
+        exact = interpolate_features(
+            scene_coords[centers], scene_coords[cands], feats
+        )
+        # Most rows identical (same 3-NN found inside the parent space).
+        same = np.isclose(ours, exact, atol=1e-6).all(axis=1).mean()
+        assert same > 0.8
+
+
+class TestBlockGather:
+    def test_functionally_identical_to_global(self, small_structure, gaussian_cloud, rng):
+        feats = rng.normal(size=(len(gaussian_cloud), 16))
+        centers, _ = block_fps(small_structure, gaussian_cloud, 100)
+        nbrs, _ = block_ball_query(small_structure, gaussian_cloud, centers, 0.5, 8)
+        ours, trace = block_gather(small_structure, feats, nbrs, centers)
+        assert np.array_equal(ours, gather_features(feats, nbrs))
+        assert trace.kind == "gather"
+        assert trace.total_outputs == 100 * 8

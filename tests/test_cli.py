@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_partition_defaults(self):
+        args = build_parser().parse_args(["partition"])
+        assert args.dataset == "s3dis"
+        assert args.block_size == 256
+
+    def test_simulate_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--accelerator", "TPU"])
+
+
+class TestCommands:
+    def test_partition_command(self, capsys):
+        rc = main(["partition", "--dataset", "modelnet40", "--points", "1024",
+                   "--block-size", "64", "--strategy", "fractal,uniform"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fractal" in out and "uniform" in out
+        assert "1,024 points" in out
+
+    def test_partition_from_npy(self, capsys, tmp_path):
+        coords = np.random.default_rng(0).normal(size=(500, 3))
+        path = tmp_path / "cloud.npy"
+        np.save(path, coords)
+        rc = main(["partition", "--input", str(path), "--strategy", "fractal",
+                   "--block-size", "64"])
+        assert rc == 0
+        assert "500 points" in capsys.readouterr().out
+
+    def test_simulate_accelerator(self, capsys):
+        rc = main(["simulate", "--workload", "PN++(c)", "--points", "1K",
+                   "--accelerator", "FractalCloud"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "FractalCloud" in out
+        assert "latency" in out and "mlp" in out
+
+    def test_simulate_gpu(self, capsys):
+        rc = main(["simulate", "--workload", "PN++(c)", "--points", "1K",
+                   "--accelerator", "GPU"])
+        assert rc == 0
+        assert "GPU" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        rc = main(["compare", "--workload", "PNXt(s)", "--scales", "8K,33K"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "speedup over GPU" in out
+        assert "FractalCloud" in out

@@ -1,0 +1,94 @@
+"""Tests for the workload compiler (runtime package)."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import compile_program
+from repro.networks import get_workload
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return get_workload("PNXt(s)")
+
+
+class TestProgramStructure:
+    def test_stage_count(self, spec):
+        program = compile_program(spec, 8192, "none")
+        # 4 SA + 4 FP + head
+        assert len(program.stages) == 9
+        kinds = [p.stage.kind for p in program.stages]
+        assert kinds == ["sa"] * 4 + ["fp"] * 4 + ["head"]
+
+    def test_no_partition_stats_for_none(self, spec):
+        program = compile_program(spec, 8192, "none")
+        assert all(p.partition is None for p in program.stages)
+
+    def test_partition_stats_for_fractal(self, spec):
+        program = compile_program(spec, 8192, "fractal", block_size=256)
+        sa_plans = [p for p in program.stages if p.stage.kind == "sa"]
+        for plan in sa_plans:
+            assert plan.partition is not None
+            assert plan.partition.block_sizes.sum() == plan.stage.n_in
+
+    def test_fp_partitions_dense_side(self, spec):
+        program = compile_program(spec, 8192, "fractal", block_size=256)
+        fp_plans = [p for p in program.stages if p.stage.kind == "fp"]
+        for plan in fp_plans:
+            assert plan.partition is not None
+            assert plan.partition.block_sizes.sum() == plan.stage.n_out
+
+    def test_small_stage_single_block(self, spec):
+        program = compile_program(spec, 8192, "fractal", block_size=256)
+        deepest_sa = [p for p in program.stages if p.stage.kind == "sa"][-1]
+        if deepest_sa.stage.n_in <= 256:
+            assert deepest_sa.partition.num_blocks == 1
+
+    def test_block_sizes_respect_threshold(self, spec):
+        program = compile_program(spec, 33_000, "fractal", block_size=256)
+        for plan in program.stages:
+            if plan.partition is not None and plan.partition.num_blocks > 1:
+                assert plan.partition.block_sizes.max() <= 256
+
+    def test_kdtree_stats_have_sorts(self, spec):
+        program = compile_program(spec, 8192, "kdtree", block_size=256)
+        first = program.stages[0].partition
+        assert first.cost.num_sorts > 0
+        assert first.cost.num_traversals == 0
+
+    def test_weight_bytes_positive_and_plausible(self, spec):
+        program = compile_program(spec, 8192, "none")
+        # PNXt-S-like: hundreds of KB to a few MB of FP16 weights.
+        assert 1e4 < program.weight_bytes < 1e8
+
+    def test_scale_validation(self, spec):
+        with pytest.raises(ValueError, match="at least"):
+            compile_program(spec, 64)
+
+    def test_caching_returns_consistent_stats(self, spec):
+        a = compile_program(spec, 8192, "fractal")
+        b = compile_program(spec, 8192, "fractal")
+        sa_a = a.stages[0].partition
+        sa_b = b.stages[0].partition
+        assert np.array_equal(sa_a.block_sizes, sa_b.block_sizes)
+
+
+class TestSubsampleApproximation:
+    def test_subsample_balance_close_to_fps_balance(self):
+        """Stage inputs are approximated by random subsampling; verify
+        the block-size distribution is close to the true FPS subset's."""
+        from repro.core import FractalConfig, fractal_partition
+        from repro.datasets import load_cloud
+        from repro.geometry import farthest_point_sample
+
+        coords = load_cloud("s3dis", 8192, seed=0).coords.astype(np.float64)
+        n_stage = 2048
+        fps_idx = farthest_point_sample(coords, n_stage)
+        rng = np.random.default_rng(0)
+        rand_idx = rng.choice(len(coords), size=n_stage, replace=False)
+        cfg = FractalConfig(threshold=256)
+        fps_tree = fractal_partition(coords[fps_idx], cfg)
+        rand_tree = fractal_partition(coords[rand_idx], cfg)
+        fps_balance = fps_tree.block_sizes.max() / fps_tree.block_sizes.mean()
+        rand_balance = rand_tree.block_sizes.max() / rand_tree.block_sizes.mean()
+        assert abs(fps_balance - rand_balance) / fps_balance < 0.75

@@ -1,0 +1,91 @@
+"""Tests for the corruption suite."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_cloud
+from repro.datasets.corruptions import CORRUPTIONS, corrupt, corruption_names
+
+
+@pytest.fixture(scope="module")
+def object_cloud():
+    return load_cloud("shapenet", 1024, seed=5)  # has per-point labels
+
+
+class TestInterface:
+    def test_names(self):
+        assert set(corruption_names()) == set(CORRUPTIONS)
+        assert "jitter" in corruption_names()
+
+    def test_unknown_kind(self, object_cloud):
+        with pytest.raises(ValueError, match="unknown corruption"):
+            corrupt(object_cloud, "blur")
+
+    def test_bad_severity(self, object_cloud):
+        with pytest.raises(ValueError, match="severity"):
+            corrupt(object_cloud, "jitter", severity=0)
+        with pytest.raises(ValueError, match="severity"):
+            corrupt(object_cloud, "jitter", severity=6)
+
+    def test_deterministic(self, object_cloud):
+        a = corrupt(object_cloud, "dropout_global", 3, seed=9)
+        b = corrupt(object_cloud, "dropout_global", 3, seed=9)
+        assert np.allclose(a.coords, b.coords)
+
+    def test_input_unchanged(self, object_cloud):
+        before = object_cloud.coords.copy()
+        corrupt(object_cloud, "jitter", 5)
+        assert np.array_equal(object_cloud.coords, before)
+
+
+class TestEachCorruption:
+    @pytest.mark.parametrize("kind", sorted(CORRUPTIONS))
+    def test_output_valid(self, object_cloud, kind):
+        out = corrupt(object_cloud, kind, severity=3)
+        assert len(out) >= 8
+        assert np.isfinite(out.coords).all()
+        if out.labels is not None:
+            assert len(out.labels) == len(out)
+
+    def test_jitter_preserves_count(self, object_cloud):
+        out = corrupt(object_cloud, "jitter", 2)
+        assert len(out) == len(object_cloud)
+
+    def test_jitter_severity_monotone(self, object_cloud):
+        deltas = []
+        for severity in (1, 5):
+            out = corrupt(object_cloud, "jitter", severity, seed=1)
+            deltas.append(np.abs(out.coords - object_cloud.coords).mean())
+        assert deltas[1] > deltas[0]
+
+    def test_dropout_severity_monotone(self, object_cloud):
+        sizes = [len(corrupt(object_cloud, "dropout_global", s)) for s in (1, 3, 5)]
+        assert sizes[0] > sizes[1] > sizes[2]
+
+    def test_occlusion_removes_halfspace(self, object_cloud):
+        out = corrupt(object_cloud, "occlusion", 5, seed=2)
+        assert len(out) < len(object_cloud)
+
+    def test_outliers_add_points(self, object_cloud):
+        out = corrupt(object_cloud, "outliers", 4)
+        assert len(out) > len(object_cloud)
+        assert out.labels is not None  # labels extended
+
+    def test_local_dropout_creates_holes(self, object_cloud):
+        out = corrupt(object_cloud, "dropout_local", 4, seed=3)
+        assert len(out) < len(object_cloud)
+
+
+class TestRobustnessOfFractal:
+    @pytest.mark.parametrize("kind", sorted(CORRUPTIONS))
+    def test_fractal_partitions_all_corrupted_clouds(self, object_cloud, kind):
+        """Fractal must stay valid under every corruption at max severity."""
+        from repro.core import FractalConfig, fractal_partition
+
+        out = corrupt(object_cloud, kind, severity=5, seed=7)
+        tree = fractal_partition(out.coords.astype(np.float64), FractalConfig(threshold=64))
+        structure = tree.block_structure()
+        structure.validate()
+        assert structure.max_block_size <= 64 or any(
+            leaf.forced_leaf for leaf in tree.leaves
+        )

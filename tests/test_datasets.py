@@ -1,0 +1,171 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    PART_CLASSES,
+    SCALES,
+    SCENE_CLASSES,
+    SHAPE_CLASSES,
+    LidarConfig,
+    lidar_scan,
+    load_cloud,
+    make_classification_dataset,
+    make_part_dataset,
+    make_scene,
+    sample_part_object,
+    sample_shape,
+    scale_points,
+)
+
+
+class TestShapes:
+    @pytest.mark.parametrize("name", sorted(SHAPE_CLASSES))
+    def test_every_class_generates(self, name):
+        cloud = sample_shape(name, 256, np.random.default_rng(0))
+        assert len(cloud) == 256
+        assert cloud.class_id == sorted(SHAPE_CLASSES).index(name) or cloud.class_id is not None
+
+    def test_normalised_output(self):
+        cloud = sample_shape("torus", 512, np.random.default_rng(1))
+        assert np.linalg.norm(cloud.coords, axis=1).max() <= 1.0 + 1e-5
+
+    def test_unknown_class(self):
+        with pytest.raises(ValueError, match="unknown shape"):
+            sample_shape("klein_bottle", 128, np.random.default_rng(0))
+
+    def test_classification_dataset_balanced(self):
+        clouds = make_classification_dataset(30, 128, seed=0)
+        labels = [c.class_id for c in clouds]
+        assert len(set(labels)) == len(SHAPE_CLASSES)
+        assert all(len(c) == 128 for c in clouds)
+
+    def test_deterministic(self):
+        a = make_classification_dataset(5, 64, seed=3)
+        b = make_classification_dataset(5, 64, seed=3)
+        for x, y in zip(a, b):
+            assert np.allclose(x.coords, y.coords)
+
+    def test_view_bias_creates_density_asymmetry(self):
+        # With view bias, one hemisphere should carry clearly more points.
+        rng = np.random.default_rng(5)
+        cloud = sample_shape("sphere", 2048, rng, view_biased=True)
+        coords = cloud.coords - cloud.coords.mean(axis=0)
+        # Find the densest direction via the mean offset.
+        direction = coords.mean(axis=0)
+        if np.linalg.norm(direction) < 1e-6:
+            pytest.skip("no bias direction detectable")
+        side = coords @ direction > 0
+        assert not 0.40 < side.mean() < 0.60
+
+
+class TestParts:
+    @pytest.mark.parametrize("name", sorted(PART_CLASSES))
+    def test_every_category_generates(self, name):
+        cloud = sample_part_object(name, 512, np.random.default_rng(0))
+        assert len(cloud) == 512
+        assert cloud.labels is not None
+        _, expected_parts = PART_CLASSES[name]
+        assert len(np.unique(cloud.labels)) <= expected_parts
+        assert len(np.unique(cloud.labels)) >= 2
+
+    def test_part_dataset(self):
+        clouds = make_part_dataset(10, 256, seed=0)
+        assert len(clouds) == 10
+        assert all(c.labels is not None for c in clouds)
+
+    def test_unknown_category(self):
+        with pytest.raises(ValueError, match="unknown category"):
+            sample_part_object("spaceship", 128, np.random.default_rng(0))
+
+
+class TestScenes:
+    def test_exact_size_and_labels(self):
+        cloud, spec = make_scene(8192, seed=1)
+        assert len(cloud) == 8192
+        assert cloud.labels.max() < len(SCENE_CLASSES)
+        assert spec.num_rooms >= 1
+
+    def test_room_count_scales(self):
+        _, small = make_scene(8192, seed=0)
+        _, large = make_scene(131_000, seed=0)
+        assert large.num_rooms > small.num_rooms
+
+    def test_outlier_fraction_in_paper_band(self):
+        """Paper: outliers are 0.5-2.5% of S3DIS points."""
+        for seed in range(5):
+            _, spec = make_scene(4096, seed=seed)
+            assert 0.005 <= spec.outlier_fraction <= 0.025
+
+    def test_explicit_outlier_fraction(self):
+        cloud, spec = make_scene(4096, seed=0, outlier_fraction=0.1)
+        assert spec.outlier_fraction == 0.1
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError, match="num_points"):
+            make_scene(10)
+
+    def test_surface_alignment(self):
+        """Most points sit on planes: z-coordinates cluster at floor and
+        ceiling heights — the shape-alignment property Fractal exploits."""
+        cloud, _ = make_scene(16384, seed=2)
+        z = cloud.coords[:, 2]
+        near_floor = (np.abs(z) < 0.1).mean()
+        near_ceiling = (np.abs(z - 3.0) < 0.1).mean()
+        assert near_floor + near_ceiling > 0.2
+
+    def test_deterministic(self):
+        a, _ = make_scene(2048, seed=9)
+        b, _ = make_scene(2048, seed=9)
+        assert np.allclose(a.coords, b.coords)
+
+
+class TestLidar:
+    def test_exact_size(self):
+        cloud = lidar_scan(8192, seed=0)
+        assert len(cloud) == 8192
+        assert cloud.labels is not None
+
+    def test_ground_dominates(self):
+        cloud = lidar_scan(16384, seed=1)
+        assert (cloud.labels == 0).mean() > 0.3  # ground returns
+
+    def test_range_bounded(self):
+        config = LidarConfig(max_range=50.0)
+        cloud = lidar_scan(4096, seed=2, config=config)
+        dist = np.linalg.norm(
+            cloud.coords - np.array([0, 0, config.sensor_height]), axis=1
+        )
+        assert dist.max() <= config.max_range * 1.05
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError, match="num_points"):
+            lidar_scan(10)
+
+
+class TestRegistry:
+    def test_scale_labels(self):
+        assert scale_points("1K") == 1024
+        assert scale_points("289K") == 289_000
+        assert scale_points(12345) == 12345
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            scale_points("7Q")
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError, match="point count"):
+            scale_points(0)
+
+    @pytest.mark.parametrize("name", ["modelnet40", "shapenet", "s3dis", "lidar"])
+    def test_all_datasets_load(self, name):
+        cloud = load_cloud(name, "1K", seed=0)
+        assert len(cloud) == 1024
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            load_cloud("nuscenes", "1K")
+
+    def test_scales_cover_paper_range(self):
+        assert set(SCALES) >= {"1K", "2K", "4K", "8K", "33K", "131K", "289K", "1M"}

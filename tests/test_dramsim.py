@@ -1,0 +1,79 @@
+"""Tests for the row-buffer DRAM state machine and its calibration role."""
+
+import numpy as np
+import pytest
+
+from repro.hw import energy as E
+from repro.hw.dramsim import DDR4Timing, DRAMSimLite
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return DRAMSimLite()
+
+
+class TestTiming:
+    def test_peak_bandwidth_is_ddr4_2133(self):
+        t = DDR4Timing()
+        assert t.peak_gbps == pytest.approx(17.056, rel=0.01)
+
+
+class TestReplay:
+    def test_streamed_trace_mostly_hits(self, sim):
+        result = sim.replay(sim.streamed_trace(1 << 20))
+        assert result.hit_rate > 0.9
+        assert result.efficiency > 0.7
+
+    def test_random_trace_mostly_misses(self, sim):
+        result = sim.replay(sim.random_trace(1 << 20, 1 << 28))
+        assert result.hit_rate < 0.1
+        assert result.efficiency < 0.35
+
+    def test_bytes_accounted(self, sim):
+        trace = sim.streamed_trace(1 << 16)
+        result = sim.replay(trace)
+        assert result.bytes_moved == len(trace) * 64
+
+    def test_single_burst(self, sim):
+        result = sim.replay(np.array([0]))
+        assert result.row_misses == 1
+        assert result.cycles > 0
+
+    def test_repeated_row_is_free_after_open(self, sim):
+        addrs = np.zeros(100, dtype=np.int64)
+        result = sim.replay(addrs)
+        assert result.row_hits == 99
+
+    def test_small_span_random_hits_more(self, sim):
+        wide = sim.replay(sim.random_trace(1 << 19, 1 << 28, seed=1))
+        narrow = sim.replay(sim.random_trace(1 << 19, 1 << 16, seed=1))
+        assert narrow.hit_rate > wide.hit_rate
+
+
+class TestBankParallelReplay:
+    def test_parallel_beats_serial_on_random(self, sim):
+        trace = sim.random_trace(1 << 19, 1 << 28)
+        serial = sim.replay(trace)
+        parallel = sim.replay_bank_parallel(trace)
+        assert parallel.efficiency > 1.5 * serial.efficiency
+        assert parallel.row_misses == serial.row_misses
+
+    def test_parallel_streamed_near_peak(self, sim):
+        result = sim.replay_bank_parallel(sim.streamed_trace(1 << 19))
+        assert result.efficiency > 0.8
+
+
+class TestCalibration:
+    def test_aggregate_efficiencies_bracketed_by_state_machine(self, sim):
+        """The aggregate DRAM constants must be justified by the detailed
+        model: each fixed efficiency lies between the serialised
+        (pessimistic) and bank-parallel (optimistic) measurements, within
+        a small tolerance."""
+        stream_trace = sim.streamed_trace(1 << 20)
+        random_trace = sim.random_trace(1 << 20, 1 << 28)
+        stream_hi = sim.replay_bank_parallel(stream_trace).efficiency
+        stream_lo = sim.replay(stream_trace).efficiency
+        rand_hi = sim.replay_bank_parallel(random_trace).efficiency
+        rand_lo = sim.replay(random_trace).efficiency
+        assert stream_lo - 0.05 <= E.STREAM_DRAM_EFFICIENCY <= stream_hi + 0.05
+        assert rand_lo - 0.05 <= E.RANDOM_DRAM_EFFICIENCY <= rand_hi + 0.05

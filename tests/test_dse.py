@@ -1,0 +1,58 @@
+"""Tests for the hardware design-space exploration module."""
+
+import pytest
+
+from repro.hw import FRACTALCLOUD
+from repro.hw.dse import DesignPoint, estimate_area_mm2, pareto_frontier, sweep
+from repro.networks import get_workload
+
+
+class TestAreaModel:
+    def test_matches_fig12_for_shipping_config(self):
+        assert estimate_area_mm2(FRACTALCLOUD) == pytest.approx(1.5, rel=0.02)
+
+    def test_more_units_more_area(self):
+        from dataclasses import replace
+
+        bigger = replace(FRACTALCLOUD, num_point_units=32)
+        assert estimate_area_mm2(bigger) > estimate_area_mm2(FRACTALCLOUD)
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return sweep(
+            get_workload("PNXt(s)"), 33_000,
+            unit_counts=(4, 16), lane_counts=(4, 8),
+        )
+
+    def test_cross_product_size(self, points):
+        assert len(points) == 4
+
+    def test_more_parallelism_not_slower(self, points):
+        by_key = {(p.num_point_units, p.lanes_per_unit): p for p in points}
+        assert by_key[(16, 8)].latency_s <= by_key[(4, 4)].latency_s
+
+    def test_edp_positive(self, points):
+        assert all(p.edp > 0 for p in points)
+
+
+class TestPareto:
+    def test_dominated_points_removed(self):
+        mk = lambda lat, area: DesignPoint(1, 1, 274.0, 256, lat, 1.0, area)
+        points = [mk(1.0, 2.0), mk(2.0, 1.0), mk(2.0, 2.0)]
+        frontier = pareto_frontier(points)
+        assert len(frontier) == 2
+        assert all(p.latency_s != 2.0 or p.area_mm2 != 2.0 for p in frontier)
+
+    def test_frontier_sorted_by_first_objective(self):
+        mk = lambda lat, area: DesignPoint(1, 1, 274.0, 256, lat, 1.0, area)
+        frontier = pareto_frontier([mk(3.0, 1.0), mk(1.0, 3.0), mk(2.0, 2.0)])
+        latencies = [p.latency_s for p in frontier]
+        assert latencies == sorted(latencies)
+
+    def test_real_sweep_frontier_nonempty(self):
+        points = sweep(get_workload("PN++(s)"), 4096,
+                       unit_counts=(4, 16), lane_counts=(4, 8))
+        frontier = pareto_frontier(points)
+        assert 1 <= len(frontier) <= len(points)

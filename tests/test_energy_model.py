@@ -1,0 +1,57 @@
+"""Invariant tests for the energy model and calibration constants."""
+
+import pytest
+
+from repro.hw import AcceleratorSim, FRACTALCLOUD, POINTACC
+from repro.hw import energy as E
+from repro.hw.accelerator import GATHER_REFETCH_CAP, POINTOP_SRAM_SHARE
+from repro.networks import get_workload
+
+
+class TestConstants:
+    def test_fp16_everywhere(self):
+        assert E.BYTES_PER_SCALAR == 2
+        assert E.COORD_BYTES == 6
+
+    def test_calibration_factors_sane(self):
+        assert 0 < E.FPS_SPILL_FACTOR <= 1.0
+        assert 0 < POINTOP_SRAM_SHARE <= 1.0
+        assert GATHER_REFETCH_CAP >= 1
+
+    def test_compute_cheaper_than_memory_per_byte(self):
+        """The memory-wall premise: moving a byte off-chip costs far more
+        than computing on it (the reason partitioning pays off)."""
+        mac_per_byte = E.PJ_PER_MAC_FP16 / E.BYTES_PER_SCALAR
+        assert E.DRAM_STREAM_PJ_PER_BYTE > 50 * mac_per_byte
+        assert E.sram_pj_per_byte(274) < E.DRAM_STREAM_PJ_PER_BYTE
+
+
+class TestEnergyScaling:
+    def test_energy_monotone_in_scale(self):
+        spec = get_workload("PNXt(s)")
+        sim = AcceleratorSim(FRACTALCLOUD)
+        energies = [sim.run(spec, n).energy_j for n in (4096, 33_000, 131_000)]
+        assert energies[0] < energies[1] < energies[2]
+
+    def test_average_power_in_chip_envelope(self):
+        """FractalCloud's simulated average power should sit near the
+        reported 0.58 W — within a small factor, across scales."""
+        spec = get_workload("PNXt(s)")
+        sim = AcceleratorSim(FRACTALCLOUD)
+        for n in (33_000, 289_000):
+            r = sim.run(spec, n)
+            avg_power = r.energy_j / r.latency_s
+            assert 0.1 < avg_power < 3.0, f"{avg_power:.2f} W at {n}"
+
+    def test_dram_dominates_pointacc_large_scale(self):
+        r = AcceleratorSim(POINTACC).run(get_workload("PNXt(s)"), 131_000)
+        bd = r.energy_breakdown()
+        assert bd["dram"] > bd["compute"] + bd["sram"]
+
+    def test_fractalcloud_energy_balanced(self):
+        """After BPPO no single component should be pathological."""
+        r = AcceleratorSim(FRACTALCLOUD).run(get_workload("PNXt(s)"), 131_000)
+        bd = r.energy_breakdown()
+        total = sum(bd.values())
+        for component, value in bd.items():
+            assert value < 0.9 * total, component

@@ -1,0 +1,36 @@
+"""Smoke tests: the fast examples must run end to end.
+
+(`indoor_segmentation.py` trains for minutes and is exercised by
+`bench_fig14_accuracy.py`'s equivalent path instead.)
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "fractal_workflow.py",
+    "lidar_pipeline.py",
+    "accelerator_comparison.py",
+    "streaming_lidar.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script, capsys):
+    path = EXAMPLES / script
+    assert path.exists(), f"missing example {script}"
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 100  # produced a real report
+
+
+def test_all_examples_present():
+    scripts = sorted(p.name for p in EXAMPLES.glob("*.py"))
+    assert "quickstart.py" in scripts
+    assert len(scripts) >= 5  # the deliverable floor is 3

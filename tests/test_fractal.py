@@ -1,0 +1,208 @@
+"""Tests for Fractal partitioning (paper Alg. 1, Figs. 5-6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import FractalConfig, fractal_partition
+from repro.partition import fractal_traversal_count
+
+
+def _check_partition_invariants(tree, n, threshold):
+    """Leaves are disjoint, covering, and within the threshold."""
+    seen = np.zeros(n, dtype=bool)
+    for leaf in tree.leaves:
+        assert not seen[leaf.indices].any(), "leaves overlap"
+        seen[leaf.indices] = True
+        if not leaf.forced_leaf:
+            assert leaf.num_points <= threshold
+    assert seen.all(), "leaves do not cover all points"
+
+
+class TestFractalBasics:
+    def test_partition_invariants_gaussian(self, gaussian_cloud):
+        tree = fractal_partition(gaussian_cloud, FractalConfig(threshold=64))
+        _check_partition_invariants(tree, len(gaussian_cloud), 64)
+
+    def test_partition_invariants_scene(self, scene_coords):
+        tree = fractal_partition(scene_coords, FractalConfig(threshold=256))
+        _check_partition_invariants(tree, len(scene_coords), 256)
+
+    def test_small_input_single_block(self, rng):
+        pts = rng.normal(size=(10, 3))
+        tree = fractal_partition(pts, FractalConfig(threshold=64))
+        assert tree.num_blocks == 1
+        assert tree.num_levels == 0
+        assert tree.root.is_leaf
+
+    def test_deterministic(self, gaussian_cloud):
+        t1 = fractal_partition(gaussian_cloud, FractalConfig(threshold=32))
+        t2 = fractal_partition(gaussian_cloud, FractalConfig(threshold=32))
+        assert t1.num_blocks == t2.num_blocks
+        for a, b in zip(t1.leaves, t2.leaves):
+            assert np.array_equal(a.indices, b.indices)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            fractal_partition(np.empty((0, 3)))
+
+    def test_rejects_bad_shape(self, rng):
+        with pytest.raises(ValueError, match=r"\(n, 3\)"):
+            fractal_partition(rng.normal(size=(10, 2)))
+
+
+class TestSplitSemantics:
+    def test_dimension_cycling(self, rng):
+        # A cloud spread mostly on x should still split y and z at the
+        # next levels because dimensions cycle.
+        pts = rng.normal(size=(512, 3)) * np.array([100.0, 1.0, 1.0])
+        tree = fractal_partition(pts, FractalConfig(threshold=32))
+        dims = {node.split_dim for node in tree.nodes() if node.split_dim is not None}
+        assert dims == {0, 1, 2}
+
+    def test_longest_rule_follows_extent(self, rng):
+        pts = rng.normal(size=(512, 3)) * np.array([100.0, 1.0, 1.0])
+        tree = fractal_partition(
+            pts, FractalConfig(threshold=128, split_rule="longest")
+        )
+        assert tree.root.split_dim == 0
+
+    def test_midpoint_is_minmax_average(self, gaussian_cloud):
+        tree = fractal_partition(gaussian_cloud, FractalConfig(threshold=256))
+        root = tree.root
+        dim = root.split_dim
+        col = gaussian_cloud[:, dim]
+        assert root.split_mid == pytest.approx((col.min() + col.max()) / 2.0)
+
+    def test_split_respects_midpoint(self, gaussian_cloud):
+        tree = fractal_partition(gaussian_cloud, FractalConfig(threshold=64))
+        for node in tree.nodes():
+            if node.is_leaf:
+                continue
+            col = gaussian_cloud[:, node.split_dim]
+            assert (col[node.left.indices] <= node.split_mid).all()
+            assert (col[node.right.indices] > node.split_mid).all()
+
+    def test_coplanar_points_survive(self):
+        # All points in the z=0 plane: the z axis is never splittable; the
+        # cycle must skip it rather than loop forever (paper §VI-D).
+        rng = np.random.default_rng(0)
+        pts = np.column_stack([rng.normal(size=500), rng.normal(size=500), np.zeros(500)])
+        tree = fractal_partition(pts, FractalConfig(threshold=32, start_dim=2))
+        _check_partition_invariants(tree, 500, 32)
+
+    def test_coincident_points_become_forced_leaf(self):
+        pts = np.zeros((100, 3))
+        tree = fractal_partition(pts, FractalConfig(threshold=16))
+        assert tree.num_blocks == 1
+        assert tree.leaves[0].forced_leaf
+
+    def test_mixed_coincident_cluster(self, rng):
+        # 90 coincident points + 30 scattered: the coincident cluster ends
+        # in one oversized forced leaf; scattered points split normally.
+        pts = np.concatenate([np.zeros((90, 3)), rng.normal(size=(30, 3)) + 5.0])
+        tree = fractal_partition(pts, FractalConfig(threshold=16))
+        seen = np.zeros(120, dtype=bool)
+        for leaf in tree.leaves:
+            seen[leaf.indices] = True
+        assert seen.all()
+        forced = [leaf for leaf in tree.leaves if leaf.forced_leaf]
+        assert any(leaf.num_points >= 90 for leaf in forced)
+
+
+class TestTreeStructure:
+    def test_threshold_bounds_imbalance(self, scene_coords):
+        """Paper §VI-D: max imbalance among blocks is bounded by th."""
+        tree = fractal_partition(scene_coords, FractalConfig(threshold=128))
+        assert tree.block_sizes.max() <= 128
+
+    def test_levels_match_balanced_formula_on_uniform_data(self, rng):
+        # Uniform cube: Fractal behaves like a balanced split, so the
+        # level count should be close to ceil(log2(n / th)) (Fig. 5).
+        pts = rng.uniform(size=(4096, 3))
+        tree = fractal_partition(pts, FractalConfig(threshold=64))
+        analytic = fractal_traversal_count(4096, 64)
+        assert analytic <= tree.num_levels <= analytic + 3
+
+    def test_cost_counters_levels(self, gaussian_cloud):
+        tree = fractal_partition(gaussian_cloud, FractalConfig(threshold=64))
+        assert tree.cost.levels == tree.num_levels
+        assert len(tree.cost.traversals) == tree.num_levels
+        assert len(tree.cost.passes) == tree.num_levels
+        # Level 0 traverses every point exactly once.
+        assert tree.cost.traversals[0] == len(gaussian_cloud)
+
+    def test_sibling_navigation(self, small_tree):
+        for leaf in small_tree.leaves:
+            if leaf.parent is None:
+                continue
+            sib = leaf.sibling
+            assert sib is not None and sib.parent is leaf.parent and sib is not leaf
+
+    def test_internal_nodes_union_of_children(self, small_tree):
+        for node in small_tree.nodes():
+            if node.is_leaf:
+                continue
+            union = np.sort(np.concatenate([node.left.indices, node.right.indices]))
+            assert np.array_equal(np.sort(node.indices), union)
+
+    def test_search_space_rule(self, small_tree):
+        for leaf in small_tree.leaves:
+            space = small_tree.search_space(leaf)
+            if leaf.depth <= 1:
+                assert np.array_equal(space, leaf.indices)
+            else:
+                assert np.array_equal(space, leaf.parent.indices)
+                assert len(space) >= leaf.num_points
+
+    def test_dft_order_is_left_to_right(self, small_tree):
+        # In DFT order, every leaf of the left subtree precedes every leaf
+        # of the right subtree for any internal node.
+        position = {id(leaf): i for i, leaf in enumerate(small_tree.leaves)}
+        def leaf_positions(node):
+            if node.is_leaf:
+                return [position[id(node)]]
+            return leaf_positions(node.left) + leaf_positions(node.right)
+        for node in small_tree.nodes():
+            if node.is_leaf:
+                continue
+            assert max(leaf_positions(node.left)) < min(leaf_positions(node.right))
+
+
+class TestWorkedExample:
+    """Fig. 6 semantics: an 80-point cloud with th=24 fractures into
+    blocks of at most 24 points across two to three iterations."""
+
+    def test_fig6_shape(self):
+        rng = np.random.default_rng(6)
+        # Two dense lobes like the paper's example distribution.
+        pts = np.concatenate([
+            rng.normal(loc=(-0.5, 0.3, 0.0), scale=0.15, size=(43, 3)),
+            rng.normal(loc=(0.6, -0.2, 0.0), scale=0.18, size=(37, 3)),
+        ])
+        tree = fractal_partition(pts, FractalConfig(threshold=24))
+        assert tree.block_sizes.max() <= 24
+        assert tree.num_blocks >= 4
+        assert sum(tree.block_sizes) == 80
+        assert 2 <= tree.num_levels <= 4
+
+
+class TestFractalProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(2, 2000),
+        st.integers(2, 128),
+        st.integers(0, 10_000),
+    )
+    def test_random_clouds_always_partition(self, n, th, seed):
+        pts = np.random.default_rng(seed).normal(size=(n, 3))
+        tree = fractal_partition(pts, FractalConfig(threshold=th))
+        _check_partition_invariants(tree, n, th)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_dft_permutation_is_bijection(self, seed):
+        pts = np.random.default_rng(seed).normal(size=(300, 3))
+        tree = fractal_partition(pts, FractalConfig(threshold=32))
+        perm = tree.dft_permutation()
+        assert sorted(perm.tolist()) == list(range(300))

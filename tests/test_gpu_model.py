@@ -1,0 +1,67 @@
+"""Tests for the GPU cost model (Fig. 4 shape)."""
+
+import pytest
+
+from repro.hw import GPUModel
+from repro.networks import WORKLOADS, get_workload
+
+
+@pytest.fixture(scope="module")
+def gpu():
+    return GPUModel()
+
+
+class TestBottleneckShift:
+    def test_pointop_share_grows_with_scale(self, gpu):
+        """Fig. 4's headline: point ops rise from ~30-50% at 1 K to >90%
+        at 289 K."""
+        spec = get_workload("PNXt(s)")
+        shares = {}
+        for n in (4096, 33_000, 289_000):
+            r = gpu.run(spec, n)
+            shares[n] = r.point_op_seconds / r.latency_s
+        assert shares[4096] < shares[33_000] < shares[289_000]
+        assert shares[289_000] > 0.9
+
+    def test_small_scale_mlp_still_visible(self, gpu):
+        spec = get_workload("PN++(c)")
+        r = gpu.run(spec, 1024)
+        share = r.point_op_seconds / r.latency_s
+        assert 0.25 < share < 0.75  # paper: ~36% at 1K
+
+    def test_latency_superlinear_in_scale(self, gpu):
+        spec = get_workload("PNXt(s)")
+        t_33 = gpu.run(spec, 33_000).latency_s
+        t_289 = gpu.run(spec, 289_000).latency_s
+        assert t_289 / t_33 > 289 / 33  # worse than linear: the O(n^2) terms
+
+    @pytest.mark.parametrize("key", sorted(WORKLOADS))
+    def test_all_workloads_run(self, gpu, key):
+        spec = get_workload(key)
+        n = max(spec.min_points() * 4, 1024)
+        r = gpu.run(spec, n)
+        assert r.latency_s > 0
+        assert r.energy_j > 0
+        assert r.platform == "GPU"
+
+
+class TestPhaseAccounting:
+    def test_cls_has_no_interpolation(self, gpu):
+        r = gpu.run(get_workload("PN++(c)"), 1024)
+        assert "interpolate" not in r.phases
+
+    def test_seg_has_interpolation(self, gpu):
+        r = gpu.run(get_workload("PN++(s)"), 4096)
+        assert r.phases["interpolate"].seconds > 0
+
+    def test_energy_tracks_latency(self, gpu):
+        spec = get_workload("PNXt(s)")
+        small = gpu.run(spec, 8192)
+        big = gpu.run(spec, 131_000)
+        assert big.energy_j > small.energy_j
+
+    def test_power_in_gpu_envelope(self, gpu):
+        """Average power must sit between idle and max board power."""
+        r = gpu.run(get_workload("PNXt(s)"), 33_000)
+        avg_power = r.energy_j / r.latency_s
+        assert gpu.idle_w <= avg_power <= gpu.idle_w + gpu.dynamic_w

@@ -1,0 +1,99 @@
+"""Tests for fractal-accelerated dynamic-graph construction (§VI-D)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core import (
+    FractalConfig,
+    block_knn_graph,
+    edge_recall,
+    exact_knn_graph,
+    fractal_partition,
+)
+from repro.core.graph import graph_construction_work
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    rng = np.random.default_rng(11)
+    return rng.normal(size=(600, 3))
+
+
+@pytest.fixture(scope="module")
+def structure(cloud):
+    return fractal_partition(cloud, FractalConfig(threshold=128)).block_structure()
+
+
+class TestExactGraph:
+    def test_out_degree_is_k(self, cloud):
+        graph = exact_knn_graph(cloud, 6)
+        degrees = [d for _, d in graph.out_degree()]
+        assert all(d == 6 for d in degrees)
+
+    def test_no_self_loops(self, cloud):
+        graph = exact_knn_graph(cloud, 4)
+        assert nx.number_of_selfloops(graph) == 0
+
+    def test_edges_carry_distances(self, cloud):
+        graph = exact_knn_graph(cloud, 3)
+        u, v, data = next(iter(graph.edges(data=True)))
+        assert data["weight"] == pytest.approx(
+            float(np.linalg.norm(cloud[u] - cloud[v]))
+        )
+
+    def test_edges_are_nearest(self, cloud):
+        graph = exact_knn_graph(cloud, 5)
+        # For a few nodes: out-neighbours are exactly the 5 closest others.
+        d = np.linalg.norm(cloud[:, None, :] - cloud[None, :, :], axis=2)
+        np.fill_diagonal(d, np.inf)
+        for u in (0, 100, 599):
+            expected = set(np.argsort(d[u])[:5].tolist())
+            assert set(graph.successors(u)) == expected
+
+
+class TestBlockGraph:
+    def test_nodes_complete(self, structure, cloud):
+        graph, _ = block_knn_graph(structure, cloud, 6)
+        assert graph.number_of_nodes() == len(cloud)
+        degrees = [d for _, d in graph.out_degree()]
+        assert min(degrees) >= 1
+
+    def test_high_edge_recall(self, structure, cloud):
+        """Parent-expanded search keeps most true KNN edges."""
+        exact = exact_knn_graph(cloud, 6)
+        approx, _ = block_knn_graph(structure, cloud, 6)
+        assert edge_recall(approx, exact) > 0.8
+
+    def test_work_reduction(self, structure, cloud):
+        """The adaptation's point: n*O(th) instead of n^2 distances."""
+        _, work = block_knn_graph(structure, cloud, 6)
+        assert work < graph_construction_work(len(cloud)) / 3
+        assert work == graph_construction_work(len(cloud), structure)
+
+    def test_edges_within_search_spaces(self, structure, cloud):
+        graph, _ = block_knn_graph(structure, cloud, 4)
+        owner = structure.block_of_point()
+        spaces = [set(s.tolist()) for s in structure.search_spaces]
+        for u in range(0, len(cloud), 37):
+            space = spaces[owner[u]]
+            for v in graph.successors(u):
+                assert v in space
+
+    def test_graph_usable_by_networkx_algorithms(self, structure, cloud):
+        """Downstream DGCNN-style consumers get a normal nx graph."""
+        graph, _ = block_knn_graph(structure, cloud, 6)
+        und = graph.to_undirected()
+        components = nx.number_connected_components(und)
+        assert 1 <= components < len(cloud) / 10
+
+
+class TestEdgeRecall:
+    def test_identical_graphs(self, cloud):
+        g = exact_knn_graph(cloud[:50], 3)
+        assert edge_recall(g, g) == 1.0
+
+    def test_empty_reference(self):
+        g = nx.DiGraph()
+        g.add_nodes_from(range(3))
+        assert edge_recall(g, g) == 1.0

@@ -1,0 +1,248 @@
+"""Tests for the hardware component models (DRAM/SRAM/PE/engine/RSPU/gather)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.blocks import PartitionCost
+from repro.hw import (
+    DRAMModel,
+    DRAMTraffic,
+    FractalEngineModel,
+    GatherUnitModel,
+    PEArrayModel,
+    RSPUModel,
+    SRAMModel,
+)
+from repro.hw import energy as E
+
+
+class TestEnergyConstants:
+    def test_sram_energy_grows_with_capacity(self):
+        """The mechanism behind Crescent's SRAM-energy penalty."""
+        assert E.sram_pj_per_byte(1622.8) > 2 * E.sram_pj_per_byte(274.0)
+
+    def test_sram_energy_validates(self):
+        with pytest.raises(ValueError, match="positive"):
+            E.sram_pj_per_byte(0)
+
+    def test_dram_random_more_expensive_than_streamed(self):
+        assert E.DRAM_RANDOM_PJ_PER_BYTE > E.DRAM_STREAM_PJ_PER_BYTE
+        assert E.RANDOM_DRAM_EFFICIENCY < E.STREAM_DRAM_EFFICIENCY
+
+
+class TestDRAM:
+    def test_streamed_faster_than_random(self):
+        dram = DRAMModel()
+        nbytes = 1e6
+        t_stream = dram.time_s(DRAMTraffic(streamed_bytes=nbytes))
+        t_random = dram.time_s(DRAMTraffic(random_bytes=nbytes))
+        assert t_random > 3 * t_stream
+
+    def test_bandwidth_matches_table2(self):
+        dram = DRAMModel(peak_gbps=17.0)
+        t = dram.time_s(DRAMTraffic(streamed_bytes=17e9 * E.STREAM_DRAM_EFFICIENCY))
+        assert t == pytest.approx(1.0)
+
+    def test_energy_additive(self):
+        dram = DRAMModel()
+        a = DRAMTraffic(streamed_bytes=1e6)
+        b = DRAMTraffic(random_bytes=2e6)
+        assert dram.energy_j(a.merge(b)) == pytest.approx(
+            dram.energy_j(a) + dram.energy_j(b)
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(0, 1e9), st.floats(0, 1e9))
+    def test_monotone_in_traffic(self, s, r):
+        dram = DRAMModel()
+        base = dram.time_s(DRAMTraffic(s, r))
+        more = dram.time_s(DRAMTraffic(s + 1e3, r))
+        assert more >= base
+
+
+class TestSRAM:
+    def test_blocked_beats_random_multi_unit(self):
+        sram = SRAMModel(capacity_kb=274, num_banks=16)
+        nbytes = 1e5
+        blocked = sram.access_cycles(nbytes, pattern="blocked", units=16)
+        random = sram.access_cycles(nbytes, pattern="random", units=16)
+        assert random > blocked
+
+    def test_stream_is_fastest(self):
+        sram = SRAMModel()
+        nbytes = 1e5
+        t_stream = sram.access_cycles(nbytes, pattern="stream")
+        for pattern in ("blocked", "random"):
+            assert sram.access_cycles(nbytes, pattern=pattern, units=4) >= t_stream
+
+    def test_fits(self):
+        sram = SRAMModel(capacity_kb=274)
+        assert sram.fits(200 * 1024)
+        assert not sram.fits(300 * 1024)
+
+    def test_unknown_pattern(self):
+        with pytest.raises(ValueError, match="pattern"):
+            SRAMModel().access_cycles(10, pattern="zigzag")
+
+    def test_energy_scales_with_capacity(self):
+        small = SRAMModel(capacity_kb=274)
+        big = SRAMModel(capacity_kb=1622.8)
+        assert big.energy_j(1e6) > 2 * small.energy_j(1e6)
+
+
+class TestPEArray:
+    def test_macs_accounting(self):
+        pe = PEArrayModel(utilization=1.0)
+        cost = pe.mlp_cost(100, (64,), 32)
+        assert cost.macs == 100 * 32 * 64
+
+    def test_cycles_bounded_below_by_peak(self):
+        pe = PEArrayModel(rows=16, cols=16, utilization=1.0)
+        cost = pe.mlp_cost(10_000, (128, 128), 64)
+        assert cost.cycles >= cost.macs / 256
+
+    def test_zero_rows_free(self):
+        cost = PEArrayModel().mlp_cost(0, (64,), 32)
+        assert cost.cycles == 0 and cost.macs == 0
+
+    def test_weight_bytes(self):
+        cost = PEArrayModel().mlp_cost(10, (8, 4), 6)
+        assert cost.weight_bytes == (6 * 8 + 8 * 4) * 2
+
+    def test_utilization_slows_array(self):
+        fast = PEArrayModel(utilization=1.0).mlp_cost(100_000, (256,), 256)
+        slow = PEArrayModel(utilization=0.5).mlp_cost(100_000, (256,), 256)
+        assert slow.cycles > 1.8 * fast.cycles
+
+
+class TestFractalEngine:
+    def _fractal_cost(self, n, levels):
+        return PartitionCost(
+            traversals=[n] * levels, passes=[n] * levels, levels=levels
+        )
+
+    def _kd_cost(self, n, levels):
+        sorts = []
+        for lvl in range(levels):
+            sorts += [n // (2 ** lvl)] * (2 ** lvl)
+        return PartitionCost(sorts=sorts, levels=levels)
+
+    def test_fractal_much_cheaper_than_kdtree(self):
+        """The Fig. 16 preprocessing gap (~100x at large scale)."""
+        engine = FractalEngineModel(lanes=16, sorter_width=1)
+        n, levels = 289_000, 11
+        fr = engine.fractal_cost(self._fractal_cost(n, levels))
+        kd = engine.kdtree_cost(self._kd_cost(n, levels))
+        assert kd.compute_cycles > 50 * fr.compute_cycles
+
+    def test_kdtree_is_serial(self):
+        engine = FractalEngineModel()
+        kd = engine.kdtree_cost(self._kd_cost(1024, 4))
+        assert kd.serial
+        fr = engine.fractal_cost(self._fractal_cost(1024, 4))
+        assert not fr.serial
+
+    def test_uniform_single_pass_cheapest(self):
+        engine = FractalEngineModel()
+        n = 33_000
+        uni = engine.uniform_cost(PartitionCost(passes=[n], levels=1))
+        fr = engine.fractal_cost(self._fractal_cost(n, 7))
+        assert uni.compute_cycles < fr.compute_cycles
+
+    def test_octree_control_overhead(self):
+        engine = FractalEngineModel()
+        cost = PartitionCost(passes=[1000, 800], levels=2)
+        oc = engine.octree_cost(cost)
+        fr = engine.fractal_cost(PartitionCost(traversals=[1000, 800],
+                                               passes=[1000, 800], levels=2))
+        assert oc.compute_cycles > fr.compute_cycles * 0.5  # same order
+
+    def test_dispatch(self):
+        engine = FractalEngineModel()
+        assert engine.cost_for("none", PartitionCost()).compute_cycles == 0
+        with pytest.raises(ValueError, match="unknown"):
+            engine.cost_for("morton", PartitionCost())
+
+
+class TestRSPU:
+    def test_window_check_reduces_work(self):
+        rspu = RSPUModel()
+        plain = rspu.fps_global(10_000, 5_000, window_check=False)
+        skip = rspu.fps_global(10_000, 5_000, window_check=True)
+        assert skip.compute_cycles < plain.compute_cycles
+        assert skip.sram_stream_bytes < plain.sram_stream_bytes
+
+    def test_block_parallel_beats_block_serial(self):
+        rspu = RSPUModel(num_units=16, lanes=8)
+        sizes = np.full(128, 256)
+        quotas = np.full(128, 64)
+        par = rspu.fps_blocks(sizes, quotas, block_parallel=True)
+        ser = rspu.fps_blocks(sizes, quotas, block_parallel=False)
+        assert par.compute_cycles < ser.compute_cycles
+
+    def test_makespan_bounded_by_largest_block(self):
+        rspu = RSPUModel(num_units=16, lanes=8)
+        sizes = np.array([10_000] + [10] * 100)
+        quotas = np.array([2_000] + [2] * 100)
+        cost = rspu.fps_blocks(sizes, quotas)
+        solo = rspu.fps_blocks(np.array([10_000]), np.array([2_000]))
+        assert cost.compute_cycles >= solo.compute_cycles
+
+    def test_imbalance_penalty_is_bounded(self):
+        """§VI-D: latency is dominated by the largest block, so mild
+        imbalance costs a few percent, not a factor."""
+        rspu = RSPUModel(num_units=16, lanes=8)
+        balanced = rspu.fps_blocks(np.full(160, 256), np.full(160, 64))
+        skewed_sizes = np.concatenate([np.full(80, 200), np.full(80, 312)])
+        skewed = rspu.fps_blocks(skewed_sizes, np.full(160, 64))
+        assert skewed.compute_cycles < 1.5 * balanced.compute_cycles
+
+    def test_intra_block_reuse_cuts_sram_traffic(self):
+        """§VI-C: shared search space gives ~(centres-per-block)x fewer
+        coordinate reads."""
+        rspu = RSPUModel()
+        centers = np.full(64, 16)
+        spaces = np.full(64, 512)
+        reuse = rspu.neighbor_blocks(centers, spaces, 16, intra_block_reuse=True)
+        no_reuse = rspu.neighbor_blocks(centers, spaces, 16, intra_block_reuse=False)
+        assert no_reuse.sram_stream_bytes > 5 * reuse.sram_stream_bytes
+        assert reuse.compute_cycles == no_reuse.compute_cycles
+
+    def test_global_neighbor_scales_with_mn(self):
+        rspu = RSPUModel()
+        small = rspu.neighbor_global(1000, 10_000, 16)
+        big = rspu.neighbor_global(2000, 20_000, 16)
+        assert big.compute_cycles > 3.5 * small.compute_cycles
+
+    def test_empty_inputs_free(self):
+        rspu = RSPUModel()
+        assert rspu.fps_global(0, 0).compute_cycles == 0
+        assert rspu.neighbor_global(0, 100, 4).compute_cycles == 0
+
+
+class TestGatherUnit:
+    def test_blocked_gather_avoids_random_dram(self):
+        gather = GatherUnitModel()
+        sram = SRAMModel(capacity_kb=274)
+        table = 10e6  # 10 MB table: spills the buffer
+        glob = gather.gather_global(50_000, 32, 64, table, sram)
+        blocked = gather.gather_blocks(50_000, 32, 64, table, sram)
+        assert glob.dram_random_bytes > 0
+        assert blocked.dram_random_bytes == 0
+        assert blocked.dram_stream_bytes == pytest.approx(table)
+
+    def test_fitting_table_stays_on_chip(self):
+        gather = GatherUnitModel()
+        sram = SRAMModel(capacity_kb=274)
+        table = 50e3
+        glob = gather.gather_global(1000, 16, 8, table, sram)
+        assert glob.dram_random_bytes == 0
+        assert glob.sram_random_bytes > 0
+
+    def test_blocked_uses_streamed_sram(self):
+        gather = GatherUnitModel()
+        sram = SRAMModel()
+        blocked = gather.gather_blocks(1000, 16, 8, 50e3, sram)
+        assert blocked.sram_random_bytes == 0
+        assert blocked.sram_stream_bytes > 0

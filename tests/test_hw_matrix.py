@@ -1,0 +1,56 @@
+"""Cross-product simulator coverage: every workload on every platform.
+
+Shape and sanity invariants over the full Table I x Table II matrix at a
+small scale, catching config/workload interactions the targeted tests
+miss (classification on partitioned configs, part segmentation on
+block-serial Crescent, etc.).
+"""
+
+import pytest
+
+from repro.hw import AcceleratorSim, GPUModel, SOTA_CONFIGS
+from repro.networks import WORKLOADS, get_workload
+
+SCALE_FOR = {
+    "PN++(c)": 1024, "PNXt(c)": 1024, "PN++(ps)": 2048, "PNXt(ps)": 2048,
+    "PN++(s)": 4096, "PNXt(s)": 4096, "PVr(s)": 4096,
+}
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+@pytest.mark.parametrize("platform", list(SOTA_CONFIGS))
+class TestMatrix:
+    def test_runs_and_accounts(self, workload, platform):
+        spec = get_workload(workload)
+        result = AcceleratorSim(SOTA_CONFIGS[platform]).run(spec, SCALE_FOR[workload])
+        assert result.latency_s > 0
+        assert result.energy_j > 0
+        # Breakdown identities hold everywhere.
+        assert result.point_op_seconds + result.mlp_seconds + result.other_seconds == (
+            pytest.approx(result.latency_s)
+        )
+        assert sum(result.energy_breakdown().values()) == pytest.approx(result.energy_j)
+        # Segmentation workloads must show interpolation; classification not.
+        if spec.task == "cls":
+            assert "interpolate" not in result.phases
+        else:
+            assert result.phases["interpolate"].seconds > 0
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_fractalcloud_never_slower_than_pointacc(workload):
+    """FractalCloud wins on every Table I workload, even small-scale."""
+    spec = get_workload(workload)
+    n = SCALE_FOR[workload]
+    fract = AcceleratorSim(SOTA_CONFIGS["FractalCloud"]).run(spec, n)
+    pointacc = AcceleratorSim(SOTA_CONFIGS["PointAcc"]).run(spec, n)
+    assert fract.latency_s < pointacc.latency_s
+    assert fract.energy_j < pointacc.energy_j
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_gpu_runs_every_workload(workload):
+    spec = get_workload(workload)
+    result = GPUModel().run(spec, SCALE_FOR[workload])
+    assert result.latency_s > 0
+    assert 0 < result.point_op_seconds < result.latency_s

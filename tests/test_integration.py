@@ -1,0 +1,85 @@
+"""End-to-end integration tests across the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro.core import FractalConfig, fractal_partition, block_fps, block_ball_query, block_gather
+from repro.core.layout import BlockLayout
+from repro.datasets import load_cloud, make_classification_dataset
+from repro.geometry import coverage_radius, farthest_point_sample
+from repro.hw import AcceleratorSim, FRACTALCLOUD, POINTACC, GPUModel
+from repro.networks import (
+    PNNClassifier,
+    evaluate_classifier,
+    make_backend,
+    train_classifier,
+    get_workload,
+)
+
+
+class TestFullPipeline:
+    def test_dataset_to_blockops_to_simulator(self):
+        """The README quickstart flow, executed end to end."""
+        cloud = load_cloud("s3dis", 8192, seed=0)
+        coords = cloud.coords.astype(np.float64)
+
+        tree = fractal_partition(coords, FractalConfig(threshold=256))
+        structure = tree.block_structure()
+        layout = BlockLayout.from_tree(tree)
+        assert layout.num_blocks == tree.num_blocks
+
+        sampled, fps_trace = block_fps(structure, coords, 2048)
+        neighbors, bq_trace = block_ball_query(structure, coords, sampled, 0.2, 16)
+        feats = np.random.default_rng(0).normal(size=(8192, 32))
+        gathered, g_trace = block_gather(structure, feats, neighbors, sampled)
+        assert gathered.shape == (2048, 16, 32)
+        assert fps_trace.total_outputs == 2048
+        assert bq_trace.num_blocks == structure.num_blocks
+
+        result = AcceleratorSim(FRACTALCLOUD).run(get_workload("PNXt(s)"), 8192)
+        assert result.latency_s > 0
+
+    def test_training_with_fractal_backend_close_to_exact(self):
+        """Fig. 14's core claim: retrained networks under block-wise ops
+        reach accuracy comparable to exact ops."""
+        clouds = make_classification_dataset(30, 128, seed=1)
+        accs = {}
+        for name in ("exact", "fractal"):
+            model = PNNClassifier(num_classes=10, num_points=128, seed=0)
+            backend = make_backend(name, max_points_per_block=32)
+            train_classifier(model, clouds, backend, epochs=5, batch_size=6, lr=3e-3)
+            accs[name] = evaluate_classifier(model, clouds, backend)
+        assert accs["exact"] > 0.2
+        # Fractal training lands in the same accuracy regime.
+        assert accs["fractal"] > accs["exact"] - 0.25
+
+    def test_sampling_quality_survives_whole_scene_pipeline(self):
+        """Mean nearest-sample distance (what feature quality tracks)
+        stays close to exact FPS even on outlier-heavy LiDAR frames."""
+        from repro.geometry import pairwise_sq_dists
+
+        coords = load_cloud("lidar", 16384, seed=2).coords.astype(np.float64)
+        tree = fractal_partition(coords, FractalConfig(threshold=256))
+        sampled, _ = block_fps(tree.block_structure(), coords, 4096)
+        exact = farthest_point_sample(coords, 4096)
+
+        def mean_cov(sel):
+            return np.sqrt(pairwise_sq_dists(coords, coords[sel]).min(axis=1)).mean()
+
+        assert mean_cov(sampled) / mean_cov(exact) < 2.0
+
+    def test_hardware_and_gpu_agree_on_workload_identity(self):
+        spec = get_workload("PN++(s)")
+        gpu = GPUModel().run(spec, 4096)
+        acc = AcceleratorSim(POINTACC).run(spec, 4096)
+        assert gpu.workload == acc.workload == "PN++(s)"
+        assert gpu.num_points == acc.num_points == 4096
+
+    def test_headline_claim_shape(self):
+        """FractalCloud beats PointAcc by a large factor at large scale
+        while both simulate the same network (the paper's thesis)."""
+        spec = get_workload("PNXt(s)")
+        fc = AcceleratorSim(FRACTALCLOUD).run(spec, 131_000)
+        pa = AcceleratorSim(POINTACC).run(spec, 131_000)
+        assert pa.latency_s / fc.latency_s > 10
+        assert pa.energy_j / fc.energy_j > 10

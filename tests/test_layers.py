@@ -1,0 +1,175 @@
+"""Numerical gradient checks for the numpy NN layers."""
+
+import numpy as np
+import pytest
+
+from repro.networks import Adam, Dense, Parameter, ReLU, SharedMLP, softmax_cross_entropy
+from repro.networks.layers import max_pool, max_pool_backward
+
+
+def numeric_grad(f, x, eps=1e-6):
+    """Central-difference gradient of scalar f wrt array x."""
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        old = x[idx]
+        x[idx] = old + eps
+        hi = f()
+        x[idx] = old - eps
+        lo = f()
+        x[idx] = old
+        grad[idx] = (hi - lo) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestDense:
+    def test_forward_shape(self, rng):
+        layer = Dense(4, 7, rng)
+        out = layer.forward(rng.normal(size=(3, 5, 4)))
+        assert out.shape == (3, 5, 7)
+
+    def test_input_gradient(self, rng):
+        layer = Dense(4, 3, rng)
+        x = rng.normal(size=(5, 4))
+        target = rng.normal(size=(5, 3))
+
+        def loss():
+            return 0.5 * np.sum((layer.forward(x) - target) ** 2)
+
+        out = layer.forward(x)
+        grad_in = layer.backward(out - target)
+        assert np.allclose(grad_in, numeric_grad(loss, x), atol=1e-5)
+
+    def test_weight_gradient(self, rng):
+        layer = Dense(4, 3, rng)
+        x = rng.normal(size=(5, 4))
+        target = rng.normal(size=(5, 3))
+
+        def loss():
+            return 0.5 * np.sum((layer.forward(x) - target) ** 2)
+
+        layer.zero_grad()
+        out = layer.forward(x)
+        layer.backward(out - target)
+        assert np.allclose(layer.weight.grad, numeric_grad(loss, layer.weight.value), atol=1e-5)
+        assert np.allclose(layer.bias.grad, numeric_grad(loss, layer.bias.value), atol=1e-5)
+
+    def test_backward_before_forward(self, rng):
+        with pytest.raises(RuntimeError, match="forward"):
+            Dense(2, 2, rng).backward(np.zeros((1, 2)))
+
+
+class TestReLU:
+    def test_gradient_mask(self, rng):
+        relu = ReLU()
+        x = rng.normal(size=(10,))
+        out = relu.forward(x)
+        grad = relu.backward(np.ones_like(x))
+        assert np.array_equal(grad, (x > 0).astype(float))
+        assert (out >= 0).all()
+
+
+class TestSharedMLP:
+    def test_gradient_through_stack(self, rng):
+        mlp = SharedMLP([3, 8, 4], rng)
+        x = rng.normal(size=(6, 3))
+        target = rng.normal(size=(6, 4))
+
+        def loss():
+            return 0.5 * np.sum((mlp.forward(x) - target) ** 2)
+
+        out = mlp.forward(x)
+        grad_in = mlp.backward(out - target)
+        assert np.allclose(grad_in, numeric_grad(loss, x), atol=1e-5)
+
+    def test_parameter_gradients(self, rng):
+        mlp = SharedMLP([3, 5, 2], rng)
+        x = rng.normal(size=(4, 3))
+        target = rng.normal(size=(4, 2))
+
+        def loss():
+            return 0.5 * np.sum((mlp.forward(x) - target) ** 2)
+
+        mlp.zero_grad()
+        out = mlp.forward(x)
+        mlp.backward(out - target)
+        for p in mlp.parameters():
+            assert np.allclose(p.grad, numeric_grad(loss, p.value), atol=1e-5)
+
+    def test_final_relu_flag(self, rng):
+        with_relu = SharedMLP([2, 2], rng, final_relu=True)
+        no_relu = SharedMLP([2, 2], rng, final_relu=False)
+        x = rng.normal(size=(100, 2)) * 10
+        assert (with_relu.forward(x) >= 0).all()
+        assert (no_relu.forward(x) < 0).any()
+
+    def test_needs_two_widths(self, rng):
+        with pytest.raises(ValueError, match="at least"):
+            SharedMLP([4], rng)
+
+
+class TestMaxPool:
+    def test_pool_and_scatter(self, rng):
+        x = rng.normal(size=(4, 6, 3))
+        pooled, arg = max_pool(x, axis=1)
+        assert pooled.shape == (4, 3)
+        assert np.allclose(pooled, x.max(axis=1))
+        grad = rng.normal(size=(4, 3))
+        scattered = max_pool_backward(grad, arg, x.shape, axis=1)
+        assert scattered.shape == x.shape
+        assert np.allclose(scattered.sum(axis=1), grad)
+
+    def test_gradient_matches_numeric(self, rng):
+        x = rng.normal(size=(3, 5, 2))
+        target = rng.normal(size=(3, 2))
+
+        def loss():
+            pooled, _ = max_pool(x, axis=1)
+            return 0.5 * np.sum((pooled - target) ** 2)
+
+        pooled, arg = max_pool(x, axis=1)
+        grad = max_pool_backward(pooled - target, arg, x.shape, axis=1)
+        assert np.allclose(grad, numeric_grad(loss, x), atol=1e-5)
+
+
+class TestSoftmaxCE:
+    def test_loss_value(self):
+        logits = np.array([[10.0, 0.0, 0.0]])
+        loss, _, probs = softmax_cross_entropy(logits, np.array([0]))
+        assert loss < 1e-3
+        assert probs[0, 0] > 0.99
+
+    def test_gradient_matches_numeric(self, rng):
+        logits = rng.normal(size=(5, 4))
+        labels = rng.integers(0, 4, size=5)
+
+        def loss():
+            return softmax_cross_entropy(logits, labels)[0]
+
+        _, grad, _ = softmax_cross_entropy(logits, labels)
+        assert np.allclose(grad, numeric_grad(loss, logits), atol=1e-5)
+
+    def test_gradient_rows_sum_to_zero(self, rng):
+        logits = rng.normal(size=(6, 3))
+        labels = rng.integers(0, 3, size=6)
+        _, grad, _ = softmax_cross_entropy(logits, labels)
+        assert np.allclose(grad.sum(axis=1), 0.0, atol=1e-12)
+
+
+class TestAdam:
+    def test_minimises_quadratic(self):
+        p = Parameter(np.array([5.0, -3.0]))
+        opt = Adam([p], lr=0.1)
+        for _ in range(300):
+            opt.zero_grad()
+            p.grad[...] = 2 * p.value  # d/dx of x^2
+            opt.step()
+        assert np.allclose(p.value, 0.0, atol=1e-2)
+
+    def test_zero_grad(self):
+        p = Parameter(np.ones(3))
+        p.grad[...] = 7.0
+        Adam([p]).zero_grad()
+        assert (p.grad == 0).all()

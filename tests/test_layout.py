@@ -1,0 +1,87 @@
+"""Tests for the DFT memory layout (paper §IV-A)."""
+
+import numpy as np
+import pytest
+
+from repro.core import BlockLayout, FractalConfig, fractal_partition
+
+
+@pytest.fixture
+def layout(small_tree):
+    return BlockLayout.from_tree(small_tree)
+
+
+class TestLayoutBasics:
+    def test_permutation_bijection(self, layout):
+        assert sorted(layout.permutation.tolist()) == list(range(layout.num_points))
+
+    def test_inverse_roundtrip(self, layout):
+        assert (layout.permutation[layout.inverse] == np.arange(layout.num_points)).all()
+
+    def test_block_ranges_tile_storage(self, layout, small_tree):
+        assert layout.block_starts[0] == 0
+        assert layout.block_ends[-1] == layout.num_points
+        assert (layout.block_starts[1:] == layout.block_ends[:-1]).all()
+        for b, leaf in enumerate(small_tree.leaves):
+            start, end = layout.block_range(b)
+            assert end - start == leaf.num_points
+
+    def test_block_contents_match_leaves(self, layout, small_tree):
+        for b, leaf in enumerate(small_tree.leaves):
+            start, end = layout.block_range(b)
+            assert set(layout.permutation[start:end]) == set(leaf.indices.tolist())
+
+
+class TestSubtreeContiguity:
+    def test_every_node_occupies_contiguous_range(self, layout, small_tree):
+        """The DFT property that makes parent loads a streamed read."""
+        for node in small_tree.nodes():
+            start, end = layout.node_range(node)
+            assert end - start == node.num_points
+            stored = set(layout.permutation[start:end].tolist())
+            assert stored == set(node.indices.tolist())
+
+    def test_parent_range_contains_leaf_range(self, layout, small_tree):
+        for b, leaf in enumerate(small_tree.leaves):
+            if leaf.parent is None:
+                continue
+            ls, le = layout.block_range(b)
+            ps, pe = layout.node_range(leaf.parent)
+            assert ps <= ls and le <= pe
+
+
+class TestBanking:
+    def test_round_robin_banks(self, layout):
+        banks = layout.bank_of_block(4)
+        assert banks.max() < 4
+        # Consecutive blocks land in different banks.
+        assert (np.diff(banks) != 0).all() or layout.num_blocks == 1
+
+    def test_bank_count_validated(self, layout):
+        with pytest.raises(ValueError, match="num_banks"):
+            layout.bank_of_block(0)
+
+
+class TestReorder:
+    def test_reorder_applies_permutation(self, small_tree, layout, gaussian_cloud):
+        stored = layout.reorder(gaussian_cloud)
+        start, end = layout.block_range(0)
+        first_leaf = small_tree.leaves[0]
+        assert np.allclose(stored[start:end], gaussian_cloud[first_leaf.indices])
+
+    def test_reorder_checks_rows(self, layout, rng):
+        with pytest.raises(ValueError, match="rows"):
+            layout.reorder(rng.normal(size=(3, 3)))
+
+    def test_spatial_coherence_of_storage_order(self, scene_coords):
+        """Consecutive stored points are closer on average than random
+        pairs — the locality the streamed access pattern exploits."""
+        tree = fractal_partition(scene_coords, FractalConfig(threshold=128))
+        layout = BlockLayout.from_tree(tree)
+        stored = layout.reorder(scene_coords)
+        consecutive = np.linalg.norm(np.diff(stored, axis=0), axis=1).mean()
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, len(stored), 2000)
+        b = rng.integers(0, len(stored), 2000)
+        random_pairs = np.linalg.norm(stored[a] - stored[b], axis=1).mean()
+        assert consecutive < 0.5 * random_pairs

@@ -1,0 +1,155 @@
+"""Tests for the Morton partitioner, voxel downsampling, and augmentations."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import PointCloud
+from repro.geometry.voxel import voxel_downsample, voxel_downsample_indices
+from repro.networks.augment import AugmentConfig, augment_cloud
+from repro.partition.morton import MortonPartitioner, morton_codes
+
+
+class TestMortonCodes:
+    def test_locality(self, rng):
+        """Close points get close codes more often than far points."""
+        pts = rng.uniform(size=(500, 3))
+        codes = morton_codes(pts)
+        order = np.argsort(codes)
+        consecutive = np.linalg.norm(
+            pts[order][1:] - pts[order][:-1], axis=1
+        ).mean()
+        a, b = rng.integers(0, 500, 300), rng.integers(0, 500, 300)
+        random_pairs = np.linalg.norm(pts[a] - pts[b], axis=1).mean()
+        assert consecutive < 0.4 * random_pairs
+
+    def test_deterministic(self, rng):
+        pts = rng.normal(size=(100, 3))
+        assert np.array_equal(morton_codes(pts), morton_codes(pts))
+
+    def test_degenerate_axis(self):
+        pts = np.column_stack([np.arange(10.0), np.zeros(10), np.zeros(10)])
+        codes = morton_codes(pts)
+        assert len(np.unique(codes)) == 10
+
+
+class TestMortonPartitioner:
+    def test_valid_partition(self, scene_coords):
+        structure = MortonPartitioner(block_size=128)(scene_coords)
+        structure.validate()
+        assert structure.block_sizes.max() <= 128
+
+    def test_perfectly_balanced(self, gaussian_cloud):
+        structure = MortonPartitioner(block_size=100)(gaussian_cloud)
+        sizes = structure.block_sizes
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_one_global_sort(self, gaussian_cloud):
+        structure = MortonPartitioner(block_size=100)(gaussian_cloud)
+        assert structure.cost.sorts == [len(gaussian_cloud)]
+
+    def test_neighbor_expansion(self, gaussian_cloud):
+        expanded = MortonPartitioner(block_size=100)(gaussian_cloud)
+        bare = MortonPartitioner(block_size=100, neighbor_expansion=False)(gaussian_cloud)
+        assert expanded.search_sizes.mean() > bare.search_sizes.mean()
+
+    def test_blocks_spatially_coherent(self, scene_coords):
+        structure = MortonPartitioner(block_size=128)(scene_coords)
+        extents = []
+        for block in structure.blocks[:20]:
+            pts = scene_coords[block.indices]
+            extents.append(np.prod(pts.max(axis=0) - pts.min(axis=0) + 1e-9))
+        total = np.prod(scene_coords.max(axis=0) - scene_coords.min(axis=0))
+        assert np.median(extents) < total / 10
+
+    def test_validates_params(self):
+        with pytest.raises(ValueError, match="block_size"):
+            MortonPartitioner(block_size=0)
+
+
+class TestVoxelDownsample:
+    def test_output_is_subset(self, rng):
+        coords = rng.uniform(size=(1000, 3))
+        idx = voxel_downsample_indices(coords, 0.2)
+        assert len(idx) < 1000
+        assert len(np.unique(idx)) == len(idx)
+
+    def test_one_point_per_voxel(self, rng):
+        coords = rng.uniform(size=(2000, 3))
+        size = 0.25
+        idx = voxel_downsample_indices(coords, size)
+        keys = np.floor((coords[idx] - coords.min(axis=0)) / size).astype(np.int64)
+        assert len(np.unique(keys, axis=0)) == len(idx)
+
+    def test_smaller_voxels_keep_more(self, rng):
+        coords = rng.uniform(size=(1500, 3))
+        fine = voxel_downsample_indices(coords, 0.05)
+        coarse = voxel_downsample_indices(coords, 0.3)
+        assert len(fine) > len(coarse)
+
+    def test_cloud_wrapper_keeps_labels(self, rng):
+        cloud = PointCloud(
+            rng.uniform(size=(500, 3)).astype(np.float32),
+            labels=rng.integers(0, 5, size=500),
+        )
+        out = voxel_downsample(cloud, 0.2)
+        assert out.labels is not None
+        assert len(out.labels) == len(out)
+
+    def test_validates_voxel_size(self, rng):
+        with pytest.raises(ValueError, match="voxel_size"):
+            voxel_downsample_indices(rng.uniform(size=(10, 3)), 0.0)
+
+
+class TestAugment:
+    def _cloud(self, rng):
+        return PointCloud(
+            rng.normal(size=(200, 3)).astype(np.float32),
+            labels=rng.integers(0, 4, size=200),
+            class_id=2,
+        )
+
+    def test_preserves_class_and_label_alignment(self, rng):
+        cloud = self._cloud(rng)
+        out = augment_cloud(cloud, rng)
+        assert out.class_id == 2
+        assert len(out.labels) == len(out)
+
+    def test_rotation_preserves_z_and_radii(self, rng):
+        cloud = self._cloud(rng)
+        config = AugmentConfig(scale_low=1.0, scale_high=1.0,
+                               jitter_sigma=0.0, dropout_max=0.0)
+        out = augment_cloud(cloud, rng, config)
+        assert np.allclose(out.coords[:, 2], cloud.coords[:, 2], atol=1e-5)
+        assert np.allclose(
+            np.linalg.norm(out.coords[:, :2], axis=1),
+            np.linalg.norm(cloud.coords[:, :2], axis=1),
+            atol=1e-4,
+        )
+
+    def test_dropout_bounded(self, rng):
+        cloud = self._cloud(rng)
+        config = AugmentConfig(dropout_max=0.5)
+        for _ in range(5):
+            out = augment_cloud(cloud, rng, config)
+            assert len(out) >= 100  # at most 50% dropped
+
+    def test_jitter_clipped(self, rng):
+        cloud = self._cloud(rng)
+        config = AugmentConfig(rotate_z=False, scale_low=1.0, scale_high=1.0,
+                               jitter_sigma=0.05, jitter_clip=0.02, dropout_max=0.0)
+        out = augment_cloud(cloud, rng, config)
+        assert np.abs(out.coords - cloud.coords).max() <= 0.02 + 1e-6
+
+    def test_training_with_augmentation_still_learns(self, rng):
+        """Augmented training keeps the pipeline healthy end to end."""
+        from repro.datasets import make_classification_dataset
+        from repro.networks import ExactBackend, PNNClassifier, train_classifier
+
+        base = make_classification_dataset(16, 96, seed=0)
+        aug_rng = np.random.default_rng(0)
+        clouds = [augment_cloud(c, aug_rng) for c in base]
+        # Dropout changes sizes; classifier handles variable n.
+        model = PNNClassifier(num_classes=10, num_points=96, seed=0)
+        result = train_classifier(model, clouds, ExactBackend(),
+                                  epochs=3, batch_size=8)
+        assert result.losses[-1] < result.losses[0]

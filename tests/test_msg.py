@@ -1,0 +1,85 @@
+"""Tests for the multi-scale-grouping SA stage."""
+
+import numpy as np
+import pytest
+
+from repro.networks import ExactBackend
+from repro.networks.msg import SAStageMSG
+
+
+@pytest.fixture
+def backend():
+    return ExactBackend()
+
+
+class TestSAStageMSG:
+    def test_forward_concatenates_scales(self, rng, backend):
+        stage = SAStageMSG(
+            n_out=16,
+            scales=[(0.2, 8), (0.4, 8), (0.8, 8)],
+            in_channels=0,
+            mlp_widths=[8, 16],
+            rng=rng,
+        )
+        coords = rng.normal(size=(128, 3))
+        c, f, idx = stage.forward(coords, None, backend)
+        assert c.shape == (16, 3)
+        assert f.shape == (16, 3 * 16)
+        assert stage.out_channels == 48
+
+    def test_scales_share_one_sample(self, rng, backend):
+        stage = SAStageMSG(
+            n_out=8, scales=[(0.3, 4), (0.6, 4)], in_channels=0,
+            mlp_widths=[8], rng=rng,
+        )
+        coords = rng.normal(size=(64, 3))
+        _, _, idx = stage.forward(coords, None, backend)
+        # The centre set must equal exact FPS of the backend.
+        assert np.array_equal(idx, backend.sample(coords, 8))
+
+    def test_backward_shapes(self, rng, backend):
+        stage = SAStageMSG(
+            n_out=8, scales=[(0.3, 4), (0.6, 4)], in_channels=5,
+            mlp_widths=[8], rng=rng,
+        )
+        coords = rng.normal(size=(64, 3))
+        feats = rng.normal(size=(64, 5))
+        _, f, _ = stage.forward(coords, feats, backend)
+        grad = stage.backward(np.ones_like(f))
+        assert grad.shape == feats.shape
+
+    def test_backward_without_features(self, rng, backend):
+        stage = SAStageMSG(
+            n_out=8, scales=[(0.3, 4)], in_channels=0, mlp_widths=[8], rng=rng
+        )
+        coords = rng.normal(size=(64, 3))
+        _, f, _ = stage.forward(coords, None, backend)
+        assert stage.backward(np.ones_like(f)) is None
+
+    def test_needs_scales(self, rng):
+        with pytest.raises(ValueError, match="scale"):
+            SAStageMSG(8, [], 0, [8], rng)
+
+    def test_parameters_cover_all_scales(self, rng):
+        stage = SAStageMSG(
+            n_out=8, scales=[(0.3, 4), (0.6, 4)], in_channels=0,
+            mlp_widths=[8], rng=rng,
+        )
+        single = SAStageMSG(
+            n_out=8, scales=[(0.3, 4)], in_channels=0, mlp_widths=[8], rng=rng
+        )
+        assert len(stage.parameters()) == 2 * len(single.parameters())
+
+    def test_works_with_block_backend(self, rng):
+        from repro.networks import make_backend
+
+        stage = SAStageMSG(
+            n_out=16, scales=[(0.2, 8), (0.4, 8)], in_channels=0,
+            mlp_widths=[8], rng=rng,
+        )
+        coords = rng.normal(size=(256, 3))
+        coords /= np.linalg.norm(coords, axis=1).max()
+        backend = make_backend("fractal", max_points_per_block=64)
+        _, f, _ = stage.forward(coords, None, backend)
+        assert f.shape == (16, 16)
+        assert np.isfinite(f).all()

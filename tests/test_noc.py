@@ -1,0 +1,29 @@
+"""Tests for the NoC/DMA model."""
+
+import pytest
+
+from repro.hw import NoCModel
+
+
+class TestNoC:
+    def test_transfer_time_linear(self):
+        noc = NoCModel(bytes_per_cycle=64)
+        assert noc.transfer_time_cycles(6400) == pytest.approx(100.0)
+
+    def test_contiguous_blocks_amortise_setup(self):
+        """The DFT layout's payoff: one descriptor instead of hundreds."""
+        noc = NoCModel()
+        scattered = noc.distribute(1e5, num_blocks=512, contiguous=False)
+        contiguous = noc.distribute(1e5, num_blocks=512, contiguous=True)
+        assert contiguous.compute_cycles < scattered.compute_cycles
+
+    def test_setup_negligible_for_large_payloads(self):
+        noc = NoCModel()
+        cost = noc.distribute(1e8, num_blocks=512, contiguous=False)
+        payload = noc.transfer_time_cycles(1e8)
+        assert cost.compute_cycles < payload * 1.05
+
+    def test_zero_payload(self):
+        noc = NoCModel()
+        cost = noc.distribute(0.0, num_blocks=1)
+        assert cost.compute_cycles >= 0

@@ -1,0 +1,213 @@
+"""Tests for the exact (global-search) point operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy.spatial import cKDTree
+
+from repro.geometry import (
+    ball_query,
+    farthest_point_sample,
+    gather_features,
+    interpolate_features,
+    interpolation_weights,
+    knn_search,
+    pairwise_sq_dists,
+)
+
+
+class TestPairwiseDists:
+    def test_matches_naive(self, rng):
+        a = rng.normal(size=(7, 3))
+        b = rng.normal(size=(9, 3))
+        d2 = pairwise_sq_dists(a, b)
+        naive = ((a[:, None, :] - b[None, :, :]) ** 2).sum(axis=2)
+        assert np.allclose(d2, naive)
+
+    def test_never_negative(self, rng):
+        a = rng.normal(size=(50, 3)) * 1e-4
+        assert (pairwise_sq_dists(a, a) >= 0).all()
+
+    def test_self_diagonal_zero(self, rng):
+        a = rng.normal(size=(20, 3))
+        assert np.allclose(np.diag(pairwise_sq_dists(a, a)), 0.0, atol=1e-9)
+
+
+class TestFPS:
+    def test_first_is_start_index(self, gaussian_cloud):
+        idx = farthest_point_sample(gaussian_cloud, 10, start_index=42)
+        assert idx[0] == 42
+
+    def test_indices_unique(self, gaussian_cloud):
+        idx = farthest_point_sample(gaussian_cloud, 200)
+        assert len(set(idx.tolist())) == 200
+
+    def test_matches_naive_greedy(self, rng):
+        pts = rng.normal(size=(60, 3))
+        idx = farthest_point_sample(pts, 12)
+        # Naive reference: recompute greedily from scratch.
+        chosen = [0]
+        for _ in range(11):
+            d2 = pairwise_sq_dists(pts, pts[chosen]).min(axis=1)
+            chosen.append(int(np.argmax(d2)))
+        assert idx.tolist() == chosen
+
+    def test_greedy_selection_maximises_min_distance(self, rng):
+        pts = rng.normal(size=(100, 3))
+        idx = farthest_point_sample(pts, 20)
+        # Each newly selected point is at least as far from the previous
+        # selection as any other candidate was.
+        for i in range(1, 20):
+            sampled = pts[idx[:i]]
+            d2_all = pairwise_sq_dists(pts, sampled).min(axis=1)
+            assert d2_all[idx[i]] == pytest.approx(d2_all.max())
+
+    def test_full_sample_covers_everything(self, rng):
+        pts = rng.normal(size=(16, 3))
+        idx = farthest_point_sample(pts, 16)
+        assert sorted(idx.tolist()) == list(range(16))
+
+    def test_bounds_checked(self, gaussian_cloud):
+        with pytest.raises(ValueError, match="num_samples"):
+            farthest_point_sample(gaussian_cloud, 0)
+        with pytest.raises(ValueError, match="num_samples"):
+            farthest_point_sample(gaussian_cloud, len(gaussian_cloud) + 1)
+        with pytest.raises(ValueError, match="start_index"):
+            farthest_point_sample(gaussian_cloud, 5, start_index=-1)
+
+
+class TestBallQuery:
+    def test_all_within_radius_or_fallback(self, rng):
+        centers = rng.normal(size=(20, 3))
+        cands = rng.normal(size=(200, 3))
+        r = 0.8
+        out = ball_query(centers, cands, r, 8)
+        d2 = pairwise_sq_dists(centers, cands)
+        for i in range(20):
+            hits = np.nonzero(d2[i] <= r * r)[0]
+            if len(hits):
+                assert set(out[i]) <= set(hits.tolist())
+            else:
+                assert (out[i] == np.argmin(d2[i])).all()
+
+    def test_padding_repeats_first_hit(self, rng):
+        centers = np.zeros((1, 3))
+        cands = np.array([[0.1, 0, 0], [5, 5, 5], [6, 6, 6]])
+        out = ball_query(centers, cands, 0.5, 4)
+        assert (out[0] == 0).all()
+
+    def test_exact_shape(self, rng):
+        out = ball_query(rng.normal(size=(5, 3)), rng.normal(size=(50, 3)), 1.0, 16)
+        assert out.shape == (5, 16)
+
+    def test_candidate_order_respected(self):
+        centers = np.zeros((1, 3))
+        cands = np.array([[0.3, 0, 0], [0.1, 0, 0], [0.2, 0, 0]])
+        out = ball_query(centers, cands, 1.0, 2)
+        assert out[0].tolist() == [0, 1]  # candidate order, not distance order
+
+    def test_invalid_args(self, rng):
+        pts = rng.normal(size=(4, 3))
+        with pytest.raises(ValueError, match="radius"):
+            ball_query(pts, pts, -1.0, 4)
+        with pytest.raises(ValueError, match="num"):
+            ball_query(pts, pts, 1.0, 0)
+
+
+class TestKNN:
+    def test_matches_scipy(self, rng):
+        centers = rng.normal(size=(30, 3))
+        cands = rng.normal(size=(300, 3))
+        ours = knn_search(centers, cands, 5)
+        _, scipy_idx = cKDTree(cands).query(centers, k=5)
+        d2 = pairwise_sq_dists(centers, cands)
+        ours_d = np.take_along_axis(d2, ours, axis=1)
+        scipy_d = np.take_along_axis(d2, scipy_idx, axis=1)
+        assert np.allclose(ours_d, scipy_d)
+
+    def test_sorted_nearest_first(self, rng):
+        centers = rng.normal(size=(10, 3))
+        cands = rng.normal(size=(100, 3))
+        idx = knn_search(centers, cands, 7)
+        d2 = pairwise_sq_dists(centers, cands)
+        picked = np.take_along_axis(d2, idx, axis=1)
+        assert (np.diff(picked, axis=1) >= -1e-12).all()
+
+    def test_self_query_returns_self_first(self, rng):
+        pts = rng.normal(size=(50, 3))
+        idx = knn_search(pts, pts, 3)
+        assert (idx[:, 0] == np.arange(50)).all()
+
+    def test_needs_enough_candidates(self, rng):
+        with pytest.raises(ValueError, match="candidates"):
+            knn_search(rng.normal(size=(2, 3)), rng.normal(size=(2, 3)), 3)
+
+
+class TestInterpolation:
+    def test_weights_are_simplex(self, rng):
+        idx, w = interpolation_weights(rng.normal(size=(40, 3)), rng.normal(size=(20, 3)))
+        assert idx.shape == w.shape == (40, 3)
+        assert np.allclose(w.sum(axis=1), 1.0)
+        assert (w >= 0).all()
+
+    def test_exact_at_candidate_positions(self, rng):
+        cands = rng.normal(size=(30, 3))
+        feats = rng.normal(size=(30, 8))
+        out = interpolate_features(cands[:5], cands, feats)
+        assert np.allclose(out, feats[:5], atol=1e-4)
+
+    def test_interpolation_within_convex_hull_of_neighbors(self, rng):
+        centers = rng.normal(size=(25, 3))
+        cands = rng.normal(size=(40, 3))
+        feats = rng.normal(size=(40, 4))
+        out = interpolate_features(centers, cands, feats)
+        idx, w = interpolation_weights(centers, cands)
+        lo = feats[idx].min(axis=1)
+        hi = feats[idx].max(axis=1)
+        assert (out >= lo - 1e-9).all() and (out <= hi + 1e-9).all()
+
+    def test_feature_row_alignment_checked(self, rng):
+        with pytest.raises(ValueError, match="candidate_features"):
+            interpolate_features(
+                rng.normal(size=(5, 3)), rng.normal(size=(10, 3)), rng.normal(size=(9, 4))
+            )
+
+
+class TestGather:
+    def test_matches_fancy_indexing(self, rng):
+        feats = rng.normal(size=(50, 6))
+        idx = rng.integers(0, 50, size=(7, 4))
+        assert np.array_equal(gather_features(feats, idx), feats[idx])
+
+    def test_rejects_non_integer(self, rng):
+        with pytest.raises(ValueError, match="integers"):
+            gather_features(rng.normal(size=(5, 2)), np.zeros((2, 2)))
+
+    def test_rejects_out_of_range(self, rng):
+        feats = rng.normal(size=(5, 2))
+        with pytest.raises(IndexError):
+            gather_features(feats, np.array([[0, 5]]))
+
+
+class TestOpsProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(10, 80), st.integers(1, 10), st.integers(0, 1000))
+    def test_fps_coverage_decreases_with_more_samples(self, n, s, seed):
+        pts = np.random.default_rng(seed).normal(size=(n, 3))
+        idx_small = farthest_point_sample(pts, s)
+        idx_big = farthest_point_sample(pts, min(2 * s, n))
+        def coverage(sel):
+            return pairwise_sq_dists(pts, pts[sel]).min(axis=1).max()
+        assert coverage(idx_big) <= coverage(idx_small) + 1e-12
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(5, 40), st.integers(1, 5), st.integers(0, 1000))
+    def test_knn_picks_globally_nearest(self, n, k, seed):
+        rng = np.random.default_rng(seed)
+        centers = rng.normal(size=(4, 3))
+        cands = rng.normal(size=(n + k, 3))
+        idx = knn_search(centers, cands, k)
+        d2 = pairwise_sq_dists(centers, cands)
+        for i in range(4):
+            kth = np.sort(d2[i])[k - 1]
+            assert (d2[i][idx[i]] <= kth + 1e-12).all()

@@ -1,0 +1,54 @@
+"""Tests for partition statistics and the Fig. 5 analytic counts."""
+
+import pytest
+
+from repro.partition import (
+    UniformPartitioner,
+    fractal_traversal_count,
+    kdtree_sort_count,
+    summarize,
+)
+
+
+class TestFig5Formulas:
+    def test_paper_quoted_values(self):
+        """Fig. 5 prints these exact numbers."""
+        assert kdtree_sort_count(1024, 64) == 15
+        assert fractal_traversal_count(1024, 64) == 4
+        assert kdtree_sort_count(289_000, 256) == 2047
+        assert fractal_traversal_count(289_000, 256) == 11
+
+    def test_no_partition_needed(self):
+        assert kdtree_sort_count(64, 64) == 0
+        assert fractal_traversal_count(64, 64) == 0
+
+    def test_sorts_exponential_in_traversals(self):
+        for n in (10_000, 100_000, 1_000_000):
+            t = fractal_traversal_count(n, 256)
+            assert kdtree_sort_count(n, 256) == 2**t - 1
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError, match="positive"):
+            kdtree_sort_count(0, 64)
+        with pytest.raises(ValueError, match="positive"):
+            fractal_traversal_count(100, 0)
+
+
+class TestSummarize:
+    def test_summary_fields(self, scene_coords):
+        s = UniformPartitioner(target_block_size=128)(scene_coords)
+        summary = summarize(s)
+        assert summary.strategy == "uniform"
+        assert summary.num_points == len(scene_coords)
+        assert summary.num_blocks == s.num_blocks
+        assert summary.max_block == s.block_sizes.max()
+        assert summary.balance_factor == pytest.approx(
+            s.block_sizes.max() / s.block_sizes.mean()
+        )
+        assert 0.0 <= summary.underfilled_fraction <= 1.0
+
+    def test_row_shape(self, scene_coords):
+        s = UniformPartitioner(target_block_size=128)(scene_coords)
+        row = summarize(s).row()
+        assert len(row) == 9
+        assert row[0] == "uniform"

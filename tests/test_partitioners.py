@@ -1,0 +1,169 @@
+"""Tests for the baseline partitioners (uniform / KD-tree / octree / none)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import block_balance_factor
+from repro.partition import (
+    KDTreePartitioner,
+    NoPartitioner,
+    OctreePartitioner,
+    UniformPartitioner,
+    get_partitioner,
+    PARTITIONER_NAMES,
+)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", PARTITIONER_NAMES)
+    def test_all_strategies_produce_valid_partitions(self, name, scene_coords):
+        structure = get_partitioner(name, max_points_per_block=128)(scene_coords)
+        structure.validate()  # would raise on overlap/missing points
+        assert structure.strategy == name
+        assert structure.block_sizes.sum() == len(scene_coords)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown partitioner"):
+            get_partitioner("voronoi")
+
+
+class TestNoPartitioner:
+    def test_single_global_block(self, gaussian_cloud):
+        s = NoPartitioner()(gaussian_cloud)
+        assert s.num_blocks == 1
+        assert len(s.search_spaces[0]) == len(gaussian_cloud)
+        assert s.cost.num_sorts == 0 and s.cost.num_traversals == 0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            NoPartitioner()(np.empty((0, 3)))
+
+
+class TestUniform:
+    def test_single_streaming_pass(self, scene_coords):
+        s = UniformPartitioner(target_block_size=128)(scene_coords)
+        assert s.cost.passes == [len(scene_coords)]
+        assert s.cost.levels == 1
+        assert s.cost.num_sorts == 0
+
+    def test_cells_are_spatially_disjoint(self, scene_coords):
+        s = UniformPartitioner(resolution=4)(scene_coords)
+        # Each block's bounding box must not contain another block's points.
+        for block in s.blocks[:10]:
+            pts = scene_coords[block.indices]
+            assert len(pts) == len(block)
+
+    def test_imbalance_on_nonuniform_data(self, scene_coords):
+        """The paper's core criticism: uniform cells follow space, not
+        density, so real scenes produce badly imbalanced blocks."""
+        s = UniformPartitioner(target_block_size=128)(scene_coords)
+        assert block_balance_factor(s.block_sizes) > 2.0
+
+    def test_search_space_is_cell_only(self, scene_coords):
+        s = UniformPartitioner(target_block_size=128)(scene_coords)
+        for block, space in zip(s.blocks, s.search_spaces):
+            assert np.array_equal(block.indices, space)
+
+    def test_validates_params(self):
+        with pytest.raises(ValueError, match="target_block_size"):
+            UniformPartitioner(target_block_size=0)
+        with pytest.raises(ValueError, match="resolution"):
+            UniformPartitioner(resolution=0)
+
+
+class TestKDTree:
+    def test_strict_balance(self, scene_coords):
+        """Median splits: block sizes differ by at most 2x and the
+        balance factor stays near 1 (Fig. 3(c) 'strictly balance')."""
+        s = KDTreePartitioner(max_leaf_size=128)(scene_coords)
+        assert block_balance_factor(s.block_sizes) < 1.3
+        assert s.block_sizes.max() <= 128
+
+    def test_sort_count_matches_internal_nodes(self, gaussian_cloud):
+        s = KDTreePartitioner(max_leaf_size=64)(gaussian_cloud)
+        # A strictly binary tree with L leaves has L-1 internal nodes,
+        # each of which performed exactly one sort.
+        assert s.cost.num_sorts == s.num_blocks - 1
+
+    def test_sorts_grow_much_faster_than_fractal_traversals(self, scene_coords):
+        from repro.core import FractalConfig, fractal_partition
+
+        kd = KDTreePartitioner(max_leaf_size=128)(scene_coords)
+        fr = fractal_partition(scene_coords, FractalConfig(threshold=128))
+        # Fig. 5: sorts scale with the *number of nodes* (exponential in
+        # depth) while traversals scale with the number of *levels*.
+        assert kd.cost.num_sorts > 5 * fr.cost.num_traversals
+        assert kd.cost.num_sorts == kd.num_blocks - 1
+        assert fr.cost.num_traversals == fr.num_levels
+
+    def test_parent_search_spaces(self, scene_coords):
+        s = KDTreePartitioner(max_leaf_size=128)(scene_coords)
+        deep = [i for i, b in enumerate(s.blocks) if b.depth > 1]
+        assert deep, "expected some deep leaves"
+        for i in deep[:20]:
+            assert len(s.search_spaces[i]) >= 2 * len(s.blocks[i]) * 0.9
+
+    def test_leaf_only_option(self, gaussian_cloud):
+        s = KDTreePartitioner(max_leaf_size=64, parent_search=False)(gaussian_cloud)
+        for block, space in zip(s.blocks, s.search_spaces):
+            assert np.array_equal(np.sort(block.indices), np.sort(space))
+
+    def test_validates_params(self):
+        with pytest.raises(ValueError, match="max_leaf_size"):
+            KDTreePartitioner(max_leaf_size=0)
+
+
+class TestOctree:
+    def test_leaf_bound_respected(self, scene_coords):
+        s = OctreePartitioner(max_leaf_size=128)(scene_coords)
+        assert s.block_sizes.max() <= 128
+
+    def test_adaptivity_beats_flat_grid_balance(self, scene_coords):
+        octree = OctreePartitioner(max_leaf_size=128)(scene_coords)
+        # Octree respects the hard cap; a flat grid with similar mean
+        # block size does not (its max block can be much larger).
+        uniform = UniformPartitioner(target_block_size=128)(scene_coords)
+        assert octree.block_sizes.max() <= 128
+        assert uniform.block_sizes.max() > 128
+
+    def test_coincident_points_terminate(self):
+        pts = np.zeros((1000, 3))
+        s = OctreePartitioner(max_leaf_size=64, max_depth=6)(pts)
+        assert s.num_blocks == 1  # cannot split identical points
+
+    def test_streaming_passes_recorded(self, scene_coords):
+        s = OctreePartitioner(max_leaf_size=128)(scene_coords)
+        assert s.cost.levels >= 1
+        assert len(s.cost.passes) == s.cost.levels
+        assert s.cost.num_sorts == 0
+
+    def test_validates_params(self):
+        with pytest.raises(ValueError, match="max_leaf_size"):
+            OctreePartitioner(max_leaf_size=0)
+
+
+class TestCrossStrategyOrdering:
+    def test_balance_ordering_matches_paper(self, scene_coords):
+        """Fig. 3: KD-tree strictly balanced < Fractal moderately
+        balanced < octree < uniform (imbalanced)."""
+        from repro.core import FractalConfig, fractal_partition
+
+        kd = block_balance_factor(
+            KDTreePartitioner(max_leaf_size=128)(scene_coords).block_sizes
+        )
+        fr = block_balance_factor(
+            fractal_partition(scene_coords, FractalConfig(threshold=128)).block_sizes
+        )
+        un = block_balance_factor(
+            UniformPartitioner(target_block_size=128)(scene_coords).block_sizes
+        )
+        assert kd < fr < un
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 500))
+    def test_all_partitioners_cover_random_clouds(self, seed):
+        pts = np.random.default_rng(seed).normal(size=(400, 3))
+        for name in PARTITIONER_NAMES:
+            structure = get_partitioner(name, max_points_per_block=64)(pts)
+            structure.validate()

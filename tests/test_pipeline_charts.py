@@ -1,0 +1,67 @@
+"""Tests for the pipelined-throughput model and ASCII charts."""
+
+import pytest
+
+from repro.analysis.charts import bar_chart, log_bar_chart
+from repro.hw import AcceleratorSim, FRACTALCLOUD, POINTACC
+from repro.hw.pipeline import RESOURCE_OF_PHASE, pipeline_throughput
+from repro.networks import get_workload
+
+
+class TestPipeline:
+    @pytest.fixture(scope="class")
+    def estimate(self):
+        result = AcceleratorSim(FRACTALCLOUD).run(get_workload("PNXt(s)"), 33_000)
+        return pipeline_throughput(result)
+
+    def test_interval_bounded_by_latency(self, estimate):
+        assert 0 < estimate.initiation_interval_s <= estimate.latency_s
+
+    def test_overlap_speedup_at_least_one(self, estimate):
+        assert estimate.overlap_speedup >= 1.0
+
+    def test_fractalcloud_bottleneck_is_pe_array(self, estimate):
+        """MLP-bound after BPPO — so streaming is PE-limited."""
+        assert estimate.bottleneck_resource == "pe_array"
+
+    def test_pointacc_bottleneck_is_point_units(self):
+        result = AcceleratorSim(POINTACC).run(get_workload("PNXt(s)"), 33_000)
+        estimate = pipeline_throughput(result)
+        assert estimate.bottleneck_resource == "rspu"
+
+    def test_fps_positive(self, estimate):
+        assert estimate.frames_per_second > 0
+
+    def test_resources_cover_all_phases(self):
+        result = AcceleratorSim(FRACTALCLOUD).run(get_workload("PN++(s)"), 4096)
+        for phase in result.phases:
+            assert phase in RESOURCE_OF_PHASE
+
+    def test_busy_times_sum_to_latency(self, estimate):
+        assert sum(estimate.resource_busy_s.values()) == pytest.approx(
+            estimate.latency_s
+        )
+
+
+class TestCharts:
+    def test_bar_chart_renders(self):
+        text = bar_chart(["a", "bb"], [1.0, 2.0], title="T", unit="x")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[2].count("#") == 2 * lines[1].count("#")
+
+    def test_log_chart_compresses(self):
+        text = log_bar_chart(["small", "large"], [1.0, 1000.0], width=30)
+        small, large = text.splitlines()
+        assert large.count("#") <= 30
+        assert small.count("#") >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="labels"):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError, match="non-negative"):
+            bar_chart(["a"], [-1.0])
+        with pytest.raises(ValueError, match="positive"):
+            log_bar_chart(["a"], [0.0])
+        with pytest.raises(ValueError, match="nothing"):
+            bar_chart([], [])

@@ -1,0 +1,86 @@
+"""Tests for the PointCloud container."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import PointCloud
+
+
+class TestConstruction:
+    def test_coords_coerced_to_float32(self, rng):
+        cloud = PointCloud(rng.normal(size=(10, 3)).astype(np.float64))
+        assert cloud.coords.dtype == np.float32
+        assert len(cloud) == 10
+
+    def test_rejects_bad_coord_shape(self):
+        with pytest.raises(ValueError, match=r"\(n, 3\)"):
+            PointCloud(np.zeros((5, 2)))
+
+    def test_features_row_count_checked(self, rng):
+        with pytest.raises(ValueError, match="features"):
+            PointCloud(rng.normal(size=(4, 3)), features=rng.normal(size=(5, 8)))
+
+    def test_labels_shape_checked(self, rng):
+        with pytest.raises(ValueError, match="labels"):
+            PointCloud(rng.normal(size=(4, 3)), labels=np.zeros(5, dtype=np.int64))
+
+    def test_labels_must_be_integers(self, rng):
+        with pytest.raises(ValueError, match="integers"):
+            PointCloud(rng.normal(size=(4, 3)), labels=np.zeros(4, dtype=np.float32))
+
+    def test_num_features(self, rng):
+        bare = PointCloud(rng.normal(size=(4, 3)))
+        rich = bare.with_features(rng.normal(size=(4, 16)))
+        assert bare.num_features == 0
+        assert rich.num_features == 16
+
+
+class TestOperations:
+    def test_select_carries_everything(self, rng):
+        cloud = PointCloud(
+            rng.normal(size=(10, 3)),
+            features=rng.normal(size=(10, 4)),
+            labels=np.arange(10),
+            class_id=5,
+        )
+        sub = cloud.select(np.array([1, 3, 5]))
+        assert len(sub) == 3
+        assert sub.labels.tolist() == [1, 3, 5]
+        assert sub.class_id == 5
+        assert np.allclose(sub.features, cloud.features[[1, 3, 5]])
+
+    def test_permute_is_bijection_checked(self, rng):
+        cloud = PointCloud(rng.normal(size=(5, 3)))
+        with pytest.raises(ValueError, match="bijection"):
+            cloud.permute(np.array([0, 0, 1, 2, 3]))
+
+    def test_permute_roundtrip(self, rng):
+        cloud = PointCloud(rng.normal(size=(8, 3)))
+        perm = rng.permutation(8)
+        inverse = np.empty(8, dtype=np.int64)
+        inverse[perm] = np.arange(8)
+        back = cloud.permute(perm).permute(inverse)
+        assert np.allclose(back.coords, cloud.coords)
+
+    def test_normalized_in_unit_sphere(self, rng):
+        cloud = PointCloud(rng.normal(size=(100, 3)) * 10 + 5)
+        norm = cloud.normalized()
+        radii = np.linalg.norm(norm.coords, axis=1)
+        assert radii.max() <= 1.0 + 1e-5
+        assert np.allclose(norm.coords.mean(axis=0), 0.0, atol=1e-5)
+
+    def test_normalized_degenerate_cloud(self):
+        cloud = PointCloud(np.zeros((4, 3), dtype=np.float32))
+        norm = cloud.normalized()
+        assert np.allclose(norm.coords, 0.0)
+
+    def test_nbytes_fp16_default(self, rng):
+        cloud = PointCloud(rng.normal(size=(10, 3)), features=rng.normal(size=(10, 5)))
+        assert cloud.nbytes() == (10 * 3 + 10 * 5) * 2
+
+    def test_bbox_matches_coords(self, rng):
+        coords = rng.normal(size=(50, 3))
+        cloud = PointCloud(coords)
+        box = cloud.bbox
+        assert np.allclose(box.lo, coords.min(axis=0), atol=1e-6)
+        assert np.allclose(box.hi, coords.max(axis=0), atol=1e-6)

@@ -1,0 +1,54 @@
+"""Additional runtime/compiler coverage: caches, strategies, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.networks import WORKLOADS, get_workload
+from repro.runtime import compile_program
+from repro.runtime.compiler import _weight_bytes, clear_caches
+
+
+class TestWeightBytes:
+    @pytest.mark.parametrize("key", sorted(WORKLOADS))
+    def test_positive_for_all_workloads(self, key):
+        assert _weight_bytes(get_workload(key)) > 0
+
+    def test_bigger_model_more_weights(self):
+        assert _weight_bytes(get_workload("PVr(s)")) > _weight_bytes(
+            get_workload("PNXt(s)")
+        )
+
+    def test_cls_head_included(self):
+        """Classification workloads carry the global MLP + FC head."""
+        cls = _weight_bytes(get_workload("PN++(c)"))
+        # The global MLP (256→512→1024) alone is ~700K params = 1.4 MB.
+        assert cls > 1e6
+
+
+class TestCompilerStrategies:
+    @pytest.mark.parametrize("strategy", ["fractal", "kdtree", "uniform", "octree", "morton"])
+    def test_all_partitioners_compile(self, strategy):
+        program = compile_program(get_workload("PN++(s)"), 4096, strategy, 128)
+        sa = [p for p in program.stages if p.stage.kind == "sa"]
+        assert all(p.partition is not None for p in sa)
+        assert sa[0].partition.strategy == strategy
+
+    def test_different_seeds_different_stats(self):
+        a = compile_program(get_workload("PNXt(s)"), 8192, "fractal", 256, seed=0)
+        b = compile_program(get_workload("PNXt(s)"), 8192, "fractal", 256, seed=1)
+        assert not np.array_equal(
+            a.stages[0].partition.block_sizes, b.stages[0].partition.block_sizes
+        )
+
+    def test_clear_caches(self):
+        compile_program(get_workload("PN++(c)"), 1024, "fractal", 64)
+        clear_caches()  # must not raise; next compile rebuilds
+        program = compile_program(get_workload("PN++(c)"), 1024, "fractal", 64)
+        assert program.stages[0].partition is not None
+
+    def test_block_size_respected_across_strategies(self):
+        for strategy in ("fractal", "kdtree", "octree"):
+            program = compile_program(get_workload("PNXt(s)"), 8192, strategy, 128)
+            for plan in program.stages:
+                if plan.partition is not None and plan.partition.num_blocks > 1:
+                    assert plan.partition.block_sizes.max() <= 128, strategy

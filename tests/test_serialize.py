@@ -1,0 +1,63 @@
+"""Tests for block-structure serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FractalConfig,
+    fractal_partition,
+    load_block_structure,
+    save_block_structure,
+    save_tree,
+)
+from repro.core.bppo import block_fps
+from repro.partition import get_partitioner
+
+
+class TestRoundTrip:
+    def test_fractal_tree_roundtrip(self, gaussian_cloud, tmp_path):
+        tree = fractal_partition(gaussian_cloud, FractalConfig(threshold=64))
+        path = tmp_path / "tree.npz"
+        save_tree(str(path), tree)
+        loaded = load_block_structure(str(path))
+        original = tree.block_structure()
+        assert loaded.num_points == original.num_points
+        assert loaded.num_blocks == original.num_blocks
+        assert loaded.strategy == "fractal"
+        for a, b in zip(original.blocks, loaded.blocks):
+            assert np.array_equal(a.indices, b.indices)
+            assert a.depth == b.depth
+        for a, b in zip(original.search_spaces, loaded.search_spaces):
+            assert np.array_equal(a, b)
+        assert loaded.cost.levels == original.cost.levels
+        assert loaded.cost.traversals == original.cost.traversals
+
+    @pytest.mark.parametrize("strategy", ["uniform", "kdtree", "octree", "none"])
+    def test_all_strategies_roundtrip(self, gaussian_cloud, tmp_path, strategy):
+        structure = get_partitioner(strategy, max_points_per_block=64)(gaussian_cloud)
+        path = tmp_path / f"{strategy}.npz"
+        save_block_structure(str(path), structure)
+        loaded = load_block_structure(str(path))
+        loaded.validate()
+        assert loaded.strategy == strategy
+        assert np.array_equal(loaded.block_sizes, structure.block_sizes)
+
+    def test_loaded_structure_drives_bppo(self, gaussian_cloud, tmp_path):
+        """The round-tripped structure is fully usable."""
+        tree = fractal_partition(gaussian_cloud, FractalConfig(threshold=64))
+        path = tmp_path / "t.npz"
+        save_tree(str(path), tree)
+        loaded = load_block_structure(str(path))
+        idx, _ = block_fps(loaded, gaussian_cloud, 100)
+        assert len(idx) == 100
+
+    def test_version_check(self, gaussian_cloud, tmp_path):
+        tree = fractal_partition(gaussian_cloud, FractalConfig(threshold=64))
+        path = tmp_path / "t.npz"
+        save_tree(str(path), tree)
+        # Corrupt the version field.
+        data = dict(np.load(str(path)))
+        data["version"] = np.int64(99)
+        np.savez(str(path), **data)
+        with pytest.raises(ValueError, match="version"):
+            load_block_structure(str(path))

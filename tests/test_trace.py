@@ -1,0 +1,52 @@
+"""Tests for the simulator's execution-trace mode."""
+
+import pytest
+
+from repro.hw import AcceleratorSim, FRACTALCLOUD, POINTACC
+from repro.networks import get_workload
+
+
+@pytest.fixture(scope="module")
+def traced():
+    return AcceleratorSim(FRACTALCLOUD).run(get_workload("PN++(s)"), 4096, trace=True)
+
+
+class TestTrace:
+    def test_disabled_by_default(self):
+        r = AcceleratorSim(POINTACC).run(get_workload("PN++(c)"), 1024)
+        assert r.trace == []
+        assert "no trace" in r.timeline()
+
+    def test_events_sum_to_latency(self, traced):
+        assert sum(e.seconds for e in traced.trace) == pytest.approx(traced.latency_s)
+
+    def test_events_are_sequential(self, traced):
+        for prev, nxt in zip(traced.trace, traced.trace[1:]):
+            assert nxt.start_s == pytest.approx(prev.end_s)
+
+    def test_stage_indices_monotone(self, traced):
+        indices = [e.stage_index for e in traced.trace]
+        assert indices == sorted(indices)
+        assert indices[0] == -1  # weight-load setup event
+
+    def test_phases_match_run_phases(self, traced):
+        trace_phases = {e.phase for e in traced.trace}
+        assert trace_phases == set(traced.phases)
+
+    def test_dram_bytes_consistent(self, traced):
+        assert sum(e.dram_bytes for e in traced.trace) == pytest.approx(
+            traced.dram_bytes
+        )
+
+    def test_timeline_renders(self, traced):
+        text = traced.timeline()
+        assert "stage  0" in text
+        assert "mlp" in text
+
+    def test_trace_does_not_change_results(self):
+        sim = AcceleratorSim(FRACTALCLOUD)
+        spec = get_workload("PN++(s)")
+        plain = sim.run(spec, 4096)
+        traced = sim.run(spec, 4096, trace=True)
+        assert plain.latency_s == pytest.approx(traced.latency_s)
+        assert plain.energy_j == pytest.approx(traced.energy_j)

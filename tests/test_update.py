@@ -1,0 +1,113 @@
+"""Tests for incremental fractal updates (dynamic point clouds)."""
+
+import numpy as np
+import pytest
+
+from repro.core import FractalConfig
+from repro.core.bppo import block_fps
+from repro.core.update import FractalUpdater
+
+
+@pytest.fixture
+def updater(rng):
+    coords = rng.normal(size=(800, 3))
+    return FractalUpdater(coords, FractalConfig(threshold=64))
+
+
+def _assert_valid(updater):
+    structure, live_ids = updater.structure()
+    structure.validate()
+    assert structure.num_points == updater.num_points
+    assert len(live_ids) == updater.num_points
+    return structure
+
+
+class TestConstruction:
+    def test_initial_partition_valid(self, updater):
+        structure = _assert_valid(updater)
+        assert structure.max_block_size <= 64
+
+    def test_rejects_bad_shape(self, rng):
+        with pytest.raises(ValueError, match=r"\(n, 3\)"):
+            FractalUpdater(rng.normal(size=(10, 2)))
+
+
+class TestInsert:
+    def test_insert_routes_and_grows(self, updater, rng):
+        ids = updater.insert(rng.normal(size=(100, 3)))
+        assert len(ids) == 100
+        assert updater.num_points == 900
+        structure = _assert_valid(updater)
+        assert structure.max_block_size <= 64
+
+    def test_leaf_splits_on_overflow(self, rng):
+        coords = rng.normal(size=(60, 3))
+        updater = FractalUpdater(coords, FractalConfig(threshold=64))
+        # All in one leaf; inserting 40 more forces a split.
+        updater.insert(rng.normal(size=(40, 3)))
+        assert updater.stats.leaf_splits >= 1
+        structure = _assert_valid(updater)
+        assert structure.num_blocks >= 2
+
+    def test_dense_insertions_stay_bounded(self, updater, rng):
+        # Hammer one region: local splits keep the leaf bound.
+        cluster = rng.normal(scale=0.05, size=(300, 3))
+        updater.insert(cluster)
+        structure = _assert_valid(updater)
+        assert structure.max_block_size <= 64
+
+    def test_update_cheaper_than_rebuild(self, updater, rng):
+        before = updater.stats.update_work
+        updater.insert(rng.normal(size=(50, 3)))
+        incremental = updater.stats.update_work - before
+        assert incremental < updater.rebuild_work()
+
+
+class TestRemove:
+    def test_remove_shrinks(self, updater):
+        _, live = updater.structure()
+        updater.remove(live[:100])
+        assert updater.num_points == 700
+        _assert_valid(updater)
+
+    def test_double_remove_rejected(self, updater):
+        _, live = updater.structure()
+        updater.remove(live[:1])
+        with pytest.raises(KeyError, match="not alive"):
+            updater.remove(live[:1])
+
+    def test_merges_underfilled_siblings(self, rng):
+        coords = rng.normal(size=(400, 3))
+        updater = FractalUpdater(coords, FractalConfig(threshold=64))
+        blocks_before = updater.structure()[0].num_blocks
+        _, live = updater.structure()
+        updater.remove(live[: 360])  # leave 40 points scattered
+        assert updater.stats.leaf_merges >= 1
+        structure = _assert_valid(updater)
+        assert structure.num_blocks < blocks_before
+
+    def test_remove_all_but_few(self, updater):
+        _, live = updater.structure()
+        updater.remove(live[:-5])
+        assert updater.num_points == 5
+        _assert_valid(updater)
+
+
+class TestStreaming:
+    def test_frame_stream_invariants(self, rng):
+        """Simulated sensor stream: insert/remove churn each frame."""
+        updater = FractalUpdater(rng.normal(size=(1000, 3)), FractalConfig(threshold=64))
+        for frame in range(5):
+            _, live = updater.structure()
+            updater.remove(rng.choice(live, size=150, replace=False))
+            updater.insert(rng.normal(size=(150, 3)) + frame * 0.2)
+            structure = _assert_valid(updater)
+            assert structure.max_block_size <= 64
+
+    def test_structure_drives_bppo_after_updates(self, updater, rng):
+        updater.insert(rng.normal(size=(64, 3)))
+        structure, live = updater.structure()
+        coords = updater.coords()
+        sampled, _ = block_fps(structure, coords, 200)
+        assert len(sampled) == 200
+        assert sampled.max() < len(coords)

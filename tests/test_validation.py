@@ -1,0 +1,20 @@
+"""The paper's headline claims, checked as one test each."""
+
+import pytest
+
+from repro.analysis.validation import HEADLINE_CLAIMS, validate_headlines
+
+
+@pytest.mark.parametrize("claim", HEADLINE_CLAIMS, ids=lambda c: c.name)
+def test_headline_claim(claim):
+    value, ok = claim.check()
+    assert ok, (
+        f"{claim.name}: paper {claim.paper_value}, measured {value:.2f}, "
+        f"band x{claim.band}"
+    )
+
+
+def test_validate_headlines_reports_all():
+    rows = validate_headlines()
+    assert len(rows) == len(HEADLINE_CLAIMS)
+    assert all(ok for _, _, _, ok in rows)

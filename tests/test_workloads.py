@@ -1,0 +1,84 @@
+"""Tests for the Table I workload registry."""
+
+import pytest
+
+from repro.networks import WORKLOADS, get_workload
+
+
+class TestRegistry:
+    def test_all_seven_table1_rows_present(self):
+        assert set(WORKLOADS) == {
+            "PN++(c)", "PNXt(c)", "PN++(ps)", "PNXt(ps)",
+            "PN++(s)", "PNXt(s)", "PVr(s)",
+        }
+
+    def test_lookup(self):
+        assert get_workload("PVr(s)").model == "pointvector"
+        with pytest.raises(ValueError, match="unknown workload"):
+            get_workload("PN++(x)")
+
+    def test_task_dataset_pairing_matches_table1(self):
+        assert get_workload("PN++(c)").dataset == "modelnet40"
+        assert get_workload("PNXt(ps)").dataset == "shapenet"
+        for key in ("PN++(s)", "PNXt(s)", "PVr(s)"):
+            spec = get_workload(key)
+            assert spec.dataset == "s3dis"
+            assert spec.task == "seg"
+            assert spec.num_classes == 13
+
+    def test_classification_has_global_and_head(self):
+        for key in ("PN++(c)", "PNXt(c)"):
+            spec = get_workload(key)
+            assert spec.task == "cls"
+            assert spec.global_mlp
+            assert spec.head[-1] == 40
+            assert not spec.fp_stages
+
+    def test_segmentation_fp_mirrors_sa(self):
+        for key in ("PN++(s)", "PNXt(s)", "PVr(s)", "PN++(ps)", "PNXt(ps)"):
+            spec = get_workload(key)
+            assert len(spec.fp_stages) == len(spec.sa_stages)
+
+
+class TestConcreteChains:
+    @pytest.mark.parametrize("key", sorted(WORKLOADS))
+    def test_chain_sizes_consistent(self, key):
+        spec = get_workload(key)
+        n = max(spec.min_points() * 4, 4096)
+        stages = spec.concrete(n)
+        assert stages[0].n_in == n
+        for stage in stages:
+            assert stage.n_in >= 1 and stage.n_out >= 1
+            if stage.kind == "sa":
+                assert stage.n_out < stage.n_in
+            if stage.kind == "fp":
+                assert stage.n_out > stage.n_in  # upsampling
+
+    def test_seg_head_covers_all_points(self):
+        spec = get_workload("PNXt(s)")
+        stages = spec.concrete(8192)
+        head = stages[-1]
+        assert head.kind == "head"
+        assert head.n_in == 8192
+
+    def test_fp_chain_returns_to_input_size(self):
+        spec = get_workload("PN++(s)")
+        stages = spec.concrete(16384)
+        last_fp = [s for s in stages if s.kind == "fp"][-1]
+        assert last_fp.n_out == 16384
+
+    def test_fp_in_channels_include_skip(self):
+        spec = get_workload("PNXt(s)")
+        stages = spec.concrete(8192)
+        first_fp = [s for s in stages if s.kind == "fp"][0]
+        deepest_sa = [s for s in stages if s.kind == "sa"][-1]
+        # First FP consumes deepest SA output ++ skip from the level below.
+        assert first_fp.in_channels > deepest_sa.mlp[-1]
+
+    def test_min_points(self):
+        spec = get_workload("PNXt(s)")
+        assert spec.min_points() == 4 ** 4
+        with pytest.raises(ValueError, match="at least"):
+            from repro.runtime import compile_program
+
+            compile_program(spec, 16)
