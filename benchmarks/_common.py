@@ -9,8 +9,25 @@ the run.  EXPERIMENTS.md indexes the outputs against the paper's numbers.
 from __future__ import annotations
 
 import os
+import time
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def best_time(fn, *, repeats: int = 3):
+    """Run ``fn`` ``repeats`` times; return ``(best_seconds, last_result)``.
+
+    Best-of-N is the standard defence against one-off scheduler noise when
+    two implementations are compared on wall time; the result is returned
+    so callers can assert on correctness as well as speed.
+    """
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
 
 
 def emit(name: str, text: str) -> str:

@@ -1,12 +1,15 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three subcommands cover the common workflows without writing any code:
+Four subcommands cover the common workflows without writing any code:
 
 - ``partition`` — partition a generated (or .npy) cloud with any
   strategy and print the block statistics.
 - ``simulate`` — run a Table I workload at a scale on any accelerator
   (or the GPU model) and print latency/energy/breakdown.
 - ``compare`` — the Fig. 13-style table for one workload across scales.
+- ``batch-run`` — push a batch of clouds through the
+  :class:`~repro.runtime.executor.BatchExecutor` engine and print
+  per-cloud results plus aggregate throughput.
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ from .datasets import DATASET_NAMES, load_cloud, scale_points
 from .hw import AcceleratorSim, GPUModel, SOTA_CONFIGS
 from .networks import WORKLOADS, get_workload
 from .partition import PARTITIONER_NAMES, get_partitioner, summarize
+from .runtime import BatchExecutor, PipelineSpec
 
 __all__ = ["main"]
 
@@ -86,6 +90,45 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch_run(args: argparse.Namespace) -> int:
+    clouds = [
+        load_cloud(args.dataset, args.points, args.seed + i).coords
+        for i in range(args.clouds)
+    ]
+    engine = BatchExecutor(
+        args.partitioner,
+        block_size=args.block_size,
+        max_workers=args.workers,
+        mode=args.mode,
+        use_batched_ops=not args.no_batched_ops,
+    )
+    pipeline = PipelineSpec(
+        sample_ratio=args.sample_ratio,
+        radius=args.radius,
+        group_size=args.group_size,
+    )
+    report = engine.run(clouds, pipeline)
+    rows = [
+        [r.index, f"{r.num_points:,}", r.num_blocks, len(r.sampled),
+         "reuse" if r.reused else ("hit" if r.cache_hit else "miss"),
+         f"{r.seconds * 1e3:.2f}"]
+        for r in report.results
+    ]
+    stats = report.stats
+    print(format_table(
+        ["cloud", "points", "blocks", "samples", "cache", "ms"],
+        rows,
+        title=f"batch-run: {stats.clouds} clouds on {args.partitioner} "
+              f"({engine.mode}, {engine.max_workers} workers)",
+    ))
+    print(f"  throughput {stats.clouds_per_second:.1f} clouds/s "
+          f"({stats.points_per_second / 1e3:.0f}K points/s)   "
+          f"overlap {stats.speedup_over_busy:.2f}x   "
+          f"cache {stats.cache_hits}/{stats.clouds} hits   "
+          f"reused {stats.reused}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="FractalCloud reproduction toolkit"
@@ -112,6 +155,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workload", choices=sorted(WORKLOADS), default="PNXt(s)")
     p.add_argument("--scales", default="8K,33K,131K,289K")
     p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser("batch-run", help="run the batched executor over many clouds")
+    p.add_argument("--dataset", choices=DATASET_NAMES, default="s3dis")
+    p.add_argument("--clouds", type=int, default=16)
+    p.add_argument("--points", type=int, default=4096)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--partitioner", choices=PARTITIONER_NAMES, default="fractal")
+    p.add_argument("--block-size", type=int, default=256)
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--mode", choices=["thread", "process", "serial"], default="thread")
+    p.add_argument("--sample-ratio", type=float, default=0.25)
+    p.add_argument("--radius", type=float, default=0.2)
+    p.add_argument("--group-size", type=int, default=16)
+    p.add_argument("--no-batched-ops", action="store_true",
+                   help="schedule the serial reference ops instead")
+    p.set_defaults(func=_cmd_batch_run)
     return parser
 
 

@@ -14,10 +14,15 @@ from .bppo import (
     OpTrace,
     allocate_samples,
     block_ball_query,
+    block_ball_query_batched,
     block_fps,
+    block_fps_batched,
     block_gather,
+    block_gather_batched,
     block_interpolate,
+    block_interpolate_batched,
     block_knn,
+    block_knn_batched,
 )
 from .config import (
     DEFAULT_LARGE_SCALE_THRESHOLD,
@@ -44,10 +49,15 @@ __all__ = [
     "PartitionCost",
     "allocate_samples",
     "block_ball_query",
+    "block_ball_query_batched",
     "block_fps",
+    "block_fps_batched",
     "block_gather",
+    "block_gather_batched",
     "block_interpolate",
+    "block_interpolate_batched",
     "block_knn",
+    "block_knn_batched",
     "block_knn_graph",
     "edge_recall",
     "exact_knn_graph",

@@ -24,23 +24,40 @@ import numpy as np
 
 __all__ = [
     "pairwise_sq_dists",
+    "batched_pairwise_sq_dists",
     "farthest_point_sample",
+    "batched_farthest_point_sample",
     "ball_query",
+    "batched_ball_query",
     "knn_search",
+    "batched_knn_search",
     "interpolate_features",
     "interpolation_weights",
     "gather_features",
 ]
 
 
+#: Below this many distance entries the direct ``(a-b)**2`` form is used:
+#: it skips the GEMM (dispatch-bound at these sizes — measured crossover
+#: ~150 entries) and, being purely elementwise, produces bit-identical
+#: values no matter how the problem is sliced or stacked — the property
+#: the batched block fast paths build on.  Above it, the expanded GEMM
+#: form is both faster and memory-lean.
+_DIRECT_FORM_MAX = 128
+
+
 def pairwise_sq_dists(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Squared Euclidean distances between rows of ``a`` (m,3) and ``b`` (n,3).
 
-    Returns an ``(m, n)`` float64 matrix.  Uses the expanded form with a
-    clamp at zero to avoid negative round-off.
+    Returns an ``(m, n)`` float64 matrix.  Small problems (``m * n <=``
+    :data:`_DIRECT_FORM_MAX`) use the direct difference form; large ones
+    use the expanded form with a clamp at zero to avoid negative
+    round-off.
     """
     a = np.asarray(a, dtype=np.float64)
     b = np.asarray(b, dtype=np.float64)
+    if len(a) * len(b) <= _DIRECT_FORM_MAX:
+        return ((a[:, None, :] - b[None, :, :]) ** 2).sum(axis=2)
     d2 = (
         np.sum(a * a, axis=1)[:, None]
         + np.sum(b * b, axis=1)[None, :]
@@ -76,7 +93,12 @@ def farthest_point_sample(
     coords = np.asarray(coords, dtype=np.float64)
     n = len(coords)
     if not 1 <= num_samples <= n:
-        raise ValueError(f"num_samples must be in [1, {n}], got {num_samples}")
+        raise ValueError(
+            f"num_samples must be in [1, {n}], got {num_samples}; callers that "
+            f"derive per-block quotas should clamp the allocation "
+            f"(allocate_samples(..., clamp=True)) so a tiny block is never "
+            f"asked for more samples than it holds"
+        )
     if not 0 <= start_index < n:
         raise ValueError(f"start_index must be in [0, {n}), got {start_index}")
 
@@ -88,6 +110,62 @@ def farthest_point_sample(
         nxt = int(np.argmax(min_d2))
         selected[i] = nxt
         d2 = np.sum((coords - coords[nxt]) ** 2, axis=1)
+        np.minimum(min_d2, d2, out=min_d2)
+    return selected
+
+
+def batched_farthest_point_sample(
+    coords: np.ndarray,
+    num_samples: int,
+    *,
+    num_valid: np.ndarray | None = None,
+    start_index: int = 0,
+) -> np.ndarray:
+    """FPS over a stack of clouds ``(B, n, 3)``, one greedy recurrence for all.
+
+    Runs the same selection rule as :func:`farthest_point_sample` on every
+    cloud of the stack simultaneously; row ``b`` of the result is
+    bit-identical to ``farthest_point_sample(coords[b, :num_valid[b]],
+    num_samples)``.  Clouds shorter than ``n`` are padded (any values);
+    their padding rows get a permanent min-distance of zero, so — like a
+    duplicate of an already-selected point — they can never win the argmax
+    while a real point is strictly farther, and index ties resolve to the
+    first (always real) position exactly as in the unpadded recurrence.
+
+    Args:
+        coords: ``(B, n, 3)`` stacked clouds (padded to a common length).
+        num_samples: samples per cloud, ``1 <= num_samples <= min(num_valid)``.
+        num_valid: ``(B,)`` count of real (non-padding) points per cloud;
+            ``None`` means all ``n`` rows are real everywhere.
+        start_index: deterministic seed point shared by all clouds.
+
+    Returns:
+        ``(B, num_samples)`` int64 indices into each cloud, in selection order.
+    """
+    coords = np.asarray(coords, dtype=np.float64)
+    if coords.ndim != 3 or coords.shape[-1] != 3:
+        raise ValueError(f"coords must be (B, n, 3), got {coords.shape}")
+    num_batches, n, _ = coords.shape
+    min_valid = n if num_valid is None else int(np.min(num_valid))
+    if not 1 <= num_samples <= min_valid:
+        raise ValueError(
+            f"num_samples must be in [1, {min_valid}] (the smallest stacked "
+            f"cloud), got {num_samples}"
+        )
+    if not 0 <= start_index < min_valid:
+        raise ValueError(f"start_index must be in [0, {min_valid}), got {start_index}")
+
+    rows = np.arange(num_batches)
+    selected = np.empty((num_batches, num_samples), dtype=np.int64)
+    selected[:, 0] = start_index
+    min_d2 = np.sum((coords - coords[:, start_index][:, None, :]) ** 2, axis=2)
+    if num_valid is not None:
+        pad = np.arange(n)[None, :] >= np.asarray(num_valid, dtype=np.int64)[:, None]
+        min_d2[pad] = 0.0
+    for i in range(1, num_samples):
+        nxt = np.argmax(min_d2, axis=1)
+        selected[:, i] = nxt
+        d2 = np.sum((coords - coords[rows, nxt][:, None, :]) ** 2, axis=2)
         np.minimum(min_d2, d2, out=min_d2)
     return selected
 
@@ -120,28 +198,123 @@ def ball_query(
     centers = np.asarray(centers, dtype=np.float64)
     candidates = np.asarray(candidates, dtype=np.float64)
     d2 = pairwise_sq_dists(centers, candidates)
-    r2 = float(radius) ** 2
+    return _select_ball_neighbors(d2, float(radius) ** 2, num)
 
-    m, n = d2.shape
-    out = np.empty((m, num), dtype=np.int64)
-    for i in range(m):
-        hits = np.nonzero(d2[i] <= r2)[0]
-        if len(hits) == 0:
-            hits = np.array([int(np.argmin(d2[i]))], dtype=np.int64)
-        if len(hits) >= num:
-            out[i] = hits[:num]
-        else:
-            out[i, : len(hits)] = hits
-            out[i, len(hits):] = hits[0]
-    return out
+
+def _select_ball_neighbors(d2: np.ndarray, r2: float, num: int) -> np.ndarray:
+    """PointNet++ neighbour selection from a squared-distance matrix.
+
+    Rows (centres) are independent; the trailing axis indexes candidates.
+    Accepts ``(m, n)`` or stacked ``(B, m, n)`` input — the single shared
+    decision procedure is what makes the batched block fast path
+    bit-identical to the reference: in-radius candidates are taken in
+    candidate order, the first hit pads short rows, and a hitless centre
+    falls back to its nearest candidate (``inf`` entries mark padding
+    columns and can never be hits nor nearest).
+    """
+    n = d2.shape[-1]
+    hit_idx = np.where(d2 <= r2, np.arange(n, dtype=np.int64), n)
+    hit_idx = np.sort(hit_idx, axis=-1)[..., :num]
+    if hit_idx.shape[-1] < num:
+        pad_shape = hit_idx.shape[:-1] + (num - hit_idx.shape[-1],)
+        hit_idx = np.concatenate(
+            [hit_idx, np.full(pad_shape, n, dtype=np.int64)], axis=-1
+        )
+    first = hit_idx[..., 0]
+    no_hit = first == n
+    if np.any(no_hit):
+        first = np.where(no_hit, np.argmin(d2, axis=-1), first)
+    return np.where(hit_idx == n, first[..., None], hit_idx)
+
+
+def batched_pairwise_sq_dists(
+    centers: np.ndarray,
+    candidates: np.ndarray,
+    *,
+    num_centers: np.ndarray | None = None,
+    num_valid: np.ndarray | None = None,
+) -> np.ndarray:
+    """Stacked squared distances ``(B, m, n)`` with ``inf``-marked padding.
+
+    Every slice is bitwise-equal to ``pairwise_sq_dists`` on its valid
+    sub-arrays.  When every slice is small enough for the direct
+    difference form (``m_b * n_b <=`` :data:`_DIRECT_FORM_MAX`) the whole
+    stack is computed in one elementwise broadcast — elementwise ops give
+    identical bits regardless of how the problem is sliced, which is the
+    parity guarantee.  Otherwise each slice falls back to a
+    ``pairwise_sq_dists`` call on exactly the reference shapes (a single
+    batched GEMM could reorder accumulation; parity beats elegance).
+
+    Args:
+        centers: ``(B, m, 3)`` stacked query centres (padded).
+        candidates: ``(B, n, 3)`` stacked search spaces (padded).
+        num_centers: ``(B,)`` real centre counts (``None`` = all real).
+        num_valid: ``(B,)`` real candidate counts (``None`` = all real).
+
+    Returns:
+        ``(B, m, n)`` float64; padding rows/columns hold ``inf``.
+    """
+    centers = np.asarray(centers, dtype=np.float64)
+    candidates = np.asarray(candidates, dtype=np.float64)
+    num_batches, m, _ = centers.shape
+    n = candidates.shape[1]
+    m_valid = np.full(num_batches, m) if num_centers is None else np.asarray(num_centers)
+    n_valid = np.full(num_batches, n) if num_valid is None else np.asarray(num_valid)
+    if np.all(m_valid * n_valid <= _DIRECT_FORM_MAX):
+        d2 = ((centers[:, :, None, :] - candidates[:, None, :, :]) ** 2).sum(axis=3)
+        if num_centers is not None:
+            d2[np.arange(m)[None, :] >= m_valid[:, None], :] = np.inf
+        if num_valid is not None:
+            pad_cols = np.arange(n)[None, :] >= n_valid[:, None]
+            d2[np.broadcast_to(pad_cols[:, None, :], d2.shape)] = np.inf
+        return d2
+    d2 = np.full((num_batches, m, n), np.inf)
+    for b in range(num_batches):
+        mv, nv = int(m_valid[b]), int(n_valid[b])
+        if mv and nv:
+            d2[b, :mv, :nv] = pairwise_sq_dists(centers[b, :mv], candidates[b, :nv])
+    return d2
+
+
+def batched_ball_query(
+    centers: np.ndarray,
+    candidates: np.ndarray,
+    radius: float,
+    num: int,
+    *,
+    num_centers: np.ndarray | None = None,
+    num_valid: np.ndarray | None = None,
+) -> np.ndarray:
+    """Ball query over stacked problems ``(B, m, 3) × (B, n, 3)``.
+
+    Slice ``b`` (restricted to its real rows) is bit-identical to
+    ``ball_query(centers[b, :num_centers[b]], candidates[b, :num_valid[b]],
+    radius, num)``; padding centre rows produce garbage the caller slices
+    off.
+
+    Returns:
+        ``(B, m, num)`` int64 indices into each slice's candidate axis.
+    """
+    if radius <= 0:
+        raise ValueError(f"radius must be positive, got {radius}")
+    if num < 1:
+        raise ValueError(f"num must be >= 1, got {num}")
+    d2 = batched_pairwise_sq_dists(
+        centers, candidates, num_centers=num_centers, num_valid=num_valid
+    )
+    return _select_ball_neighbors(d2, float(radius) ** 2, num)
 
 
 def knn_search(centers: np.ndarray, candidates: np.ndarray, k: int) -> np.ndarray:
     """Exact K-nearest-neighbour indices for each centre.
 
-    Neighbours are ordered nearest-first.  Ties break by candidate index
-    (``argsort`` stability on equal keys is enforced with a lexicographic
-    tiebreak), which keeps results deterministic across platforms.
+    Neighbours are ordered nearest-first; equal distances break by
+    candidate index (a stable argsort on the distance row), so the full
+    result — including which of several equidistant boundary candidates
+    makes the cut — is deterministic and independent of how the candidate
+    row is partitioned.  That invariance is what lets the batched
+    block-parallel fast path pad candidate rows and still reproduce this
+    reference bit-for-bit.
 
     Args:
         centers: ``(m, 3)`` query centres.
@@ -158,11 +331,76 @@ def knn_search(centers: np.ndarray, candidates: np.ndarray, k: int) -> np.ndarra
     if len(candidates) < k:
         raise ValueError(f"need at least k={k} candidates, got {len(candidates)}")
     d2 = pairwise_sq_dists(centers, candidates)
-    # argpartition then stable sort of the k winners: O(mn + mk log k)
+    return _knn_from_dists(d2, k)
+
+
+def _knn_from_dists(d2: np.ndarray, k: int) -> np.ndarray:
+    """Top-``k`` columns of each row of ``d2`` by (distance, index).
+
+    The (distance, index) lexicographic order defines the result
+    uniquely, so any algorithm below returns identical bits.  Small rows
+    take one stable argsort; large rows use an O(mn + m·c log c)
+    partition: select the k-th smallest distance, close the candidate
+    set over boundary ties (every column at distance <= the k-th value
+    competes — this is what a bare ``argpartition`` gets wrong), then
+    stable-order just that closure.
+    """
+    m, n = d2.shape
+    if n <= 256 or 2 * k >= n:
+        return np.argsort(d2, axis=1, kind="stable")[:, :k].astype(np.int64)
+    rows = np.arange(m)[:, None]
     part = np.argpartition(d2, k - 1, axis=1)[:, :k]
-    rows = np.arange(len(centers))[:, None]
-    order = np.lexsort((part, d2[rows, part]), axis=1)
-    return part[rows, order].astype(np.int64)
+    kth = d2[rows, part].max(axis=1, keepdims=True)
+    closure_size = int((d2 <= kth).sum(axis=1).max())
+    if closure_size == k:
+        # No boundary ties anywhere: the winner *set* is unique and
+        # ``part`` already holds it — just put it in (distance, index)
+        # order.  The common case for continuous coordinates.
+        vals = d2[rows, part]
+        order = np.lexsort((part, vals), axis=1)
+        return np.take_along_axis(part, order, axis=1).astype(np.int64)
+    if 2 * closure_size >= n:  # massive boundary tie: sorting wins
+        return np.argsort(d2, axis=1, kind="stable")[:, :k].astype(np.int64)
+    masked = np.where(d2 <= kth, d2, np.inf)
+    closure = np.argpartition(masked, closure_size - 1, axis=1)[:, :closure_size]
+    vals = masked[rows, closure]
+    order = np.lexsort((closure, vals), axis=1)[:, :k]
+    return np.take_along_axis(closure, order, axis=1).astype(np.int64)
+
+
+def batched_knn_search(
+    centers: np.ndarray,
+    candidates: np.ndarray,
+    k: int,
+    *,
+    num_centers: np.ndarray | None = None,
+    num_valid: np.ndarray | None = None,
+) -> np.ndarray:
+    """KNN over stacked problems ``(B, m, 3) × (B, n, 3)``.
+
+    Padding candidates carry ``inf`` distance, so the stable
+    distance-then-index ordering of :func:`knn_search` places them after
+    every real candidate and slice ``b`` is bit-identical to
+    ``knn_search(centers[b, :num_centers[b]], candidates[b, :num_valid[b]],
+    k)``.  Every slice must keep at least ``k`` real candidates.
+
+    Returns:
+        ``(B, m, k)`` int64 indices into each slice's candidate axis.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    min_valid = (
+        np.asarray(candidates).shape[1]
+        if num_valid is None
+        else int(np.min(num_valid))
+    )
+    if min_valid < k:
+        raise ValueError(f"need at least k={k} candidates, got {min_valid}")
+    d2 = batched_pairwise_sq_dists(
+        centers, candidates, num_centers=num_centers, num_valid=num_valid
+    )
+    flat = _knn_from_dists(d2.reshape(-1, d2.shape[2]), k)
+    return flat.reshape(d2.shape[0], d2.shape[1], k)
 
 
 def interpolation_weights(

@@ -11,7 +11,6 @@ swap.
 from __future__ import annotations
 
 import abc
-import hashlib
 
 import numpy as np
 
@@ -19,6 +18,7 @@ from ..core import blocks as core_blocks
 from ..core import bppo
 from ..geometry import ops as exact_ops
 from ..partition.base import Partitioner, get_partitioner
+from ..runtime.cache import PartitionCache
 
 __all__ = ["PointOpsBackend", "ExactBackend", "BlockBackend", "make_backend"]
 
@@ -84,41 +84,45 @@ class ExactBackend(PointOpsBackend):
 class BlockBackend(PointOpsBackend):
     """Block-parallel operations over a partitioning strategy.
 
-    Partitions are cached per coordinate set (keyed by content hash), so a
-    forward pass that calls sample/group/interpolate on the same level
-    partitions once — matching the hardware, where Fractal runs once per
-    stage input.
+    Partitions are cached per coordinate set through the runtime's
+    shared :class:`~repro.runtime.cache.PartitionCache` (keyed by content
+    hash), so a forward pass that calls sample/group/interpolate on the
+    same level partitions once — matching the hardware, where Fractal
+    runs once per stage input.
+
+    ``batched=True`` (the default) routes the point operations through
+    the stacked fast paths of :mod:`repro.core.bppo`; the parity suite
+    guarantees bit-identical results, so the flag only affects speed.
     """
 
-    def __init__(self, partitioner: Partitioner, cache_size: int = 8):
+    def __init__(
+        self, partitioner: Partitioner, cache_size: int = 8, *, batched: bool = True
+    ):
         self.partitioner = partitioner
         self.name = partitioner.name
-        self._cache: dict[bytes, core_blocks.BlockStructure] = {}
-        self._cache_size = cache_size
+        self.batched = batched
+        self._cache = PartitionCache(partitioner, maxsize=cache_size)
 
     def _structure(self, coords: np.ndarray) -> core_blocks.BlockStructure:
-        key = hashlib.blake2b(
-            np.ascontiguousarray(coords, dtype=np.float32).tobytes(), digest_size=16
-        ).digest()
-        if key not in self._cache:
-            if len(self._cache) >= self._cache_size:
-                self._cache.pop(next(iter(self._cache)))
-            self._cache[key] = self.partitioner(coords)
-        return self._cache[key]
+        structure, _ = self._cache.get(coords)
+        return structure
 
     def sample(self, coords: np.ndarray, num_samples: int) -> np.ndarray:
         structure = self._structure(coords)
-        indices, _ = bppo.block_fps(structure, coords, num_samples)
+        fps = bppo.block_fps_batched if self.batched else bppo.block_fps
+        indices, _ = fps(structure, coords, num_samples)
         return indices
 
     def group(self, coords, center_indices, radius, k):
         structure = self._structure(coords)
-        neighbors, _ = bppo.block_ball_query(structure, coords, center_indices, radius, k)
+        ball = bppo.block_ball_query_batched if self.batched else bppo.block_ball_query
+        neighbors, _ = ball(structure, coords, center_indices, radius, k)
         return neighbors
 
     def interpolate_indices(self, coords, center_indices, candidate_indices, k=3):
         structure = self._structure(coords)
-        idx, _ = bppo.block_knn(structure, coords, center_indices, candidate_indices, k)
+        knn = bppo.block_knn_batched if self.batched else bppo.block_knn
+        idx, _ = knn(structure, coords, center_indices, candidate_indices, k)
         weights = _idw_weights(
             np.asarray(coords, dtype=np.float64)[center_indices],
             np.asarray(coords, dtype=np.float64)[idx],
@@ -126,8 +130,13 @@ class BlockBackend(PointOpsBackend):
         return idx, weights
 
 
-def make_backend(name: str, *, max_points_per_block: int = 64) -> PointOpsBackend:
+def make_backend(
+    name: str, *, max_points_per_block: int = 64, batched: bool = True
+) -> PointOpsBackend:
     """Factory: ``exact`` or any partitioner name from :mod:`repro.partition`."""
     if name == "exact":
         return ExactBackend()
-    return BlockBackend(get_partitioner(name, max_points_per_block=max_points_per_block))
+    return BlockBackend(
+        get_partitioner(name, max_points_per_block=max_points_per_block),
+        batched=batched,
+    )

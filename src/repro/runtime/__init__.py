@@ -1,6 +1,28 @@
-"""Runtime: op-level IR and the workload compiler."""
+"""Runtime: op-level IR, the workload compiler, and the batched
+multi-cloud execution engine."""
 
+from .cache import PartitionCache, content_key
 from .compiler import clear_caches, compile_program
+from .executor import (
+    BatchExecutor,
+    BatchReport,
+    CloudResult,
+    ExecutorStats,
+    PipelineSpec,
+)
 from .program import PartitionStats, Program, StagePlan
 
-__all__ = ["PartitionStats", "Program", "StagePlan", "clear_caches", "compile_program"]
+__all__ = [
+    "BatchExecutor",
+    "BatchReport",
+    "CloudResult",
+    "ExecutorStats",
+    "PartitionCache",
+    "PartitionStats",
+    "PipelineSpec",
+    "Program",
+    "StagePlan",
+    "clear_caches",
+    "compile_program",
+    "content_key",
+]

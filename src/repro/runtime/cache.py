@@ -1,0 +1,102 @@
+"""Content-addressed partition cache shared by the execution engine and
+the network backends.
+
+Partitioning is the preprocessing cost the paper works so hard to bound
+(Fig. 5); in a serving loop the same cloud frequently recurs — repeated
+frames of a slow-moving sensor, retries, popular assets — so the runtime
+keys finished :class:`~repro.core.blocks.BlockStructure` objects by a
+content hash of the coordinates and replays them instead of re-sorting.
+The cache is a thread-safe LRU: the batched executor shares one instance
+across its worker threads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.blocks import BlockStructure
+
+__all__ = ["content_key", "PartitionCache"]
+
+
+def content_key(coords: np.ndarray, *, dtype=np.float32) -> bytes:
+    """Digest identifying an array by content.
+
+    The default float32 rendering suits the *partition* cache: partition
+    decisions are far coarser than float32 resolution, and any partition
+    of the right index set is valid.  Callers that replay full results
+    (request deduplication) must pass ``dtype=np.float64`` — at float32
+    two distinct float64 clouds could collide and the second would
+    silently receive the first one's results.  The shape is hashed too,
+    so arrays differing only in length never collide with a prefix.
+    """
+    coords = np.ascontiguousarray(coords, dtype=dtype)
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(str(coords.shape).encode())
+    digest.update(coords.tobytes())
+    return digest.digest()
+
+
+class PartitionCache:
+    """Thread-safe LRU of partition results keyed by cloud content.
+
+    Args:
+        partitioner: any callable mapping ``(n, 3)`` coordinates to a
+            :class:`BlockStructure` (every :class:`repro.partition.base.
+            Partitioner` qualifies).
+        maxsize: retained structures; least-recently-used entries are
+            evicted first.
+    """
+
+    def __init__(
+        self,
+        partitioner: Callable[[np.ndarray], "BlockStructure"],
+        maxsize: int = 64,
+    ):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.partitioner = partitioner
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[bytes, "BlockStructure"] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, coords: np.ndarray) -> tuple["BlockStructure", bool]:
+        """Return ``(structure, was_cached)`` for ``coords``.
+
+        The partitioner runs outside the lock, so concurrent misses on
+        the same new cloud may both partition it (identical results, one
+        wasted computation) — cheaper than serialising every worker
+        behind the partitioner.
+        """
+        key = content_key(coords)
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return self._entries[key], True
+            self.misses += 1
+        structure = self.partitioner(coords)
+        with self._lock:
+            self._entries[key] = structure
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+        return structure, False
+
+    def clear(self) -> None:
+        """Drop all entries and reset the hit/miss counters."""
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0

@@ -1,0 +1,219 @@
+"""Parity suite: the batched execution paths are bit-identical to the
+exact single-cloud references.
+
+Three layers of proof obligations, all at index/bit level (``array_equal``,
+never ``allclose``):
+
+1. every ``block_*_batched`` op equals its serial ``block_*`` reference
+   across partitioners and cloud shapes (n=1, duplicate points, blocks
+   smaller than the ball-query group size);
+2. with the ``none`` partitioner (single block) the block ops equal the
+   global-search references in :mod:`repro.geometry.ops`;
+3. the :class:`~repro.runtime.executor.BatchExecutor` end-to-end pipeline
+   equals a hand-rolled serial loop of the reference ops.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import bppo
+from repro.geometry import ops as exact_ops
+from repro.partition import get_partitioner
+from repro.runtime import BatchExecutor, PipelineSpec
+
+PARTITIONERS = ("octree", "kdtree", "uniform", "none", "fractal", "morton")
+CLOUD_SIZES = (1, 2, 7, 33, 257)
+
+
+def make_cloud(n: int, seed: int, duplicates: bool = False) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    pts = rng.normal(size=(n, 3))
+    if duplicates and n >= 4:
+        # Exact coordinate duplicates: the tie-breaking stress test.
+        pts[n // 2:] = pts[: n - n // 2]
+    return pts
+
+
+def structure_for(name: str, coords: np.ndarray, block_size: int = 16):
+    return get_partitioner(name, max_points_per_block=block_size)(coords)
+
+
+class TestBlockOpParity:
+    """block_*_batched ≡ block_* — same indices, weights, and traces."""
+
+    @pytest.mark.parametrize("partitioner", PARTITIONERS)
+    @pytest.mark.parametrize("n", CLOUD_SIZES)
+    @pytest.mark.parametrize("duplicates", [False, True])
+    def test_fps(self, partitioner, n, duplicates):
+        coords = make_cloud(n, seed=n, duplicates=duplicates)
+        structure = structure_for(partitioner, coords)
+        num = max(1, n // 3)
+        serial, t_serial = bppo.block_fps(structure, coords, num)
+        batched, t_batched = bppo.block_fps_batched(structure, coords, num)
+        assert np.array_equal(serial, batched)
+        assert [(w.block_id, w.n_centers) for w in t_serial.blocks] == [
+            (w.block_id, w.n_centers) for w in t_batched.blocks
+        ]
+
+    @pytest.mark.parametrize("partitioner", PARTITIONERS)
+    @pytest.mark.parametrize("n", CLOUD_SIZES)
+    @pytest.mark.parametrize("duplicates", [False, True])
+    def test_ball_query(self, partitioner, n, duplicates):
+        coords = make_cloud(n, seed=100 + n, duplicates=duplicates)
+        structure = structure_for(partitioner, coords, block_size=8)
+        centers, _ = bppo.block_fps(structure, coords, max(1, n // 2))
+        # num=16 with block_size=8: every block is smaller than the group
+        # size, exercising the first-hit padding path in every block.
+        for num in (3, 16):
+            serial, _ = bppo.block_ball_query(structure, coords, centers, 0.4, num)
+            batched, _ = bppo.block_ball_query_batched(
+                structure, coords, centers, 0.4, num
+            )
+            assert np.array_equal(serial, batched)
+
+    @pytest.mark.parametrize("partitioner", PARTITIONERS)
+    @pytest.mark.parametrize("n", CLOUD_SIZES)
+    @pytest.mark.parametrize("duplicates", [False, True])
+    def test_knn_and_interpolate(self, partitioner, n, duplicates):
+        coords = make_cloud(n, seed=200 + n, duplicates=duplicates)
+        structure = structure_for(partitioner, coords, block_size=8)
+        candidates, _ = bppo.block_fps(structure, coords, max(1, n // 2))
+        k = min(3, len(candidates))
+        centers = np.arange(n, dtype=np.int64)
+
+        serial, t_serial = bppo.block_knn(structure, coords, centers, candidates, k)
+        batched, t_batched = bppo.block_knn_batched(
+            structure, coords, centers, candidates, k
+        )
+        assert np.array_equal(serial, batched)
+        assert [w.widened for w in t_serial.blocks] == [
+            w.widened for w in t_batched.blocks
+        ]
+
+        feats = np.random.default_rng(n).normal(size=(len(candidates), 5))
+        f_serial, _ = bppo.block_interpolate(
+            structure, coords, centers, candidates, feats, k
+        )
+        f_batched, _ = bppo.block_interpolate_batched(
+            structure, coords, centers, candidates, feats, k
+        )
+        assert np.array_equal(f_serial, f_batched)  # bit-identical weights
+
+    @pytest.mark.parametrize("partitioner", ("kdtree", "none"))
+    def test_gather(self, partitioner):
+        coords = make_cloud(120, seed=9)
+        structure = structure_for(partitioner, coords)
+        centers, _ = bppo.block_fps(structure, coords, 30)
+        neighbors, _ = bppo.block_ball_query(structure, coords, centers, 0.5, 8)
+        feats = np.random.default_rng(1).normal(size=(120, 6))
+        serial, _ = bppo.block_gather(structure, feats, neighbors, centers)
+        batched, _ = bppo.block_gather_batched(structure, feats, neighbors, centers)
+        assert np.array_equal(serial, batched)
+
+
+class TestNonePartitionerMatchesGlobalReference:
+    """With a single block, block ops must equal the exact global ops."""
+
+    @pytest.mark.parametrize("n", CLOUD_SIZES)
+    @pytest.mark.parametrize("duplicates", [False, True])
+    def test_fps_equals_global(self, n, duplicates):
+        coords = make_cloud(n, seed=300 + n, duplicates=duplicates)
+        structure = structure_for("none", coords)
+        num = max(1, n // 2)
+        for fps in (bppo.block_fps, bppo.block_fps_batched):
+            block, _ = fps(structure, coords, num)
+            assert np.array_equal(block, exact_ops.farthest_point_sample(coords, num))
+
+    @pytest.mark.parametrize("n", (1, 7, 33, 257))
+    def test_ball_query_equals_global(self, n):
+        coords = make_cloud(n, seed=400 + n)
+        structure = structure_for("none", coords)
+        centers = np.arange(n, dtype=np.int64)
+        reference = exact_ops.ball_query(coords, coords, 0.4, 8)
+        for ball in (bppo.block_ball_query, bppo.block_ball_query_batched):
+            block, _ = ball(structure, coords, centers, 0.4, 8)
+            assert np.array_equal(block, reference)
+
+    @pytest.mark.parametrize("n", (3, 33, 257))
+    def test_knn_equals_global(self, n):
+        coords = make_cloud(n, seed=500 + n, duplicates=True)
+        structure = structure_for("none", coords)
+        candidates = np.arange(0, n, 2, dtype=np.int64)
+        k = min(3, len(candidates))
+        reference = candidates[exact_ops.knn_search(coords, coords[candidates], k)]
+        centers = np.arange(n, dtype=np.int64)
+        for knn in (bppo.block_knn, bppo.block_knn_batched):
+            block, _ = knn(structure, coords, centers, candidates, k)
+            assert np.array_equal(block, reference)
+
+    @pytest.mark.parametrize("n", (3, 33, 257))
+    def test_interpolate_equals_global(self, n):
+        coords = make_cloud(n, seed=600 + n)
+        structure = structure_for("none", coords)
+        candidates = np.arange(0, n, 2, dtype=np.int64)
+        k = min(3, len(candidates))
+        feats = np.random.default_rng(n).normal(size=(len(candidates), 4))
+        reference = exact_ops.interpolate_features(
+            coords, coords[candidates], feats, k
+        )
+        for interp in (bppo.block_interpolate, bppo.block_interpolate_batched):
+            block, _ = interp(
+                structure, coords, np.arange(n, dtype=np.int64),
+                candidates, feats, k,
+            )
+            assert np.array_equal(block, reference)
+
+
+class TestExecutorParity:
+    """The engine's end-to-end pipeline equals a reference serial loop."""
+
+    @staticmethod
+    def reference_pipeline(coords, partitioner, block_size, pipeline):
+        structure = get_partitioner(
+            partitioner, max_points_per_block=block_size
+        )(coords)
+        sampled, _ = bppo.block_fps(
+            structure, coords, pipeline.samples_for(len(coords))
+        )
+        neighbors, _ = bppo.block_ball_query(
+            structure, coords, sampled, pipeline.radius, pipeline.group_size
+        )
+        grouped, _ = bppo.block_gather(structure, coords, neighbors, sampled)
+        k = min(pipeline.interpolate_k, len(sampled))
+        interpolated, _ = bppo.block_interpolate(
+            structure, coords, np.arange(len(coords), dtype=np.int64),
+            sampled, coords[sampled], k,
+        )
+        return sampled, neighbors, grouped, interpolated
+
+    @pytest.mark.parametrize("partitioner", ("octree", "kdtree", "uniform", "none"))
+    def test_engine_matches_reference(self, partitioner):
+        pipeline = PipelineSpec(radius=0.4, group_size=8)
+        clouds = [make_cloud(n, seed=700 + n, duplicates=(n % 2 == 0))
+                  for n in (1, 5, 40, 181, 304)]
+        engine = BatchExecutor(partitioner, block_size=16, max_workers=2)
+        report = engine.run(clouds, pipeline)
+        for coords, result in zip(clouds, report.results):
+            ref = self.reference_pipeline(coords, partitioner, 16, pipeline)
+            assert np.array_equal(ref[0], result.sampled)
+            assert np.array_equal(ref[1], result.neighbors)
+            assert np.array_equal(ref[2], result.grouped)
+            assert np.array_equal(ref[3], result.interpolated)
+
+
+@pytest.mark.slow
+class TestLargeCloudParity:
+    """Large-n spot checks, excluded from tier-1 by the ``slow`` marker."""
+
+    @pytest.mark.parametrize("partitioner", ("kdtree", "octree"))
+    def test_large_cloud(self, partitioner):
+        coords = make_cloud(20_000, seed=1)
+        structure = structure_for(partitioner, coords, block_size=256)
+        serial, _ = bppo.block_fps(structure, coords, 5000)
+        batched, _ = bppo.block_fps_batched(structure, coords, 5000)
+        assert np.array_equal(serial, batched)
+        b_serial, _ = bppo.block_ball_query(structure, coords, serial, 0.1, 32)
+        b_batched, _ = bppo.block_ball_query_batched(
+            structure, coords, serial, 0.1, 32
+        )
+        assert np.array_equal(b_serial, b_batched)

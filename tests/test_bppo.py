@@ -59,6 +59,41 @@ class TestAllocateSamples:
         assert (quotas <= sizes).all()
 
 
+class TestAllocationClamp:
+    """Regression: an over-budget request (ratio rounding meeting a tiny
+    cloud) used to surface as an unhelpful ValueError deep inside
+    ``farthest_point_sample``; ``clamp=True`` caps it at the population."""
+
+    def test_clamp_caps_over_budget_request(self):
+        sizes = np.array([3, 2])
+        quotas = allocate_samples(sizes, 11, clamp=True)
+        assert quotas.tolist() == [3, 2]
+
+    def test_clamp_leaves_valid_requests_alone(self):
+        sizes = np.array([10, 20])
+        assert np.array_equal(
+            allocate_samples(sizes, 6, clamp=True), allocate_samples(sizes, 6)
+        )
+
+    def test_default_still_raises(self):
+        with pytest.raises(ValueError, match="num_samples"):
+            allocate_samples(np.array([4, 4]), 9)
+
+    def test_block_fps_survives_tiny_blocks(self):
+        """Tiny cloud, tiny blocks, over-budget sample request: block_fps
+        must degrade to 'take every point' instead of raising."""
+        coords = np.random.default_rng(0).normal(size=(5, 3))
+        structure = fractal_partition(coords, FractalConfig(threshold=2)).block_structure()
+        idx, trace = block_fps(structure, coords, 12)
+        assert sorted(idx.tolist()) == [0, 1, 2, 3, 4]
+        assert trace.total_outputs == 5
+
+    def test_fps_error_message_points_to_clamp(self):
+        coords = np.random.default_rng(1).normal(size=(4, 3))
+        with pytest.raises(ValueError, match="clamp"):
+            farthest_point_sample(coords, 9)
+
+
 class TestBlockFPS:
     def test_exact_count_and_uniqueness(self, small_structure, gaussian_cloud):
         idx, trace = block_fps(small_structure, gaussian_cloud, 250)

@@ -59,3 +59,24 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "speedup over GPU" in out
         assert "FractalCloud" in out
+
+    def test_batch_run(self, capsys):
+        rc = main(["batch-run", "--dataset", "modelnet40", "--clouds", "3",
+                   "--points", "256", "--partitioner", "kdtree",
+                   "--block-size", "32", "--workers", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "batch-run: 3 clouds on kdtree" in out
+        assert "throughput" in out and "clouds/s" in out
+
+    def test_batch_run_serial_mode(self, capsys):
+        rc = main(["batch-run", "--dataset", "modelnet40", "--clouds", "2",
+                   "--points", "128", "--partitioner", "uniform",
+                   "--block-size", "32", "--workers", "1", "--mode", "serial",
+                   "--no-batched-ops"])
+        assert rc == 0
+        assert "uniform" in capsys.readouterr().out
+
+    def test_batch_run_rejects_unknown_partitioner(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["batch-run", "--partitioner", "exact"])

@@ -1,0 +1,184 @@
+"""Tests for the batched multi-cloud execution engine."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import PointCloud
+from repro.partition import get_partitioner
+from repro.runtime import BatchExecutor, PartitionCache, PipelineSpec, content_key
+
+
+def make_clouds(count, seed=0, max_n=400):
+    rng = np.random.default_rng(seed)
+    return [rng.normal(size=(int(rng.integers(1, max_n)), 3)) for _ in range(count)]
+
+
+class TestPipelineSpec:
+    def test_ratio_clamped_to_cloud(self):
+        spec = PipelineSpec(sample_ratio=0.25)
+        assert spec.samples_for(100) == 25
+        assert spec.samples_for(1) == 1  # never zero
+
+    def test_absolute_count_clamped(self):
+        spec = PipelineSpec(num_samples=512)
+        assert spec.samples_for(10_000) == 512
+        assert spec.samples_for(50) == 50  # tiny cloud survives
+
+
+class TestPartitionCache:
+    def test_hit_on_identical_content(self):
+        cache = PartitionCache(get_partitioner("kdtree", max_points_per_block=32))
+        coords = np.random.default_rng(0).normal(size=(200, 3))
+        _, hit0 = cache.get(coords)
+        _, hit1 = cache.get(coords.copy())  # same content, new object
+        assert (hit0, hit1) == (False, True)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction(self):
+        cache = PartitionCache(
+            get_partitioner("kdtree", max_points_per_block=32), maxsize=2
+        )
+        clouds = make_clouds(3, seed=1)
+        for c in clouds:
+            cache.get(c)
+        assert len(cache) == 2
+        _, hit = cache.get(clouds[0])  # oldest was evicted
+        assert not hit
+
+    def test_content_key_distinguishes_shape(self):
+        flat = np.zeros((6, 3))
+        assert content_key(flat) != content_key(flat[:4])
+
+
+class TestBatchExecutor:
+    def test_results_in_submission_order(self):
+        clouds = make_clouds(7, seed=2)
+        report = BatchExecutor("kdtree", block_size=32, max_workers=3).run(clouds)
+        assert [r.index for r in report.results] == list(range(7))
+        assert [r.num_points for r in report.results] == [len(c) for c in clouds]
+
+    def test_stats_accounting(self):
+        clouds = make_clouds(5, seed=3)
+        report = BatchExecutor("kdtree", block_size=32, max_workers=1).run(clouds)
+        stats = report.stats
+        assert stats.clouds == 5
+        assert stats.points == sum(len(c) for c in clouds)
+        assert stats.wall_seconds > 0 and stats.clouds_per_second > 0
+        assert stats.cache_misses == 5 and stats.cache_hits == 0
+
+    def test_dedup_replays_identical_clouds(self):
+        clouds = make_clouds(4, seed=4)
+        batch = clouds + [clouds[1], clouds[2]]
+        report = BatchExecutor("kdtree", block_size=32, max_workers=2).run(batch)
+        assert report.stats.reused == 2
+        for orig, rep in ((1, 4), (2, 5)):
+            assert report.results[rep].reused
+            assert np.array_equal(
+                report.results[orig].sampled, report.results[rep].sampled
+            )
+
+    def test_dedup_requires_exact_float64_content(self):
+        """Regression: reuse keyed on a float32 hash once conflated
+        distinct float64 clouds; results must only replay for bit-equal
+        input."""
+        rng = np.random.default_rng(12)
+        a = rng.normal(size=(60, 3))
+        b = a.copy()
+        b[0, 0] = np.nextafter(a[0, 0], np.inf)  # one float64 ulp apart
+        assert np.float32(a[0, 0]) == np.float32(b[0, 0])  # float32-equal
+        report = BatchExecutor("kdtree", block_size=32, max_workers=1).run([a, b])
+        assert report.stats.reused == 0
+        assert not report.results[1].reused
+
+    def test_dedup_disabled(self):
+        clouds = make_clouds(2, seed=5)
+        batch = clouds + [clouds[0]]
+        engine = BatchExecutor(
+            "kdtree", block_size=32, max_workers=1, reuse_results=False
+        )
+        report = engine.run(batch)
+        assert report.stats.reused == 0
+        assert report.stats.cache_hits == 1  # partition cache still works
+
+    def test_features_flow_through(self):
+        rng = np.random.default_rng(6)
+        coords = rng.normal(size=(150, 3))
+        feats = rng.normal(size=(150, 9))
+        result = BatchExecutor("octree", block_size=16).run_cloud((coords, feats))
+        assert result.grouped.shape[-1] == 9
+        assert result.interpolated.shape == (150, 9)
+
+    def test_point_cloud_objects_accepted(self):
+        coords = np.random.default_rng(7).normal(size=(80, 3))
+        result = BatchExecutor("kdtree", block_size=16).run_cloud(
+            PointCloud(coords=coords)
+        )
+        assert result.num_points == 80
+
+    def test_stream_is_lazy_and_ordered(self):
+        pulled = []
+
+        def source():
+            for i, c in enumerate(make_clouds(6, seed=8)):
+                pulled.append(i)
+                yield c
+
+        engine = BatchExecutor("kdtree", block_size=32, max_workers=2)
+        stream = engine.stream(source())
+        first = next(stream)
+        assert first.index == 0
+        assert len(pulled) < 6  # backpressure: source not fully drained
+        rest = list(stream)
+        assert [r.index for r in rest] == [1, 2, 3, 4, 5]
+
+    def test_tiny_and_single_point_clouds(self):
+        engine = BatchExecutor("uniform", block_size=16)
+        result = engine.run_cloud(np.zeros((1, 3)))
+        assert result.sampled.tolist() == [0]
+        assert result.neighbors.shape == (1, 16)
+        assert result.interpolated.shape == (1, 3)
+
+    def test_fixed_num_samples_clamped_on_small_cloud(self):
+        engine = BatchExecutor("kdtree", block_size=32)
+        result = engine.run_cloud(
+            np.random.default_rng(9).normal(size=(20, 3)),
+            PipelineSpec(num_samples=500),
+        )
+        assert len(result.sampled) == 20
+
+    def test_process_mode_requires_partitioner_name(self):
+        with pytest.raises(ValueError, match="process mode"):
+            BatchExecutor(
+                get_partitioner("kdtree"), max_workers=2, mode="process"
+            )
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            BatchExecutor("kdtree", mode="fleet")
+
+    def test_invalid_cloud_shapes_rejected(self):
+        engine = BatchExecutor("kdtree")
+        with pytest.raises(ValueError, match=r"\(n, 3\)"):
+            engine.run_cloud(np.zeros((4, 2)))
+        with pytest.raises(ValueError, match="at least one point"):
+            engine.run_cloud(np.zeros((0, 3)))
+        with pytest.raises(ValueError, match="features"):
+            engine.run_cloud((np.zeros((4, 3)), np.zeros((3, 2))))
+
+    def test_process_mode_matches_serial(self):
+        clouds = make_clouds(4, seed=10, max_n=150)
+        pipe = PipelineSpec(radius=0.5, group_size=4)
+        serial = BatchExecutor("kdtree", block_size=32, max_workers=1).run(clouds, pipe)
+        proc = BatchExecutor(
+            "kdtree", block_size=32, max_workers=2, mode="process"
+        ).run(clouds, pipe)
+        for a, b in zip(serial.results, proc.results):
+            assert np.array_equal(a.sampled, b.sampled)
+            assert np.array_equal(a.interpolated, b.interpolated)
+
+    def test_traces_cover_all_stages(self):
+        result = BatchExecutor("kdtree", block_size=32).run_cloud(
+            np.random.default_rng(11).normal(size=(120, 3))
+        )
+        assert set(result.traces) == {"fps", "ball_query", "gather", "interpolate"}
+        assert result.traces["fps"].total_outputs == len(result.sampled)

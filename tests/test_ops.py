@@ -142,6 +142,19 @@ class TestKNN:
         with pytest.raises(ValueError, match="candidates"):
             knn_search(rng.normal(size=(2, 3)), rng.normal(size=(2, 3)), 3)
 
+    def test_boundary_ties_break_by_index(self, rng):
+        """Equidistant candidates at the k-th position: the lower index
+        wins, matching a stable (distance, index) sort — on both the
+        small-row argsort path and the large-row partition path."""
+        for n in (40, 400):  # straddles the argsort/partition crossover
+            base = rng.normal(size=(n, 3))
+            cands = base[rng.integers(0, n // 4, size=n)]  # heavy duplicates
+            centers = rng.normal(size=(6, 3))
+            from repro.geometry.ops import pairwise_sq_dists as psd
+            d2 = psd(centers, cands)
+            reference = np.argsort(d2, axis=1, kind="stable")[:, :5]
+            assert np.array_equal(knn_search(centers, cands, 5), reference)
+
 
 class TestInterpolation:
     def test_weights_are_simplex(self, rng):

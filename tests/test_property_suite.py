@@ -12,6 +12,7 @@ from repro.core import FractalConfig, fractal_partition
 from repro.core.bppo import allocate_samples, block_ball_query, block_fps
 from repro.core.layout import BlockLayout
 from repro.geometry import farthest_point_sample, pairwise_sq_dists
+from repro.runtime import BatchExecutor, PipelineSpec
 
 
 def _cloud(seed: int, n: int, clustered: bool) -> np.ndarray:
@@ -103,6 +104,47 @@ class TestAllocationProperties:
         rates = quotas / sizes
         # Every block's rate is within [rate/4 - eps, 4*rate + 1/size].
         assert (rates <= 4 * global_rate + 1.0 / sizes + 1e-9).all()
+
+
+class TestExecutorProperties:
+    """The batched engine is a pure function of (cloud, pipeline): its
+    per-cloud results must not depend on batch order, worker count, or
+    cache state."""
+
+    @staticmethod
+    def _run(clouds, **kwargs):
+        engine = BatchExecutor("kdtree", block_size=32, **kwargs)
+        pipeline = PipelineSpec(radius=0.5, group_size=4)
+        return engine, engine.run(clouds, pipeline)
+
+    @staticmethod
+    def _assert_same(a, b):
+        assert np.array_equal(a.sampled, b.sampled)
+        assert np.array_equal(a.neighbors, b.neighbors)
+        assert np.array_equal(a.interpolated, b.interpolated)
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(2, 5), st.booleans())
+    def test_batch_order_and_worker_count_invariance(self, seed, m, clustered):
+        clouds = [_cloud(seed + i, 20 + (37 * i) % 180, clustered)
+                  for i in range(m)]
+        _, one = self._run(clouds, max_workers=1)
+        _, many = self._run(clouds, max_workers=4)
+        _, reversed_ = self._run(clouds[::-1], max_workers=1)
+        for i in range(m):
+            self._assert_same(one.results[i], many.results[i])
+            self._assert_same(one.results[i], reversed_.results[m - 1 - i])
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(1, 4))
+    def test_cold_vs_warm_cache_invariance(self, seed, m):
+        clouds = [_cloud(seed + i, 25 + 31 * i, clustered=False) for i in range(m)]
+        engine, cold = self._run(clouds, max_workers=2)
+        warm = engine.run(clouds, PipelineSpec(radius=0.5, group_size=4))
+        assert cold.stats.cache_hits == 0
+        assert warm.stats.cache_hits + warm.stats.reused == m  # fully warm
+        for i in range(m):
+            self._assert_same(cold.results[i], warm.results[i])
 
 
 class TestSimulatorProperties:
