@@ -95,12 +95,14 @@ def _cmd_batch_run(args: argparse.Namespace) -> int:
         load_cloud(args.dataset, args.points, args.seed + i).coords
         for i in range(args.clouds)
     ]
+    kernel = "loop" if args.no_batched_ops else args.kernel
     engine = BatchExecutor(
         args.partitioner,
         block_size=args.block_size,
         max_workers=args.workers,
         mode=args.mode,
-        use_batched_ops=not args.no_batched_ops,
+        kernel=kernel,
+        fuse=args.fuse,
     )
     pipeline = PipelineSpec(
         sample_ratio=args.sample_ratio,
@@ -119,7 +121,9 @@ def _cmd_batch_run(args: argparse.Namespace) -> int:
         ["cloud", "points", "blocks", "samples", "cache", "ms"],
         rows,
         title=f"batch-run: {stats.clouds} clouds on {args.partitioner} "
-              f"({engine.mode}, {engine.max_workers} workers)",
+              f"({engine.mode}, {engine.max_workers} workers, "
+              f"kernel={engine.kernel}"
+              f"{', fused' if args.fuse else ''})",
     ))
     print(f"  throughput {stats.clouds_per_second:.1f} clouds/s "
           f"({stats.points_per_second / 1e3:.0f}K points/s)   "
@@ -168,8 +172,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sample-ratio", type=float, default=0.25)
     p.add_argument("--radius", type=float, default=0.2)
     p.add_argument("--group-size", type=int, default=16)
+    p.add_argument("--kernel", choices=["auto", "loop", "stacked", "ragged"],
+                   default="auto",
+                   help="block-op implementation: 'loop' = per-block serial "
+                        "reference, 'stacked' = padded (B, n, 3) fast path "
+                        "(small blocks), 'ragged' = fused CSR segment "
+                        "kernels (mid-size blocks), 'auto' = cost-model "
+                        "dispatch per call from block statistics; all four "
+                        "are bit-identical (REPRO_KERNEL overrides)")
+    p.add_argument("--fuse", action="store_true",
+                   help="fuse equal-size clouds into one ragged problem per "
+                        "pipeline stage (fixed-size object workloads)")
     p.add_argument("--no-batched-ops", action="store_true",
-                   help="schedule the serial reference ops instead")
+                   help="legacy alias for --kernel loop")
     p.set_defaults(func=_cmd_batch_run)
     return parser
 

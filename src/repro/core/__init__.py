@@ -5,7 +5,11 @@
 - :class:`FractalTree` / :class:`BlockLayout` — binary tree and its
   DFT-contiguous memory layout.
 - :mod:`repro.core.bppo` — block-parallel sampling, neighbour search,
-  interpolation, and gathering.
+  interpolation, and gathering (per-block loop + padded stacked paths).
+- :mod:`repro.core.ragged` — the CSR block layout and fused segment-wise
+  kernels for the mid-size block regime (and whole-cloud fusion).
+- :mod:`repro.core.dispatch` — the kernel registry and cost-model
+  dispatcher choosing ``loop | stacked | ragged`` per call.
 """
 
 from .blocks import Block, BlockStructure, PartitionCost
@@ -29,7 +33,18 @@ from .config import (
     DEFAULT_SMALL_SCALE_THRESHOLD,
     FractalConfig,
 )
+from .dispatch import KERNEL_NAMES, KERNELS, choose_kernel, resolve_kernel, run_op
 from .fractal import fractal_partition
+from .ragged import (
+    RAGGED_BLOCK_MAX,
+    RaggedBlocks,
+    ragged_ball_query,
+    ragged_fps,
+    ragged_gather,
+    ragged_interpolate,
+    ragged_knn,
+    ragged_of,
+)
 from .graph import block_knn_graph, edge_recall, exact_knn_graph
 from .layout import BlockLayout
 from .serialize import load_block_structure, save_block_structure, save_tree
@@ -45,8 +60,12 @@ __all__ = [
     "FractalConfig",
     "FractalNode",
     "FractalTree",
+    "KERNELS",
+    "KERNEL_NAMES",
     "OpTrace",
     "PartitionCost",
+    "RAGGED_BLOCK_MAX",
+    "RaggedBlocks",
     "allocate_samples",
     "block_ball_query",
     "block_ball_query_batched",
@@ -59,10 +78,19 @@ __all__ = [
     "block_knn",
     "block_knn_batched",
     "block_knn_graph",
+    "choose_kernel",
     "edge_recall",
     "exact_knn_graph",
     "fractal_partition",
     "load_block_structure",
+    "ragged_ball_query",
+    "ragged_fps",
+    "ragged_gather",
+    "ragged_interpolate",
+    "ragged_knn",
+    "ragged_of",
+    "resolve_kernel",
+    "run_op",
     "save_block_structure",
     "save_tree",
 ]

@@ -377,34 +377,31 @@ def block_interpolate(
     neighbors, trace = block_knn(structure, coords, center_indices, candidate_indices, k)
     trace.kind = "interpolate"
     features = _interpolate_from_neighbors(
-        structure, coords, center_indices, candidate_indices,
+        structure.num_points, coords, center_indices, candidate_indices,
         candidate_features, neighbors,
     )
     return features, trace
 
 
 def _interpolate_from_neighbors(
-    structure: BlockStructure,
+    num_points: int,
     coords: np.ndarray,
     center_indices: np.ndarray,
     candidate_indices: np.ndarray,
     candidate_features: np.ndarray,
     neighbors: np.ndarray,
 ) -> np.ndarray:
-    """Inverse-distance blend of neighbour features (shared by the serial
-    and batched interpolation paths, so identical neighbours give
-    bit-identical features)."""
+    """Inverse-distance blend of neighbour features (shared by the serial,
+    batched, ragged, and fused interpolation paths, so identical
+    neighbours give bit-identical features)."""
     # Map global candidate ids back to feature rows.
-    feature_row = np.full(structure.num_points, -1, dtype=np.int64)
+    feature_row = np.full(num_points, -1, dtype=np.int64)
     feature_row[np.asarray(candidate_indices, dtype=np.int64)] = np.arange(
         len(candidate_indices)
     )
     coords = np.asarray(coords, dtype=np.float64)
     centers = coords[np.asarray(center_indices, dtype=np.int64)]
-    diffs = centers[:, None, :] - coords[neighbors]
-    d2 = np.sum(diffs * diffs, axis=2)
-    inv = 1.0 / np.maximum(d2, 1e-8)
-    weights = inv / inv.sum(axis=1, keepdims=True)
+    weights = exact_ops.idw_weights(centers, coords[neighbors])
     gathered = candidate_features[feature_row[neighbors]]
     return np.einsum("mk,mkc->mc", weights, gathered)
 
@@ -722,7 +719,7 @@ def block_interpolate_batched(
     )
     trace.kind = "interpolate"
     features = _interpolate_from_neighbors(
-        structure, coords, center_indices, candidate_indices,
+        structure.num_points, coords, center_indices, candidate_indices,
         candidate_features, neighbors,
     )
     return features, trace

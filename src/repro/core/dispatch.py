@@ -1,0 +1,195 @@
+"""Kernel registry and cost-model dispatch for block-parallel point ops.
+
+Every block-parallel operation now has three interchangeable
+implementations — the per-block **loop** (:mod:`repro.core.bppo`
+``block_*``), the padded **stacked** fast path (``block_*_batched``), and
+the fused **ragged** CSR kernels (:mod:`repro.core.ragged`) — all
+bit-identical under the parity suite, differing only in speed.  This
+module is the single place that knows which one to run:
+
+- :data:`KERNELS` maps ``op name → kernel name → callable`` with the
+  uniform ``(structure, coords, ...) -> (result, trace)`` signature;
+- :func:`choose_kernel` picks a kernel from the partition's block-size
+  statistics (see the dispatch table below);
+- :func:`run_op` resolves and executes in one call — the entry point the
+  network backends and the batch executor go through.
+
+Dispatch table (``kernel="auto"``)
+----------------------------------
+
+The unit of cost is a block's *work product* — centres × search-space
+size, the number of distance evaluations the block needs.  Auto dispatch
+assigns each block's product to one of three regimes and picks the kernel
+owning the largest share of total work:
+
+======== ============================================ =====================
+kernel   regime (per-block work product)              why it wins there
+======== ============================================ =====================
+stacked  ``<= _STACK_SMALL`` (128)                    dispatch overhead
+                                                      dominates; padding
+                                                      waste is tiny
+ragged   ``<= RAGGED_BLOCK_MAX`` (512)                too big to pad, too
+                                                      small to amortise a
+                                                      per-block Python trip
+loop     ``> RAGGED_BLOCK_MAX``                       each block is
+                                                      dominated by its own
+                                                      GEMM/sort; fusion
+                                                      buys nothing
+======== ============================================ =====================
+
+Centre counts are not known until the op groups its centres, so the
+chooser estimates them by spreading the requested centres proportionally
+to block population — exact for FPS quotas, a close proxy for grouping
+and interpolation.  Misprediction costs speed only, never results.
+
+Overrides
+---------
+
+The environment variable :data:`KERNEL_ENV` (``REPRO_KERNEL``) forces one
+kernel process-wide — the benchmarking hook used by
+``benchmarks/bench_ragged_kernels.py`` and the ``--kernel`` CLI flag.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+import numpy as np
+
+from . import bppo, ragged
+from .blocks import BlockStructure
+from .bppo import _STACK_SMALL
+from .ragged import RAGGED_BLOCK_MAX
+
+__all__ = [
+    "KERNELS",
+    "KERNEL_NAMES",
+    "KERNEL_ENV",
+    "choose_kernel",
+    "resolve_kernel",
+    "run_op",
+    "validate_kernel",
+]
+
+#: Environment variable forcing a kernel (``loop | stacked | ragged`` to
+#: pin one, ``auto`` / unset for the cost model).
+KERNEL_ENV = "REPRO_KERNEL"
+
+#: Accepted kernel selectors, ``auto`` first (the default everywhere).
+KERNEL_NAMES = ("auto", "loop", "stacked", "ragged")
+
+#: op name → kernel name → implementation.  All entries of one op take the
+#: same arguments and return bit-identical ``(result, trace)``.
+KERNELS: dict[str, dict[str, Callable]] = {
+    "fps": {
+        "loop": bppo.block_fps,
+        "stacked": bppo.block_fps_batched,
+        "ragged": ragged.ragged_fps,
+    },
+    "ball_query": {
+        "loop": bppo.block_ball_query,
+        "stacked": bppo.block_ball_query_batched,
+        "ragged": ragged.ragged_ball_query,
+    },
+    "knn": {
+        "loop": bppo.block_knn,
+        "stacked": bppo.block_knn_batched,
+        "ragged": ragged.ragged_knn,
+    },
+    "interpolate": {
+        "loop": bppo.block_interpolate,
+        "stacked": bppo.block_interpolate_batched,
+        "ragged": ragged.ragged_interpolate,
+    },
+    "gather": {
+        # Gathering is one fancy-indexing pass; every kernel is the same
+        # computation, registered so schedulers can resolve any op name.
+        "loop": bppo.block_gather,
+        "stacked": bppo.block_gather_batched,
+        "ragged": ragged.ragged_gather,
+    },
+}
+
+
+def validate_kernel(kernel: str) -> str:
+    """Return ``kernel`` unchanged or raise — the one shared name check."""
+    if kernel not in KERNEL_NAMES:
+        raise ValueError(
+            f"kernel must be one of {KERNEL_NAMES}, got {kernel!r}"
+        )
+    return kernel
+
+
+def choose_kernel(
+    op: str,
+    structure: BlockStructure,
+    num_centers: int | None = None,
+) -> str:
+    """Pick ``loop | stacked | ragged`` for one op call from block stats.
+
+    Args:
+        op: operation name (a :data:`KERNELS` key).
+        structure: the partition the op will run over.
+        num_centers: total query centres (sample count for ``fps``,
+            centre rows for the neighbour searches); ``None`` assumes one
+            centre per point.
+
+    Returns:
+        The kernel name owning the largest share of estimated work.
+    """
+    if op == "gather":
+        return "loop"  # single implementation; avoid layout construction
+    sizes = structure.block_sizes.astype(np.float64)
+    total = sizes.sum()
+    if total == 0:
+        return "stacked"
+    m = total if num_centers is None else float(num_centers)
+    centers_est = m * sizes / total
+    search = (
+        sizes if op == "fps" else structure.search_sizes.astype(np.float64)
+    )
+    products = centers_est * search
+    work_small = products[products <= _STACK_SMALL].sum()
+    mid = (products > _STACK_SMALL) & (products <= RAGGED_BLOCK_MAX)
+    work_mid = products[mid].sum()
+    work_big = products[products > RAGGED_BLOCK_MAX].sum()
+    best = max(
+        ("stacked", work_small), ("ragged", work_mid), ("loop", work_big),
+        key=lambda kv: kv[1],
+    )
+    return best[0]
+
+
+def resolve_kernel(
+    op: str,
+    structure: BlockStructure,
+    num_centers: int | None = None,
+    kernel: str = "auto",
+) -> str:
+    """Resolve ``kernel`` (honouring :data:`KERNEL_ENV`) to a concrete name."""
+    override = os.environ.get(KERNEL_ENV)
+    kernel = validate_kernel(override if override else kernel)
+    if kernel == "auto":
+        kernel = choose_kernel(op, structure, num_centers)
+    return kernel
+
+
+def run_op(
+    op: str,
+    structure: BlockStructure,
+    *args,
+    kernel: str = "auto",
+    num_centers: int | None = None,
+    **kwargs,
+):
+    """Dispatch one block-parallel op to the chosen kernel.
+
+    ``args``/``kwargs`` are forwarded verbatim to the implementation
+    (every kernel of an op shares one signature).  Returns the kernel's
+    ``(result, trace)`` pair.
+    """
+    if op not in KERNELS:
+        raise ValueError(f"unknown op {op!r}; expected one of {sorted(KERNELS)}")
+    name = resolve_kernel(op, structure, num_centers, kernel)
+    return KERNELS[op][name](structure, *args, **kwargs)

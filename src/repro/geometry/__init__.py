@@ -21,6 +21,7 @@ from .ops import (
     batched_pairwise_sq_dists,
     farthest_point_sample,
     gather_features,
+    idw_weights,
     interpolate_features,
     interpolation_weights,
     knn_search,
@@ -43,6 +44,7 @@ __all__ = [
     "coverage_radius",
     "farthest_point_sample",
     "gather_features",
+    "idw_weights",
     "interpolate_features",
     "interpolation_weights",
     "knn_search",

@@ -31,6 +31,7 @@ __all__ = [
     "batched_ball_query",
     "knn_search",
     "batched_knn_search",
+    "idw_weights",
     "interpolate_features",
     "interpolation_weights",
     "gather_features",
@@ -38,12 +39,16 @@ __all__ = [
 
 
 #: Below this many distance entries the direct ``(a-b)**2`` form is used:
-#: it skips the GEMM (dispatch-bound at these sizes — measured crossover
-#: ~150 entries) and, being purely elementwise, produces bit-identical
+#: it skips the GEMM and, being purely elementwise, produces bit-identical
 #: values no matter how the problem is sliced or stacked — the property
-#: the batched block fast paths build on.  Above it, the expanded GEMM
-#: form is both faster and memory-lean.
-_DIRECT_FORM_MAX = 128
+#: both the stacked and the ragged block fast paths build on.  Above it,
+#: the expanded GEMM form is faster and memory-lean.  The raw speed
+#: crossover sits near ~150 entries, but the boundary is deliberately at
+#: 4x ``_STACK_SMALL`` so the entire mid-size block regime (the ragged
+#: kernels' territory, see :mod:`repro.core.ragged`) stays on the
+#: slice-invariant form: a ~4 µs/call concession on 150–512-entry serial
+#: problems buys fusing whole partitions into one elementwise pass.
+_DIRECT_FORM_MAX = 512
 
 
 def pairwise_sq_dists(a: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -403,6 +408,37 @@ def batched_knn_search(
     return flat.reshape(d2.shape[0], d2.shape[1], k)
 
 
+def idw_weights(
+    centers: np.ndarray,
+    neighbors_xyz: np.ndarray,
+    *,
+    eps: float = 1e-8,
+) -> np.ndarray:
+    """Normalised inverse-squared-distance weights of known neighbours.
+
+    The single shared weight computation of every interpolation path —
+    the exact backend, the serial and batched block ops, and the ragged
+    kernels all call this, so identical neighbour indices always yield
+    bit-identical weights.  Inputs are coerced to float64 (one dtype
+    contract for every caller; mixed-precision inputs used to make the
+    exact and block backends disagree in the last ulp).
+
+    Args:
+        centers: ``(m, 3)`` query points.
+        neighbors_xyz: ``(m, k, 3)`` coordinates of each centre's
+            neighbours.
+        eps: guard against coincident points.
+
+    Returns:
+        ``(m, k)`` float64 weights; rows sum to one.
+    """
+    centers = np.asarray(centers, dtype=np.float64)
+    neighbors_xyz = np.asarray(neighbors_xyz, dtype=np.float64)
+    d2 = np.sum((centers[:, None, :] - neighbors_xyz) ** 2, axis=2)
+    inv = 1.0 / np.maximum(d2, eps)
+    return inv / inv.sum(axis=1, keepdims=True)
+
+
 def interpolation_weights(
     centers: np.ndarray,
     candidates: np.ndarray,
@@ -420,13 +456,8 @@ def interpolation_weights(
         ``(indices, weights)`` with shapes ``(m, k)``; weights rows sum to 1.
     """
     idx = knn_search(centers, candidates, k)
-    centers = np.asarray(centers, dtype=np.float64)
     candidates = np.asarray(candidates, dtype=np.float64)
-    diffs = centers[:, None, :] - candidates[idx]
-    d2 = np.sum(diffs * diffs, axis=2)
-    inv = 1.0 / np.maximum(d2, eps)
-    weights = inv / inv.sum(axis=1, keepdims=True)
-    return idx, weights
+    return idx, idw_weights(centers, candidates[idx], eps=eps)
 
 
 def interpolate_features(

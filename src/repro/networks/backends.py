@@ -6,6 +6,14 @@ global-search operations (PointAcc baseline), or with block-wise
 operations over any partitioning strategy (uniform / KD-tree / octree /
 Fractal).  The accuracy experiments (Fig. 3, 14, 17) are exactly this
 swap.
+
+Both backends are thin views over shared machinery: :class:`ExactBackend`
+wraps the reference ops of :mod:`repro.geometry.ops`, and
+:class:`BlockBackend` resolves every call through the kernel registry of
+:mod:`repro.core.dispatch` — the per-block loop, the padded stack, and
+the fused ragged CSR kernels are interchangeable (bit-identical) there,
+so the backend only carries *which* partition to use and *how* to pick a
+kernel (``kernel="auto"`` cost-model dispatch by default).
 """
 
 from __future__ import annotations
@@ -15,7 +23,7 @@ import abc
 import numpy as np
 
 from ..core import blocks as core_blocks
-from ..core import bppo
+from ..core import dispatch
 from ..geometry import ops as exact_ops
 from ..partition.base import Partitioner, get_partitioner
 from ..runtime.cache import PartitionCache
@@ -54,12 +62,6 @@ class PointOpsBackend(abc.ABC):
         """
 
 
-def _idw_weights(centers: np.ndarray, neighbors_xyz: np.ndarray) -> np.ndarray:
-    d2 = np.sum((centers[:, None, :] - neighbors_xyz) ** 2, axis=2)
-    inv = 1.0 / np.maximum(d2, 1e-8)
-    return inv / inv.sum(axis=1, keepdims=True)
-
-
 class ExactBackend(PointOpsBackend):
     """Original global-search operations (accuracy-lossless anchor)."""
 
@@ -77,7 +79,8 @@ class ExactBackend(PointOpsBackend):
             coords[center_indices], coords[candidate_indices], k
         )
         idx = candidate_indices[local]
-        weights = _idw_weights(coords[center_indices], coords[idx])
+        coords = np.asarray(coords, dtype=np.float64)
+        weights = exact_ops.idw_weights(coords[center_indices], coords[idx])
         return idx, weights
 
 
@@ -88,19 +91,38 @@ class BlockBackend(PointOpsBackend):
     shared :class:`~repro.runtime.cache.PartitionCache` (keyed by content
     hash), so a forward pass that calls sample/group/interpolate on the
     same level partitions once — matching the hardware, where Fractal
-    runs once per stage input.
+    runs once per stage input.  The cache also carries the ragged CSR
+    layout of each partition, so repeated ragged-kernel calls never
+    rebuild it.
 
-    ``batched=True`` (the default) routes the point operations through
-    the stacked fast paths of :mod:`repro.core.bppo`; the parity suite
-    guarantees bit-identical results, so the flag only affects speed.
+    Every operation resolves through the kernel registry of
+    :mod:`repro.core.dispatch`.  ``kernel`` picks the implementation:
+    ``"auto"`` (default) lets the cost model choose per call from the
+    partition's block-size statistics, ``"loop" | "stacked" | "ragged"``
+    pin one path.  The parity suite guarantees bit-identical results, so
+    the choice only affects speed.
+
+    ``batched`` is the legacy flag of the pre-dispatch API: ``False``
+    pins the serial per-block loop, ``True`` (old default) means
+    cost-model dispatch.  Use ``kernel`` in new code.
     """
 
     def __init__(
-        self, partitioner: Partitioner, cache_size: int = 8, *, batched: bool = True
+        self,
+        partitioner: Partitioner,
+        cache_size: int = 8,
+        *,
+        kernel: str = "auto",
+        batched: bool | None = None,
     ):
         self.partitioner = partitioner
         self.name = partitioner.name
-        self.batched = batched
+        # Legacy flag maps onto the dispatcher only when no explicit
+        # kernel was chosen — same precedence as BatchExecutor's
+        # use_batched_ops, so the two APIs never disagree.
+        if batched is False and kernel == "auto":
+            kernel = "loop"
+        self.kernel = dispatch.validate_kernel(kernel)
         self._cache = PartitionCache(partitioner, maxsize=cache_size)
 
     def _structure(self, coords: np.ndarray) -> core_blocks.BlockStructure:
@@ -109,34 +131,48 @@ class BlockBackend(PointOpsBackend):
 
     def sample(self, coords: np.ndarray, num_samples: int) -> np.ndarray:
         structure = self._structure(coords)
-        fps = bppo.block_fps_batched if self.batched else bppo.block_fps
-        indices, _ = fps(structure, coords, num_samples)
+        indices, _ = dispatch.run_op(
+            "fps", structure, coords, num_samples,
+            kernel=self.kernel, num_centers=num_samples,
+        )
         return indices
 
     def group(self, coords, center_indices, radius, k):
         structure = self._structure(coords)
-        ball = bppo.block_ball_query_batched if self.batched else bppo.block_ball_query
-        neighbors, _ = ball(structure, coords, center_indices, radius, k)
+        neighbors, _ = dispatch.run_op(
+            "ball_query", structure, coords, center_indices, radius, k,
+            kernel=self.kernel, num_centers=len(center_indices),
+        )
         return neighbors
 
     def interpolate_indices(self, coords, center_indices, candidate_indices, k=3):
         structure = self._structure(coords)
-        knn = bppo.block_knn_batched if self.batched else bppo.block_knn
-        idx, _ = knn(structure, coords, center_indices, candidate_indices, k)
-        weights = _idw_weights(
-            np.asarray(coords, dtype=np.float64)[center_indices],
-            np.asarray(coords, dtype=np.float64)[idx],
+        idx, _ = dispatch.run_op(
+            "knn", structure, coords, center_indices, candidate_indices, k,
+            kernel=self.kernel, num_centers=len(center_indices),
         )
+        coords = np.asarray(coords, dtype=np.float64)
+        weights = exact_ops.idw_weights(coords[center_indices], coords[idx])
         return idx, weights
 
 
 def make_backend(
-    name: str, *, max_points_per_block: int = 64, batched: bool = True
+    name: str,
+    *,
+    max_points_per_block: int = 64,
+    kernel: str = "auto",
+    batched: bool | None = None,
 ) -> PointOpsBackend:
-    """Factory: ``exact`` or any partitioner name from :mod:`repro.partition`."""
+    """Factory: ``exact`` or any partitioner name from :mod:`repro.partition`.
+
+    ``kernel`` selects the block-op implementation (``auto`` cost-model
+    dispatch by default); ``batched`` is the legacy boolean equivalent
+    (``False`` → ``"loop"``).
+    """
     if name == "exact":
         return ExactBackend()
     return BlockBackend(
         get_partitioner(name, max_points_per_block=max_points_per_block),
+        kernel=kernel,
         batched=batched,
     )

@@ -1,7 +1,7 @@
 """Runtime: op-level IR, the workload compiler, and the batched
 multi-cloud execution engine."""
 
-from .cache import PartitionCache, content_key
+from .cache import PartitionCache, clear_all_partition_caches, content_key
 from .compiler import clear_caches, compile_program
 from .executor import (
     BatchExecutor,
@@ -22,6 +22,7 @@ __all__ = [
     "PipelineSpec",
     "Program",
     "StagePlan",
+    "clear_all_partition_caches",
     "clear_caches",
     "compile_program",
     "content_key",

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import hashlib
 import threading
+import weakref
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Callable
 
@@ -21,8 +22,27 @@ import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.blocks import BlockStructure
+    from ..core.ragged import RaggedBlocks
 
-__all__ = ["content_key", "PartitionCache"]
+__all__ = ["content_key", "PartitionCache", "clear_all_partition_caches"]
+
+#: Every live cache instance, so test harnesses can flush partition state
+#: globally (``repro.runtime.compiler.clear_caches``) without threading a
+#: reference to each backend's private cache.  Weak references: caches
+#: die with their owners.
+_ALL_CACHES: "weakref.WeakSet[PartitionCache]" = weakref.WeakSet()
+
+
+def clear_all_partition_caches() -> int:
+    """Clear every live :class:`PartitionCache`; returns how many.
+
+    Dropping a cached :class:`BlockStructure` also drops the ragged CSR
+    layout riding on it, so this resets *all* derived partition state.
+    """
+    caches = list(_ALL_CACHES)
+    for cache in caches:
+        cache.clear()
+    return len(caches)
 
 
 def content_key(coords: np.ndarray, *, dtype=np.float32) -> bytes:
@@ -67,6 +87,7 @@ class PartitionCache:
         self.misses = 0
         self._entries: OrderedDict[bytes, "BlockStructure"] = OrderedDict()
         self._lock = threading.Lock()
+        _ALL_CACHES.add(self)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -93,6 +114,21 @@ class PartitionCache:
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
         return structure, False
+
+    def get_ragged(
+        self, coords: np.ndarray
+    ) -> tuple["BlockStructure", "RaggedBlocks", bool]:
+        """Return ``(structure, ragged_layout, was_cached)`` for ``coords``.
+
+        The ragged CSR layout is built lazily on first request and memoized
+        on the structure itself (guarded by a full-precision coordinate
+        digest), so it lives and dies with the cached partition — one
+        layout build per distinct cloud, shared by every consumer.
+        """
+        from ..core.ragged import ragged_of
+
+        structure, was_cached = self.get(coords)
+        return structure, ragged_of(structure, coords), was_cached
 
     def clear(self) -> None:
         """Drop all entries and reset the hit/miss counters."""

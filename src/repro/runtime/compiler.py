@@ -23,6 +23,7 @@ from ..core.blocks import PartitionCost
 from ..datasets import load_cloud
 from ..networks.workloads import WorkloadSpec
 from ..partition import get_partitioner
+from .cache import clear_all_partition_caches
 from .program import PartitionStats, Program, StagePlan
 
 __all__ = ["compile_program", "clear_caches"]
@@ -56,9 +57,16 @@ def _cached_partition_stats(
 
 
 def clear_caches() -> None:
-    """Drop compiler caches (tests that vary generators use this)."""
+    """Drop all runtime caches (tests that vary generators use this).
+
+    Clears the compiler's ``lru_cache``s *and* every live
+    :class:`~repro.runtime.cache.PartitionCache` (backends, executors),
+    including the ragged CSR layouts riding on cached structures — a
+    test that swaps dataset generators must never see a stale partition.
+    """
     _cached_cloud.cache_clear()
     _cached_partition_stats.cache_clear()
+    clear_all_partition_caches()
 
 
 def _weight_bytes(spec: WorkloadSpec, bytes_per_scalar: int = 2) -> float:

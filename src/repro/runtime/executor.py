@@ -32,8 +32,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..core import bppo
-from ..core.bppo import OpTrace
+from ..core import bppo, dispatch
+from ..core.bppo import BlockWork, OpTrace, allocate_samples
+from ..core.ragged import (
+    RaggedBlocks,
+    ball_query_on_layout,
+    fps_on_layout,
+    knn_on_layout,
+)
+from ..geometry import ops as exact_ops
 from ..partition.base import Partitioner, get_partitioner
 from .cache import PartitionCache, content_key
 
@@ -173,14 +180,14 @@ def _as_cloud(item: object) -> tuple[np.ndarray, np.ndarray | None]:
 _PROCESS_ENGINE: "BatchExecutor | None" = None
 
 
-def _process_init(partitioner_name: str, block_size: int, use_batched_ops: bool,
+def _process_init(partitioner_name: str, block_size: int, kernel: str,
                   cache_size: int) -> None:
     global _PROCESS_ENGINE
     _PROCESS_ENGINE = BatchExecutor(
         partitioner_name,
         block_size=block_size,
         max_workers=1,
-        use_batched_ops=use_batched_ops,
+        kernel=kernel,
         cache_size=cache_size,
     )
 
@@ -219,9 +226,17 @@ class BatchExecutor:
             GIL in the heavy kernels), ``"process"`` (independent caches,
             full parallelism; requires a partitioner *name*), or
             ``"serial"``.
-        use_batched_ops: run the stacked block fast paths
-            (``block_*_batched``); disable to schedule the serial
-            reference ops instead — results are identical either way.
+        kernel: block-op implementation — ``"auto"`` (default) resolves
+            each op per call through the cost-model dispatcher of
+            :mod:`repro.core.dispatch`; ``"loop" | "stacked" | "ragged"``
+            pin one path.  Results are bit-identical either way.
+        fuse: default for :meth:`run`'s whole-cloud fusion — equal-size
+            clouds of a batch are concatenated into one ragged problem
+            and executed in a single kernel invocation per stage
+            (ModelNet-style fixed-size serving), results split back in
+            submission order.
+        use_batched_ops: legacy boolean equivalent of ``kernel``
+            (``False`` → ``"loop"``); kept for callers of the PR-1 API.
         cache_size: LRU capacity of the partition cache.
         reuse_results: deduplicate identical clouds within a stream —
             compute once, replay the result (``CloudResult.reused``).
@@ -240,6 +255,8 @@ class BatchExecutor:
         block_size: int = 256,
         max_workers: int | None = None,
         mode: str = "thread",
+        kernel: str = "auto",
+        fuse: bool = False,
         use_batched_ops: bool = True,
         cache_size: int = 64,
         reuse_results: bool = True,
@@ -265,6 +282,10 @@ class BatchExecutor:
         self.block_size = block_size
         self.max_workers = max_workers if max_workers else min(4, os.cpu_count() or 1)
         self.mode = "serial" if self.max_workers <= 1 else mode
+        if not use_batched_ops and kernel == "auto":
+            kernel = "loop"
+        self.kernel = dispatch.validate_kernel(kernel)
+        self.fuse = fuse
         self.use_batched_ops = use_batched_ops
         self.cache_size = cache_size
         self.reuse_results = reuse_results
@@ -283,26 +304,20 @@ class BatchExecutor:
         """Run the full BPPO pipeline on one cloud."""
         start = time.perf_counter()
         structure, cache_hit = self.cache.get(coords)
-        if self.use_batched_ops:
-            fps, ball, interp = (
-                bppo.block_fps_batched,
-                bppo.block_ball_query_batched,
-                bppo.block_interpolate_batched,
-            )
-        else:
-            fps, ball, interp = (
-                bppo.block_fps,
-                bppo.block_ball_query,
-                bppo.block_interpolate,
-            )
 
         n = len(coords)
         feats = coords if features is None else features
         traces: dict[str, OpTrace] = {}
 
-        sampled, traces["fps"] = fps(structure, coords, pipeline.samples_for(n))
-        neighbors, traces["ball_query"] = ball(
-            structure, coords, sampled, pipeline.radius, pipeline.group_size
+        num_samples = pipeline.samples_for(n)
+        sampled, traces["fps"] = dispatch.run_op(
+            "fps", structure, coords, num_samples,
+            kernel=self.kernel, num_centers=num_samples,
+        )
+        neighbors, traces["ball_query"] = dispatch.run_op(
+            "ball_query", structure, coords, sampled,
+            pipeline.radius, pipeline.group_size,
+            kernel=self.kernel, num_centers=len(sampled),
         )
         grouped, traces["gather"] = bppo.block_gather(
             structure, feats, neighbors, sampled
@@ -310,9 +325,10 @@ class BatchExecutor:
         interpolated = None
         if pipeline.with_interpolation:
             k = min(pipeline.interpolate_k, len(sampled))
-            interpolated, traces["interpolate"] = interp(
-                structure, coords, np.arange(n, dtype=np.int64),
+            interpolated, traces["interpolate"] = dispatch.run_op(
+                "interpolate", structure, coords, np.arange(n, dtype=np.int64),
                 sampled, feats[sampled], k,
+                kernel=self.kernel, num_centers=n,
             )
         return CloudResult(
             index=index,
@@ -426,10 +442,26 @@ class BatchExecutor:
         self,
         clouds: Iterable[object],
         pipeline: PipelineSpec | None = None,
+        *,
+        fuse: bool | None = None,
     ) -> BatchReport:
-        """Process a batch and return ordered results plus throughput stats."""
+        """Process a batch and return ordered results plus throughput stats.
+
+        ``fuse=True`` (or constructing the engine with ``fuse=True``)
+        enables whole-cloud fusion: equal-size clouds are concatenated
+        into one ragged problem and each pipeline stage runs as a single
+        kernel invocation over all of them — the batch-level analogue of
+        stacking blocks, for ModelNet-style fixed-size workloads.
+        Results are bit-identical to the unfused path and are returned in
+        submission order; fusion replaces pool scheduling for the fused
+        groups (the fused kernels *are* the parallelism).
+        """
+        fuse = self.fuse if fuse is None else fuse
         start = time.perf_counter()
-        results = list(self.stream(clouds, pipeline))
+        if fuse:
+            results = self._run_fused(clouds, pipeline or PipelineSpec())
+        else:
+            results = list(self.stream(clouds, pipeline))
         wall = time.perf_counter() - start
         stats = ExecutorStats(
             clouds=len(results),
@@ -442,6 +474,205 @@ class BatchExecutor:
         )
         return BatchReport(results=results, stats=stats)
 
+    # -- whole-cloud fusion --------------------------------------------------
+
+    def _run_fused(
+        self, clouds: Iterable[object], pipeline: PipelineSpec
+    ) -> list[CloudResult]:
+        """Execute a batch with equal-size clouds fused per stage.
+
+        Clouds are grouped by (point count, feature width); every group
+        with at least two distinct members runs through
+        :meth:`_execute_fused`, singletons fall back to the per-cloud
+        path (scheduled across the worker pool when one is configured, so
+        a poorly-fusable batch never loses the pool overlap), and
+        content-identical repeats are replayed exactly like the streaming
+        dedup.
+        """
+        dup_of: dict[int, int] = {}
+        canonical: dict[bytes, int] = {}
+        uniques: list[tuple[int, np.ndarray, np.ndarray | None]] = []
+        count = 0
+        for index, cloud in enumerate(clouds):
+            count += 1
+            coords, features = _as_cloud(cloud)
+            if self.reuse_results:
+                key = content_key(coords, dtype=np.float64) + (
+                    content_key(features, dtype=np.float64)
+                    if features is not None
+                    else b""
+                )
+                if key in canonical:
+                    dup_of[index] = canonical[key]
+                    continue
+                canonical[key] = index
+            uniques.append((index, coords, features))
+
+        groups: dict[tuple, list] = {}
+        for item in uniques:
+            _, coords, features = item
+            shape = (len(coords), None if features is None else features.shape[1])
+            groups.setdefault(shape, []).append(item)
+
+        results: dict[int, CloudResult] = {}
+        singletons: list[tuple[int, np.ndarray, np.ndarray | None]] = []
+        for members in groups.values():
+            if len(members) == 1:
+                singletons.append(members[0])
+            else:
+                for result in self._execute_fused(members, pipeline):
+                    results[result.index] = result
+        if singletons:
+            if self.mode == "serial" or len(singletons) == 1:
+                for index, coords, features in singletons:
+                    results[index] = self._execute(index, coords, features, pipeline)
+            else:
+                with self._make_pool() as pool:
+                    futures = [
+                        self._submit(pool, item, pipeline) for item in singletons
+                    ]
+                    for future in futures:
+                        result = future.result()
+                        results[result.index] = result
+        for index, original in dup_of.items():
+            results[index] = dataclasses.replace(
+                results[original], index=index, cache_hit=True,
+                seconds=0.0, reused=True,
+            )
+        return [results[index] for index in range(count)]
+
+    def _execute_fused(
+        self,
+        items: list[tuple[int, np.ndarray, np.ndarray | None]],
+        pipeline: PipelineSpec,
+    ) -> list[CloudResult]:
+        """Run the pipeline once over a fused group of equal-size clouds.
+
+        Each cloud keeps its own (cached) partition; the per-cloud ragged
+        layouts are concatenated into one problem whose blocks span all
+        clouds, and every stage — FPS, ball query, gather, KNN
+        interpolation — runs as a single kernel invocation.  Blocks never
+        search outside their own cloud (search spaces are per-partition
+        and KNN widening is group-confined), so the split-back results
+        are bit-identical to running each cloud alone.
+        """
+        start = time.perf_counter()
+        n = len(items[0][1])
+        structures, layouts, hits = [], [], []
+        for _, coords, _ in items:
+            structure, layout, hit = self.cache.get_ragged(coords)
+            structures.append(structure)
+            layouts.append(layout)
+            hits.append(hit)
+        fused = RaggedBlocks.concatenate(layouts)
+        coords_f = np.concatenate(
+            [np.asarray(coords, dtype=np.float64) for _, coords, _ in items]
+        )
+        feats_f = np.concatenate(
+            [
+                np.asarray(coords if features is None else features, np.float64)
+                for _, coords, features in items
+            ]
+        )
+
+        num_samples = pipeline.samples_for(n)
+        quotas = [
+            allocate_samples(s.block_sizes, num_samples, clamp=True)
+            for s in structures
+        ]
+        sampled_f = fps_on_layout(fused, np.concatenate(quotas))
+        neighbors_f, ball_counts = ball_query_on_layout(
+            fused, coords_f, sampled_f, pipeline.radius, pipeline.group_size
+        )
+        grouped_f = exact_ops.gather_features(feats_f, neighbors_f)
+        interpolated_f = None
+        knn_stats = None
+        # Equal n ⇒ equal per-cloud sample totals ⇒ one shared k.
+        samples_per_cloud = int(quotas[0].sum())
+        if pipeline.with_interpolation:
+            k = min(pipeline.interpolate_k, samples_per_cloud)
+            centers_f = np.arange(fused.num_points, dtype=np.int64)
+            knn_f, knn_counts, knn_cands, widened = knn_on_layout(
+                fused, coords_f, centers_f, sampled_f, k
+            )
+            interpolated_f = bppo._interpolate_from_neighbors(
+                fused.num_points, coords_f, centers_f, sampled_f,
+                feats_f[sampled_f], knn_f,
+            )
+            knn_stats = (knn_counts, knn_cands, widened, k)
+
+        seconds = (time.perf_counter() - start) / len(items)
+        results = []
+        block_lo = 0
+        for g, ((index, coords, _), structure) in enumerate(zip(items, structures)):
+            block_hi = block_lo + structure.num_blocks
+            blocks = slice(block_lo, block_hi)
+            row_lo, row_hi = g * samples_per_cloud, (g + 1) * samples_per_cloud
+            point_off = g * n
+            sizes = structure.block_sizes
+            search = fused.search_sizes[blocks]
+            traces = {
+                "fps": self._fused_trace(
+                    "fps", sizes, sizes, quotas[g], 1
+                ),
+                "ball_query": self._fused_trace(
+                    "ball_query", sizes, search, ball_counts[blocks],
+                    pipeline.group_size,
+                ),
+                "gather": self._fused_trace(
+                    "gather", sizes, search, ball_counts[blocks],
+                    pipeline.group_size,
+                ),
+            }
+            interpolated = None
+            if knn_stats is not None:
+                knn_counts, knn_cands, widened, k = knn_stats
+                traces["interpolate"] = self._fused_trace(
+                    "interpolate", sizes, knn_cands[blocks],
+                    knn_counts[blocks], k, widened[blocks],
+                )
+                interpolated = interpolated_f[point_off: point_off + n]
+            results.append(
+                CloudResult(
+                    index=index,
+                    num_points=n,
+                    num_blocks=structure.num_blocks,
+                    cache_hit=hits[g],
+                    seconds=seconds,
+                    sampled=sampled_f[row_lo:row_hi] - point_off,
+                    neighbors=neighbors_f[row_lo:row_hi] - point_off,
+                    grouped=grouped_f[row_lo:row_hi],
+                    interpolated=interpolated,
+                    traces=traces,
+                )
+            )
+            block_lo = block_hi
+        return results
+
+    @staticmethod
+    def _fused_trace(
+        kind: str,
+        block_sizes: np.ndarray,
+        search_sizes: np.ndarray,
+        center_counts: np.ndarray,
+        outputs_per_center: int,
+        widened: np.ndarray | None = None,
+    ) -> OpTrace:
+        """Per-cloud work trace reconstructed from fused per-block arrays."""
+        trace = OpTrace(kind=kind)
+        for block_id in range(len(block_sizes)):
+            trace.blocks.append(
+                BlockWork(
+                    block_id=block_id,
+                    n_points=int(block_sizes[block_id]),
+                    n_search=int(search_sizes[block_id]),
+                    n_centers=int(center_counts[block_id]),
+                    n_outputs=int(center_counts[block_id]) * outputs_per_center,
+                    widened=bool(widened[block_id]) if widened is not None else False,
+                )
+            )
+        return trace
+
     # -- pool plumbing -------------------------------------------------------
 
     def _make_pool(self) -> Executor:
@@ -452,7 +683,7 @@ class BatchExecutor:
                 initargs=(
                     self.partitioner_name,
                     self.block_size,
-                    self.use_batched_ops,
+                    self.kernel,
                     self.cache_size,
                 ),
             )

@@ -1,28 +1,52 @@
-"""Parity suite: the batched execution paths are bit-identical to the
-exact single-cloud references.
+"""Parity suite: the batched and ragged execution paths are bit-identical
+to the exact single-cloud references.
 
-Three layers of proof obligations, all at index/bit level (``array_equal``,
+Four layers of proof obligations, all at index/bit level (``array_equal``,
 never ``allclose``):
 
-1. every ``block_*_batched`` op equals its serial ``block_*`` reference
+1. every ``block_*_batched`` op *and* every ragged CSR kernel
+   (:mod:`repro.core.ragged`) equals its serial ``block_*`` reference
    across partitioners and cloud shapes (n=1, duplicate points, blocks
    smaller than the ball-query group size);
 2. with the ``none`` partitioner (single block) the block ops equal the
    global-search references in :mod:`repro.geometry.ops`;
 3. the :class:`~repro.runtime.executor.BatchExecutor` end-to-end pipeline
-   equals a hand-rolled serial loop of the reference ops.
+   equals a hand-rolled serial loop of the reference ops — for every
+   kernel selection and for whole-cloud fusion (equal-size clouds
+   concatenated into one ragged problem);
+4. kernel dispatch never changes results (see also ``tests/test_dispatch.py``
+   for the boundary-straddling and property cases).
 """
 
 import numpy as np
 import pytest
 
-from repro.core import bppo
+from repro.core import bppo, ragged
 from repro.geometry import ops as exact_ops
 from repro.partition import get_partitioner
 from repro.runtime import BatchExecutor, PipelineSpec
 
 PARTITIONERS = ("octree", "kdtree", "uniform", "none", "fractal", "morton")
 CLOUD_SIZES = (1, 2, 7, 33, 257)
+
+#: (label, fps, ball_query, knn, interpolate) — every fast path that must
+#: reproduce the serial ``block_*`` reference bit-for-bit.
+FAST_PATHS = (
+    (
+        "stacked",
+        bppo.block_fps_batched,
+        bppo.block_ball_query_batched,
+        bppo.block_knn_batched,
+        bppo.block_interpolate_batched,
+    ),
+    (
+        "ragged",
+        ragged.ragged_fps,
+        ragged.ragged_ball_query,
+        ragged.ragged_knn,
+        ragged.ragged_interpolate,
+    ),
+)
 
 
 def make_cloud(n: int, seed: int, duplicates: bool = False) -> np.ndarray:
@@ -39,26 +63,28 @@ def structure_for(name: str, coords: np.ndarray, block_size: int = 16):
 
 
 class TestBlockOpParity:
-    """block_*_batched ≡ block_* — same indices, weights, and traces."""
+    """block_*_batched ≡ ragged_* ≡ block_* — indices, weights, traces."""
 
+    @pytest.mark.parametrize("path", FAST_PATHS, ids=lambda p: p[0])
     @pytest.mark.parametrize("partitioner", PARTITIONERS)
     @pytest.mark.parametrize("n", CLOUD_SIZES)
     @pytest.mark.parametrize("duplicates", [False, True])
-    def test_fps(self, partitioner, n, duplicates):
+    def test_fps(self, path, partitioner, n, duplicates):
         coords = make_cloud(n, seed=n, duplicates=duplicates)
         structure = structure_for(partitioner, coords)
         num = max(1, n // 3)
         serial, t_serial = bppo.block_fps(structure, coords, num)
-        batched, t_batched = bppo.block_fps_batched(structure, coords, num)
-        assert np.array_equal(serial, batched)
+        fast, t_fast = path[1](structure, coords, num)
+        assert np.array_equal(serial, fast)
         assert [(w.block_id, w.n_centers) for w in t_serial.blocks] == [
-            (w.block_id, w.n_centers) for w in t_batched.blocks
+            (w.block_id, w.n_centers) for w in t_fast.blocks
         ]
 
+    @pytest.mark.parametrize("path", FAST_PATHS, ids=lambda p: p[0])
     @pytest.mark.parametrize("partitioner", PARTITIONERS)
     @pytest.mark.parametrize("n", CLOUD_SIZES)
     @pytest.mark.parametrize("duplicates", [False, True])
-    def test_ball_query(self, partitioner, n, duplicates):
+    def test_ball_query(self, path, partitioner, n, duplicates):
         coords = make_cloud(n, seed=100 + n, duplicates=duplicates)
         structure = structure_for(partitioner, coords, block_size=8)
         centers, _ = bppo.block_fps(structure, coords, max(1, n // 2))
@@ -66,15 +92,14 @@ class TestBlockOpParity:
         # size, exercising the first-hit padding path in every block.
         for num in (3, 16):
             serial, _ = bppo.block_ball_query(structure, coords, centers, 0.4, num)
-            batched, _ = bppo.block_ball_query_batched(
-                structure, coords, centers, 0.4, num
-            )
-            assert np.array_equal(serial, batched)
+            fast, _ = path[2](structure, coords, centers, 0.4, num)
+            assert np.array_equal(serial, fast)
 
+    @pytest.mark.parametrize("path", FAST_PATHS, ids=lambda p: p[0])
     @pytest.mark.parametrize("partitioner", PARTITIONERS)
     @pytest.mark.parametrize("n", CLOUD_SIZES)
     @pytest.mark.parametrize("duplicates", [False, True])
-    def test_knn_and_interpolate(self, partitioner, n, duplicates):
+    def test_knn_and_interpolate(self, path, partitioner, n, duplicates):
         coords = make_cloud(n, seed=200 + n, duplicates=duplicates)
         structure = structure_for(partitioner, coords, block_size=8)
         candidates, _ = bppo.block_fps(structure, coords, max(1, n // 2))
@@ -82,33 +107,33 @@ class TestBlockOpParity:
         centers = np.arange(n, dtype=np.int64)
 
         serial, t_serial = bppo.block_knn(structure, coords, centers, candidates, k)
-        batched, t_batched = bppo.block_knn_batched(
-            structure, coords, centers, candidates, k
-        )
-        assert np.array_equal(serial, batched)
+        fast, t_fast = path[3](structure, coords, centers, candidates, k)
+        assert np.array_equal(serial, fast)
         assert [w.widened for w in t_serial.blocks] == [
-            w.widened for w in t_batched.blocks
+            w.widened for w in t_fast.blocks
+        ]
+        assert [(w.n_centers, w.n_search) for w in t_serial.blocks] == [
+            (w.n_centers, w.n_search) for w in t_fast.blocks
         ]
 
         feats = np.random.default_rng(n).normal(size=(len(candidates), 5))
         f_serial, _ = bppo.block_interpolate(
             structure, coords, centers, candidates, feats, k
         )
-        f_batched, _ = bppo.block_interpolate_batched(
-            structure, coords, centers, candidates, feats, k
-        )
-        assert np.array_equal(f_serial, f_batched)  # bit-identical weights
+        f_fast, _ = path[4](structure, coords, centers, candidates, feats, k)
+        assert np.array_equal(f_serial, f_fast)  # bit-identical weights
 
+    @pytest.mark.parametrize("gather", [bppo.block_gather_batched, ragged.ragged_gather])
     @pytest.mark.parametrize("partitioner", ("kdtree", "none"))
-    def test_gather(self, partitioner):
+    def test_gather(self, partitioner, gather):
         coords = make_cloud(120, seed=9)
         structure = structure_for(partitioner, coords)
         centers, _ = bppo.block_fps(structure, coords, 30)
         neighbors, _ = bppo.block_ball_query(structure, coords, centers, 0.5, 8)
         feats = np.random.default_rng(1).normal(size=(120, 6))
         serial, _ = bppo.block_gather(structure, feats, neighbors, centers)
-        batched, _ = bppo.block_gather_batched(structure, feats, neighbors, centers)
-        assert np.array_equal(serial, batched)
+        fast, _ = gather(structure, feats, neighbors, centers)
+        assert np.array_equal(serial, fast)
 
 
 class TestNonePartitionerMatchesGlobalReference:
@@ -120,7 +145,7 @@ class TestNonePartitionerMatchesGlobalReference:
         coords = make_cloud(n, seed=300 + n, duplicates=duplicates)
         structure = structure_for("none", coords)
         num = max(1, n // 2)
-        for fps in (bppo.block_fps, bppo.block_fps_batched):
+        for fps in (bppo.block_fps, bppo.block_fps_batched, ragged.ragged_fps):
             block, _ = fps(structure, coords, num)
             assert np.array_equal(block, exact_ops.farthest_point_sample(coords, num))
 
@@ -130,7 +155,8 @@ class TestNonePartitionerMatchesGlobalReference:
         structure = structure_for("none", coords)
         centers = np.arange(n, dtype=np.int64)
         reference = exact_ops.ball_query(coords, coords, 0.4, 8)
-        for ball in (bppo.block_ball_query, bppo.block_ball_query_batched):
+        for ball in (bppo.block_ball_query, bppo.block_ball_query_batched,
+                     ragged.ragged_ball_query):
             block, _ = ball(structure, coords, centers, 0.4, 8)
             assert np.array_equal(block, reference)
 
@@ -142,7 +168,7 @@ class TestNonePartitionerMatchesGlobalReference:
         k = min(3, len(candidates))
         reference = candidates[exact_ops.knn_search(coords, coords[candidates], k)]
         centers = np.arange(n, dtype=np.int64)
-        for knn in (bppo.block_knn, bppo.block_knn_batched):
+        for knn in (bppo.block_knn, bppo.block_knn_batched, ragged.ragged_knn):
             block, _ = knn(structure, coords, centers, candidates, k)
             assert np.array_equal(block, reference)
 
@@ -156,7 +182,8 @@ class TestNonePartitionerMatchesGlobalReference:
         reference = exact_ops.interpolate_features(
             coords, coords[candidates], feats, k
         )
-        for interp in (bppo.block_interpolate, bppo.block_interpolate_batched):
+        for interp in (bppo.block_interpolate, bppo.block_interpolate_batched,
+                       ragged.ragged_interpolate):
             block, _ = interp(
                 structure, coords, np.arange(n, dtype=np.int64),
                 candidates, feats, k,
@@ -199,6 +226,90 @@ class TestExecutorParity:
             assert np.array_equal(ref[1], result.neighbors)
             assert np.array_equal(ref[2], result.grouped)
             assert np.array_equal(ref[3], result.interpolated)
+
+    @pytest.mark.parametrize("kernel", ("loop", "stacked", "ragged", "auto"))
+    def test_every_kernel_matches_reference(self, kernel):
+        pipeline = PipelineSpec(radius=0.4, group_size=8)
+        clouds = [make_cloud(n, seed=800 + n, duplicates=(n % 2 == 0))
+                  for n in (1, 5, 40, 181)]
+        engine = BatchExecutor(
+            "kdtree", block_size=16, max_workers=1, kernel=kernel
+        )
+        report = engine.run(clouds, pipeline)
+        for coords, result in zip(clouds, report.results):
+            ref = self.reference_pipeline(coords, "kdtree", 16, pipeline)
+            assert np.array_equal(ref[0], result.sampled)
+            assert np.array_equal(ref[1], result.neighbors)
+            assert np.array_equal(ref[3], result.interpolated)
+
+
+class TestFusedExecutorParity:
+    """Whole-cloud fusion: equal-size clouds run as one ragged problem,
+    split back in submission order, bit-identical to the serial loop."""
+
+    @pytest.mark.parametrize("partitioner", ("kdtree", "fractal", "uniform", "none"))
+    def test_fused_matches_reference(self, partitioner):
+        pipeline = PipelineSpec(radius=0.4, group_size=8)
+        # Equal-size clouds (fused), one odd size (singleton path), one
+        # exact repeat (dedup replay inside the fused path).
+        clouds = [make_cloud(96, seed=900 + i, duplicates=(i % 2 == 0))
+                  for i in range(4)]
+        clouds.append(make_cloud(41, seed=950))
+        clouds.append(clouds[1].copy())
+        engine = BatchExecutor(partitioner, block_size=16, max_workers=1, fuse=True)
+        report = engine.run(clouds, pipeline)
+        assert [r.index for r in report.results] == list(range(len(clouds)))
+        for coords, result in zip(clouds, report.results):
+            ref = TestExecutorParity.reference_pipeline(
+                coords, partitioner, 16, pipeline
+            )
+            assert np.array_equal(ref[0], result.sampled)
+            assert np.array_equal(ref[1], result.neighbors)
+            assert np.array_equal(ref[2], result.grouped)
+            assert np.array_equal(ref[3], result.interpolated)
+        assert report.results[-1].reused
+        assert report.stats.reused == 1
+
+    def test_fused_traces_match_serial(self):
+        pipeline = PipelineSpec(radius=0.4, group_size=8)
+        clouds = [make_cloud(96, seed=1000 + i) for i in range(3)]
+        engine = BatchExecutor("kdtree", block_size=16, max_workers=1)
+        fused = engine.run(clouds, pipeline, fuse=True)
+        serial = engine.run(clouds, pipeline)
+        for a, b in zip(fused.results, serial.results):
+            assert set(a.traces) == set(b.traces)
+            for op in a.traces:
+                got = a.traces[op]
+                want = b.traces[op]
+                assert [
+                    (w.block_id, w.n_points, w.n_search, w.n_centers,
+                     w.n_outputs, w.widened)
+                    for w in got.blocks
+                ] == [
+                    (w.block_id, w.n_points, w.n_search, w.n_centers,
+                     w.n_outputs, w.widened)
+                    for w in want.blocks
+                ]
+
+    def test_fused_with_features_and_widening(self):
+        # Tiny sample budget forces candidate-starved blocks to widen to
+        # their own cloud's candidate set, never a fused neighbour's.
+        pipeline = PipelineSpec(num_samples=4, radius=0.3, group_size=4)
+        rng = np.random.default_rng(7)
+        clouds = [
+            (rng.normal(size=(80, 3)), rng.normal(size=(80, 5)))
+            for _ in range(3)
+        ]
+        engine = BatchExecutor("kdtree", block_size=8, max_workers=1)
+        fused = engine.run(clouds, pipeline, fuse=True)
+        serial = engine.run(clouds, pipeline)
+        widened = 0
+        for a, b in zip(fused.results, serial.results):
+            widened += a.traces["interpolate"].num_widened
+            assert np.array_equal(a.sampled, b.sampled)
+            assert np.array_equal(a.grouped, b.grouped)
+            assert np.array_equal(a.interpolated, b.interpolated)
+        assert widened > 0  # the starved case was actually exercised
 
 
 @pytest.mark.slow
