@@ -1,0 +1,102 @@
+"""Extension bench — mixed-size whole-cloud fusion vs the worker pool.
+
+Real serving traffic is ragged: LiDAR frames, detection ROI crops, and
+mixed assets never share one point count, so the equal-size-only fusion
+of PR 2 covered almost none of it.  The size-bucketing scheduler packs
+near-equal clouds under the fuse-group budget and runs each bucket as
+one ragged problem per pipeline stage.  The acceptance bar:
+
+- on the serving-shaped mix (a stream of small ROI-crop-sized clouds of
+  uniformly random sizes, with repeated requests sprinkled in), the fused
+  engine must beat the pooled (thread-pool, per-cloud) engine by >= 1.5x
+  wall-clock throughput;
+- on a frame-sized mix (larger ragged clouds) fused must still win;
+- every timed configuration is asserted bit-identical to the pooled
+  path per cloud (same engine semantics, same results).
+
+Both engines share warmed partition caches, so the comparison isolates
+execution strategy, not partitioning.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.runtime import BatchExecutor, PipelineSpec
+
+from _common import best_time, emit
+
+PIPELINE = PipelineSpec(sample_ratio=0.25, radius=0.25, group_size=16)
+WORKERS = 4
+
+#: (label, size range, cloud count, repeats, block size, acceptance bar)
+MIXES = (
+    ("roi crops", (64, 256), 112, 16, 32, 1.5),
+    ("frames", (800, 1600), 28, 4, 64, 1.0),
+)
+
+
+def _ragged_stream(lo, hi, count, repeats, seed=0):
+    """``count`` distinct clouds with sizes uniform in [lo, hi), plus
+    ``repeats`` exact re-requests of early clouds (serving dedup traffic)."""
+    rng = np.random.default_rng(seed)
+    sizes = rng.integers(lo, hi, size=count)
+    clouds = [
+        np.random.default_rng(1000 + i).normal(size=(int(n), 3))
+        for i, n in enumerate(sizes)
+    ]
+    return clouds + [clouds[i % count] for i in range(repeats)]
+
+
+def run_bench():
+    rows = []
+    speedups = {}
+    for label, (lo, hi), count, repeats, block_size, bar in MIXES:
+        clouds = _ragged_stream(lo, hi, count, repeats)
+        pooled = BatchExecutor(
+            "kdtree", block_size=block_size, max_workers=WORKERS, mode="thread"
+        )
+        fused = BatchExecutor(
+            "kdtree", block_size=block_size, max_workers=WORKERS, fuse=True
+        )
+        t_pool, rep_pool = best_time(lambda: pooled.run(clouds, PIPELINE))
+        t_fuse, rep_fuse = best_time(lambda: fused.run(clouds, PIPELINE, fuse=True))
+
+        # Fusion must not change a single index or feature bit.
+        for a, b in zip(rep_pool.results, rep_fuse.results):
+            assert np.array_equal(a.sampled, b.sampled)
+            assert np.array_equal(a.neighbors, b.neighbors)
+            assert np.array_equal(a.interpolated, b.interpolated)
+        assert rep_fuse.stats.reused == repeats
+
+        total = len(clouds)
+        points = rep_fuse.stats.points
+        speedups[label] = (t_pool / t_fuse, bar)
+        rows.append([
+            label, f"{lo}-{hi - 1}", total,
+            f"pool ({WORKERS} thr)", f"{t_pool * 1e3:.0f}",
+            f"{total / t_pool:.0f}", f"{points / t_pool / 1e3:.0f}K", "1.00x",
+        ])
+        rows.append([
+            label, f"{lo}-{hi - 1}", total,
+            "fused buckets", f"{t_fuse * 1e3:.0f}",
+            f"{total / t_fuse:.0f}", f"{points / t_fuse / 1e3:.0f}K",
+            f"{t_pool / t_fuse:.2f}x",
+        ])
+
+    table = format_table(
+        ["mix", "sizes", "clouds", "engine", "ms / batch",
+         "clouds / s", "points / s", "speedup"],
+        rows,
+        title="mixed-size whole-cloud fusion vs worker pool "
+              "(kdtree, warm partition caches)",
+    )
+    return table, speedups
+
+
+def test_fused_mixed(benchmark):
+    table, speedups = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    emit("fused_mixed", table)
+    # Acceptance: >= 1.5x over the pool on the serving-shaped ragged mix,
+    # and fused never loses on the frame-sized mix.
+    for label, (speedup, bar) in speedups.items():
+        assert speedup >= bar, (label, speedup, bar)

@@ -91,9 +91,18 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_batch_run(args: argparse.Namespace) -> int:
+    if args.size_spread > 0:
+        rng = np.random.default_rng(args.seed)
+        sizes = rng.integers(
+            max(1, args.points - args.size_spread),
+            args.points + args.size_spread + 1,
+            size=args.clouds,
+        )
+    else:
+        sizes = [args.points] * args.clouds
     clouds = [
-        load_cloud(args.dataset, args.points, args.seed + i).coords
-        for i in range(args.clouds)
+        load_cloud(args.dataset, int(n), args.seed + i).coords
+        for i, n in enumerate(sizes)
     ]
     kernel = "loop" if args.no_batched_ops else args.kernel
     engine = BatchExecutor(
@@ -103,6 +112,8 @@ def _cmd_batch_run(args: argparse.Namespace) -> int:
         mode=args.mode,
         kernel=kernel,
         fuse=args.fuse,
+        fuse_max_points=args.fuse_max_points if args.fuse_max_points > 0 else None,
+        fuse_max_spread=args.fuse_max_spread if args.fuse_max_spread > 0 else None,
     )
     pipeline = PipelineSpec(
         sample_ratio=args.sample_ratio,
@@ -179,10 +190,21 @@ def build_parser() -> argparse.ArgumentParser:
                         "(small blocks), 'ragged' = fused CSR segment "
                         "kernels (mid-size blocks), 'auto' = cost-model "
                         "dispatch per call from block statistics; all four "
-                        "are bit-identical (REPRO_KERNEL overrides)")
+                        "are bit-identical (an explicit choice here beats "
+                        "REPRO_KERNEL, which only fills in for 'auto')")
     p.add_argument("--fuse", action="store_true",
-                   help="fuse equal-size clouds into one ragged problem per "
-                        "pipeline stage (fixed-size object workloads)")
+                   help="size-bucket the batch and fuse each bucket into one "
+                        "ragged problem per pipeline stage (mixed sizes "
+                        "welcome; bit-identical to the unfused path)")
+    p.add_argument("--fuse-max-points", type=int, default=262_144,
+                   help="fuse-group budget: max total points per fused "
+                        "bucket (0 = unbounded)")
+    p.add_argument("--fuse-max-spread", type=float, default=4.0,
+                   help="max largest/smallest cloud-size ratio inside one "
+                        "fused bucket (0 = unbounded)")
+    p.add_argument("--size-spread", type=int, default=0,
+                   help="draw cloud sizes uniformly from points±spread "
+                        "instead of a fixed size (ragged serving streams)")
     p.add_argument("--no-batched-ops", action="store_true",
                    help="legacy alias for --kernel loop")
     p.set_defaults(func=_cmd_batch_run)

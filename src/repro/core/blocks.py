@@ -146,10 +146,18 @@ class BlockStructure:
         return int(self.block_sizes.max())
 
     def block_of_point(self) -> np.ndarray:
-        """``(num_points,)`` map from point index to owning block id."""
-        owner = np.full(self.num_points, -1, dtype=np.int64)
-        for block_id, block in enumerate(self.blocks):
-            owner[block.indices] = block_id
+        """``(num_points,)`` map from point index to owning block id.
+
+        Memoized: every op of a pipeline pass groups its centres through
+        this map, and blocks never change after construction.  Treat the
+        returned array as read-only.
+        """
+        owner = getattr(self, "_owner_memo", None)
+        if owner is None:
+            owner = np.full(self.num_points, -1, dtype=np.int64)
+            for block_id, block in enumerate(self.blocks):
+                owner[block.indices] = block_id
+            self._owner_memo = owner
         return owner
 
     def validate(self) -> None:

@@ -37,17 +37,23 @@ loop     ``> RAGGED_BLOCK_MAX``                       each block is
                                                       buys nothing
 ======== ============================================ =====================
 
-Centre counts are not known until the op groups its centres, so the
-chooser estimates them by spreading the requested centres proportionally
-to block population — exact for FPS quotas, a close proxy for grouping
-and interpolation.  Misprediction costs speed only, never results.
+Centre counts are exact when the caller already groups its centres by
+block — pipeline stages know how many centres each block received from
+the previous stage — so :func:`choose_kernel` accepts **measured**
+per-block counts (``center_counts``) and uses them verbatim.  Callers
+that only know the total fall back to spreading the requested centres
+proportionally to block population — exact for FPS quotas, a close proxy
+elsewhere.  Misprediction costs speed only, never results.
 
 Overrides
 ---------
 
-The environment variable :data:`KERNEL_ENV` (``REPRO_KERNEL``) forces one
-kernel process-wide — the benchmarking hook used by
-``benchmarks/bench_ragged_kernels.py`` and the ``--kernel`` CLI flag.
+Precedence is **explicit argument > environment > auto**: a concrete
+``kernel=`` argument (or ``--kernel`` CLI flag) always wins; the
+environment variable :data:`KERNEL_ENV` (``REPRO_KERNEL``) only fills in
+when the caller left the choice at ``"auto"`` — the benchmarking hook
+used by ``benchmarks/bench_ragged_kernels.py``; the cost model decides
+whatever remains unresolved.
 """
 
 from __future__ import annotations
@@ -103,8 +109,6 @@ KERNELS: dict[str, dict[str, Callable]] = {
         "ragged": ragged.ragged_interpolate,
     },
     "gather": {
-        # Gathering is one fancy-indexing pass; every kernel is the same
-        # computation, registered so schedulers can resolve any op name.
         "loop": bppo.block_gather,
         "stacked": bppo.block_gather_batched,
         "ragged": ragged.ragged_gather,
@@ -125,6 +129,7 @@ def choose_kernel(
     op: str,
     structure: BlockStructure,
     num_centers: int | None = None,
+    center_counts: np.ndarray | None = None,
 ) -> str:
     """Pick ``loop | stacked | ragged`` for one op call from block stats.
 
@@ -134,18 +139,29 @@ def choose_kernel(
         num_centers: total query centres (sample count for ``fps``,
             centre rows for the neighbour searches); ``None`` assumes one
             centre per point.
+        center_counts: measured ``(num_blocks,)`` per-block centre counts
+            — e.g. the FPS quotas, or a bincount of the previous stage's
+            sampled centres over the owner map.  When given, it replaces
+            the population-proportion estimate, so skewed partitions
+            dispatch on their real work distribution.
 
     Returns:
         The kernel name owning the largest share of estimated work.
     """
-    if op == "gather":
-        return "loop"  # single implementation; avoid layout construction
     sizes = structure.block_sizes.astype(np.float64)
     total = sizes.sum()
     if total == 0:
         return "stacked"
-    m = total if num_centers is None else float(num_centers)
-    centers_est = m * sizes / total
+    if center_counts is not None:
+        centers_est = np.asarray(center_counts, dtype=np.float64)
+        if centers_est.shape != (structure.num_blocks,):
+            raise ValueError(
+                f"center_counts must be ({structure.num_blocks},), got "
+                f"{centers_est.shape}"
+            )
+    else:
+        m = total if num_centers is None else float(num_centers)
+        centers_est = m * sizes / total
     search = (
         sizes if op == "fps" else structure.search_sizes.astype(np.float64)
     )
@@ -166,12 +182,22 @@ def resolve_kernel(
     structure: BlockStructure,
     num_centers: int | None = None,
     kernel: str = "auto",
+    center_counts: np.ndarray | None = None,
 ) -> str:
-    """Resolve ``kernel`` (honouring :data:`KERNEL_ENV`) to a concrete name."""
-    override = os.environ.get(KERNEL_ENV)
-    kernel = validate_kernel(override if override else kernel)
+    """Resolve ``kernel`` to a concrete name.
+
+    Precedence: an explicit non-``auto`` ``kernel`` argument wins
+    outright; :data:`KERNEL_ENV` fills in only when the argument is
+    ``"auto"``; whatever is still ``"auto"`` after that goes to the cost
+    model (with measured ``center_counts`` when the caller has them).
+    """
+    kernel = validate_kernel(kernel)
     if kernel == "auto":
-        kernel = choose_kernel(op, structure, num_centers)
+        override = os.environ.get(KERNEL_ENV)
+        if override:
+            kernel = validate_kernel(override)
+    if kernel == "auto":
+        kernel = choose_kernel(op, structure, num_centers, center_counts)
     return kernel
 
 
@@ -181,15 +207,17 @@ def run_op(
     *args,
     kernel: str = "auto",
     num_centers: int | None = None,
+    center_counts: np.ndarray | None = None,
     **kwargs,
 ):
     """Dispatch one block-parallel op to the chosen kernel.
 
     ``args``/``kwargs`` are forwarded verbatim to the implementation
-    (every kernel of an op shares one signature).  Returns the kernel's
+    (every kernel of an op shares one signature); ``num_centers`` /
+    ``center_counts`` only steer the cost model.  Returns the kernel's
     ``(result, trace)`` pair.
     """
     if op not in KERNELS:
         raise ValueError(f"unknown op {op!r}; expected one of {sorted(KERNELS)}")
-    name = resolve_kernel(op, structure, num_centers, kernel)
+    name = resolve_kernel(op, structure, num_centers, kernel, center_counts)
     return KERNELS[op][name](structure, *args, **kwargs)

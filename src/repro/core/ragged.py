@@ -54,12 +54,14 @@ Whole-cloud fusion
 ------------------
 
 Blocks of *different clouds* are as independent as blocks of one cloud,
-so :meth:`RaggedBlocks.concatenate` merges the layouts of several
-equal-size clouds into one ragged problem (``block_group`` remembers the
-owning cloud).  :class:`repro.runtime.executor.BatchExecutor` uses this to
-run a whole batch of ModelNet-style fixed-size clouds through a single
-kernel invocation per pipeline stage; KNN widening consults only the
-block's own group, so fusion never leaks candidates across clouds.
+so :meth:`RaggedBlocks.concatenate` merges the layouts of several clouds
+— equal-size or not — into one ragged problem (``block_group`` remembers
+the owning cloud; ``group_point_offsets`` / ``group_block_offsets``
+delimit each cloud's slice of the fused arrays).
+:class:`repro.runtime.executor.BatchExecutor` uses this to run a whole
+size-bucketed batch of serving clouds through a single kernel invocation
+per pipeline stage; KNN widening consults only the block's own group, so
+fusion never leaks candidates across clouds.
 """
 
 from __future__ import annotations
@@ -143,6 +145,13 @@ class RaggedBlocks:
             all zeros for a single cloud; :meth:`concatenate` numbers the
             fused clouds.  KNN widening is confined to the block's group.
         num_groups: number of fused problems (1 for a single cloud).
+        group_point_offsets: ``(num_groups + 1,)`` int64 boundaries of
+            each fused cloud's points in the virtual concatenated cloud —
+            cloud ``g`` owns global ids ``[group_point_offsets[g],
+            group_point_offsets[g + 1])``.  The split-back tables of
+            mixed-size fusion read global ids straight off this.
+        group_block_offsets: ``(num_groups + 1,)`` int64 boundaries of
+            each fused cloud's blocks in the fused block order.
     """
 
     num_points: int
@@ -155,6 +164,8 @@ class RaggedBlocks:
     search_coords: np.ndarray
     block_group: np.ndarray
     num_groups: int = 1
+    group_point_offsets: np.ndarray | None = None
+    group_block_offsets: np.ndarray | None = None
 
     @property
     def num_blocks(self) -> int:
@@ -203,15 +214,24 @@ class RaggedBlocks:
             search_coords=coords[search_perm],
             block_group=np.zeros(structure.num_blocks, dtype=np.int64),
             num_groups=1,
+            group_point_offsets=np.array(
+                [0, structure.num_points], dtype=np.int64
+            ),
+            group_block_offsets=np.array(
+                [0, structure.num_blocks], dtype=np.int64
+            ),
         )
 
     @classmethod
     def concatenate(cls, layouts: list["RaggedBlocks"]) -> "RaggedBlocks":
         """Fuse several single-cloud layouts into one ragged problem.
 
-        Cloud ``g``'s global point ids are shifted by the running point
-        total, so the fused problem indexes one virtual concatenated
-        cloud; ``block_group`` records the source cloud of every block.
+        The layouts may describe clouds of *different* sizes: cloud
+        ``g``'s global point ids are shifted by the running point total,
+        so the fused problem indexes one virtual concatenated cloud;
+        ``block_group`` records the source cloud of every block, and
+        ``group_point_offsets`` / ``group_block_offsets`` carry the
+        per-cloud boundaries the executor's split-back needs.
         """
         if not layouts:
             raise ValueError("need at least one layout to concatenate")
@@ -245,6 +265,8 @@ class RaggedBlocks:
             search_coords=np.concatenate([rb.search_coords for rb in layouts]),
             block_group=np.repeat(np.arange(len(layouts)), block_counts),
             num_groups=len(layouts),
+            group_point_offsets=point_offsets,
+            group_block_offsets=block_offsets,
         )
 
 

@@ -23,7 +23,7 @@ import abc
 import numpy as np
 
 from ..core import blocks as core_blocks
-from ..core import dispatch
+from ..core import bppo, dispatch
 from ..geometry import ops as exact_ops
 from ..partition.base import Partitioner, get_partitioner
 from ..runtime.cache import PartitionCache
@@ -97,8 +97,9 @@ class BlockBackend(PointOpsBackend):
 
     Every operation resolves through the kernel registry of
     :mod:`repro.core.dispatch`.  ``kernel`` picks the implementation:
-    ``"auto"`` (default) lets the cost model choose per call from the
-    partition's block-size statistics, ``"loop" | "stacked" | "ragged"``
+    ``"auto"`` (default) lets the cost model choose per call — from
+    *measured* per-block centre counts, since the backend always holds
+    the concrete centre ids — while ``"loop" | "stacked" | "ragged"``
     pin one path.  The parity suite guarantees bit-identical results, so
     the choice only affects speed.
 
@@ -129,11 +130,32 @@ class BlockBackend(PointOpsBackend):
         structure, _ = self._cache.get(coords)
         return structure
 
+    def _measured_counts(
+        self, structure: core_blocks.BlockStructure, center_indices
+    ) -> np.ndarray | None:
+        """Real per-block centre counts — the backend always holds the
+        concrete centre ids, so the cost model never has to estimate.
+        ``None`` when a pinned kernel would never consult the cost model.
+        """
+        if self.kernel != "auto":
+            return None
+        return np.bincount(
+            structure.block_of_point()[
+                np.asarray(center_indices, dtype=np.int64)
+            ],
+            minlength=structure.num_blocks,
+        )
+
     def sample(self, coords: np.ndarray, num_samples: int) -> np.ndarray:
         structure = self._structure(coords)
+        quotas = (
+            bppo.allocate_samples(structure.block_sizes, num_samples, clamp=True)
+            if self.kernel == "auto"
+            else None
+        )
         indices, _ = dispatch.run_op(
             "fps", structure, coords, num_samples,
-            kernel=self.kernel, num_centers=num_samples,
+            kernel=self.kernel, num_centers=num_samples, center_counts=quotas,
         )
         return indices
 
@@ -142,6 +164,7 @@ class BlockBackend(PointOpsBackend):
         neighbors, _ = dispatch.run_op(
             "ball_query", structure, coords, center_indices, radius, k,
             kernel=self.kernel, num_centers=len(center_indices),
+            center_counts=self._measured_counts(structure, center_indices),
         )
         return neighbors
 
@@ -150,6 +173,7 @@ class BlockBackend(PointOpsBackend):
         idx, _ = dispatch.run_op(
             "knn", structure, coords, center_indices, candidate_indices, k,
             kernel=self.kernel, num_centers=len(center_indices),
+            center_counts=self._measured_counts(structure, center_indices),
         )
         coords = np.asarray(coords, dtype=np.float64)
         weights = exact_ops.idw_weights(coords[center_indices], coords[idx])

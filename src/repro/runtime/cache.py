@@ -54,10 +54,18 @@ def content_key(coords: np.ndarray, *, dtype=np.float32) -> bytes:
     (request deduplication) must pass ``dtype=np.float64`` — at float32
     two distinct float64 clouds could collide and the second would
     silently receive the first one's results.  The shape is hashed too,
-    so arrays differing only in length never collide with a prefix.
+    so arrays differing only in length never collide with a prefix, and
+    so are the input and rendered dtypes: same-shape arrays whose raw
+    bytes happen to agree under different dtypes (all-zero int64 vs
+    all-zero float64) must never share a key, and digests produced at
+    different renderings must never collide in a shared map.
     """
+    coords = np.asarray(coords)
+    source_dtype = coords.dtype.str
     coords = np.ascontiguousarray(coords, dtype=dtype)
     digest = hashlib.blake2b(digest_size=16)
+    digest.update(source_dtype.encode())
+    digest.update(coords.dtype.str.encode())
     digest.update(str(coords.shape).encode())
     digest.update(coords.tobytes())
     return digest.digest()

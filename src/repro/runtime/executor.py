@@ -14,7 +14,12 @@ aggregate throughput statistics.
 Scheduling granularity is the *cloud*: blocks inside a cloud are already
 executed "in parallel" by the stacked ops (one vectorized pass over many
 blocks), so the pool only needs to overlap independent clouds — the
-delayed-batching lesson of Mesorasi applied at the request level.
+delayed-batching lesson of Mesorasi applied at the request level.  With
+``fuse=True`` the engine goes one level further and batches *across*
+clouds: near-equal-size clouds bucket into one ragged problem per
+pipeline stage (mixed sizes fuse via per-cloud quotas and offset
+tables), so heterogeneous serving traffic restructures into a handful of
+uniform kernel invocations.
 
 Everything the engine computes is bit-identical to the serial reference
 path; ``tests/test_batch_parity.py`` holds the proof obligations.
@@ -230,11 +235,20 @@ class BatchExecutor:
             each op per call through the cost-model dispatcher of
             :mod:`repro.core.dispatch`; ``"loop" | "stacked" | "ragged"``
             pin one path.  Results are bit-identical either way.
-        fuse: default for :meth:`run`'s whole-cloud fusion — equal-size
-            clouds of a batch are concatenated into one ragged problem
-            and executed in a single kernel invocation per stage
-            (ModelNet-style fixed-size serving), results split back in
-            submission order.
+        fuse: default for :meth:`run`'s whole-cloud fusion — clouds of a
+            batch are size-bucketed and each bucket is concatenated into
+            one ragged problem executed as a single kernel invocation per
+            stage, results split back in submission order.  Mixed sizes
+            fuse fine (each cloud keeps its own sample quota and offsets);
+            the bucketing knobs below bound how unlike a bucket may get.
+        fuse_max_points: fused-group budget — a bucket never holds more
+            than this many total points (``None`` = unbounded).  Bounds
+            the flat arrays one fused invocation materialises.
+        fuse_max_spread: largest/smallest cloud-size ratio allowed inside
+            one bucket (``None`` = unbounded).  Wildly unlike sizes fuse
+            correctly but share little per-stage work shape, so the
+            scheduler prefers splitting them; clouds left alone fall back
+            to the per-cloud pool path.
         use_batched_ops: legacy boolean equivalent of ``kernel``
             (``False`` → ``"loop"``); kept for callers of the PR-1 API.
         cache_size: LRU capacity of the partition cache.
@@ -257,6 +271,8 @@ class BatchExecutor:
         mode: str = "thread",
         kernel: str = "auto",
         fuse: bool = False,
+        fuse_max_points: int | None = 262_144,
+        fuse_max_spread: float | None = 4.0,
         use_batched_ops: bool = True,
         cache_size: int = 64,
         reuse_results: bool = True,
@@ -286,6 +302,16 @@ class BatchExecutor:
             kernel = "loop"
         self.kernel = dispatch.validate_kernel(kernel)
         self.fuse = fuse
+        if fuse_max_points is not None and fuse_max_points < 1:
+            raise ValueError(
+                f"fuse_max_points must be >= 1 or None, got {fuse_max_points}"
+            )
+        if fuse_max_spread is not None and fuse_max_spread < 1.0:
+            raise ValueError(
+                f"fuse_max_spread must be >= 1.0 or None, got {fuse_max_spread}"
+            )
+        self.fuse_max_points = fuse_max_points
+        self.fuse_max_spread = fuse_max_spread
         self.use_batched_ops = use_batched_ops
         self.cache_size = cache_size
         self.reuse_results = reuse_results
@@ -309,18 +335,40 @@ class BatchExecutor:
         feats = coords if features is None else features
         traces: dict[str, OpTrace] = {}
 
+        # Each stage knows exactly how many centres every block will see —
+        # the FPS quotas up front, then a bincount of the sampled centres
+        # over the owner map — so auto dispatch runs on measured per-block
+        # work instead of the population-proportion estimate.  A pinned
+        # kernel never consults the cost model, so skip the bookkeeping.
+        auto = self.kernel == "auto"
         num_samples = pipeline.samples_for(n)
+        quotas = (
+            allocate_samples(structure.block_sizes, num_samples, clamp=True)
+            if auto
+            else None
+        )
         sampled, traces["fps"] = dispatch.run_op(
             "fps", structure, coords, num_samples,
-            kernel=self.kernel, num_centers=num_samples,
+            kernel=self.kernel, num_centers=num_samples, center_counts=quotas,
+        )
+        sampled_counts = (
+            np.bincount(
+                structure.block_of_point()[sampled],
+                minlength=structure.num_blocks,
+            )
+            if auto
+            else None
         )
         neighbors, traces["ball_query"] = dispatch.run_op(
             "ball_query", structure, coords, sampled,
             pipeline.radius, pipeline.group_size,
             kernel=self.kernel, num_centers=len(sampled),
+            center_counts=sampled_counts,
         )
-        grouped, traces["gather"] = bppo.block_gather(
-            structure, feats, neighbors, sampled
+        grouped, traces["gather"] = dispatch.run_op(
+            "gather", structure, feats, neighbors, sampled,
+            kernel=self.kernel, num_centers=len(sampled),
+            center_counts=sampled_counts,
         )
         interpolated = None
         if pipeline.with_interpolation:
@@ -329,6 +377,7 @@ class BatchExecutor:
                 "interpolate", structure, coords, np.arange(n, dtype=np.int64),
                 sampled, feats[sampled], k,
                 kernel=self.kernel, num_centers=n,
+                center_counts=structure.block_sizes if auto else None,
             )
         return CloudResult(
             index=index,
@@ -448,13 +497,16 @@ class BatchExecutor:
         """Process a batch and return ordered results plus throughput stats.
 
         ``fuse=True`` (or constructing the engine with ``fuse=True``)
-        enables whole-cloud fusion: equal-size clouds are concatenated
-        into one ragged problem and each pipeline stage runs as a single
-        kernel invocation over all of them — the batch-level analogue of
-        stacking blocks, for ModelNet-style fixed-size workloads.
+        enables whole-cloud fusion: clouds are size-bucketed
+        (``fuse_max_points`` / ``fuse_max_spread``), each bucket is
+        concatenated into one ragged problem, and each pipeline stage
+        runs as a single kernel invocation over all of its clouds — the
+        batch-level analogue of stacking blocks.  Sizes need not match:
+        every cloud keeps its own sample quota and offset-table slice, so
+        ragged serving streams (LiDAR frames, mixed assets) fuse too.
         Results are bit-identical to the unfused path and are returned in
         submission order; fusion replaces pool scheduling for the fused
-        groups (the fused kernels *are* the parallelism).
+        buckets (the fused kernels *are* the parallelism).
         """
         fuse = self.fuse if fuse is None else fuse
         start = time.perf_counter()
@@ -479,15 +531,19 @@ class BatchExecutor:
     def _run_fused(
         self, clouds: Iterable[object], pipeline: PipelineSpec
     ) -> list[CloudResult]:
-        """Execute a batch with equal-size clouds fused per stage.
+        """Execute a batch with size-bucketed clouds fused per stage.
 
-        Clouds are grouped by (point count, feature width); every group
-        with at least two distinct members runs through
-        :meth:`_execute_fused`, singletons fall back to the per-cloud
-        path (scheduled across the worker pool when one is configured, so
-        a poorly-fusable batch never loses the pool overlap), and
-        content-identical repeats are replayed exactly like the streaming
-        dedup.
+        Clouds first split into *lanes* that must never share a kernel
+        invocation — effective feature width, and (when interpolating)
+        the effective KNN ``k`` (tiny clouds whose sample count clamps
+        ``interpolate_k`` need their own ``k``).  Within a lane the
+        size-bucketing scheduler (:meth:`_fuse_buckets`) packs near-equal
+        clouds under the fuse-group budget; every bucket with at least
+        two distinct members runs through :meth:`_execute_fused`,
+        singletons fall back to the per-cloud path (scheduled across the
+        worker pool when one is configured, so a poorly-fusable batch
+        never loses the pool overlap), and content-identical repeats are
+        replayed exactly like the streaming dedup.
         """
         dup_of: dict[int, int] = {}
         canonical: dict[bytes, int] = {}
@@ -508,20 +564,28 @@ class BatchExecutor:
                 canonical[key] = index
             uniques.append((index, coords, features))
 
-        groups: dict[tuple, list] = {}
+        lanes: dict[tuple, list] = {}
         for item in uniques:
             _, coords, features = item
-            shape = (len(coords), None if features is None else features.shape[1])
-            groups.setdefault(shape, []).append(item)
+            width = 3 if features is None else features.shape[1]
+            if pipeline.with_interpolation:
+                k_eff = min(
+                    pipeline.interpolate_k, pipeline.samples_for(len(coords))
+                )
+                lane = (width, k_eff)
+            else:
+                lane = (width,)
+            lanes.setdefault(lane, []).append(item)
 
         results: dict[int, CloudResult] = {}
         singletons: list[tuple[int, np.ndarray, np.ndarray | None]] = []
-        for members in groups.values():
-            if len(members) == 1:
-                singletons.append(members[0])
-            else:
-                for result in self._execute_fused(members, pipeline):
-                    results[result.index] = result
+        for members in lanes.values():
+            for bucket in self._fuse_buckets(members):
+                if len(bucket) == 1:
+                    singletons.append(bucket[0])
+                else:
+                    for result in self._execute_fused(bucket, pipeline):
+                        results[result.index] = result
         if singletons:
             if self.mode == "serial" or len(singletons) == 1:
                 for index, coords, features in singletons:
@@ -541,23 +605,65 @@ class BatchExecutor:
             )
         return [results[index] for index in range(count)]
 
+    def _fuse_buckets(
+        self, members: list[tuple[int, np.ndarray, np.ndarray | None]]
+    ) -> list[list[tuple[int, np.ndarray, np.ndarray | None]]]:
+        """Greedy size-bucketing of one fuse lane.
+
+        Members are packed in ascending cloud-size order (submission
+        index breaks ties, keeping the schedule deterministic); a bucket
+        closes when admitting the next cloud would push its total past
+        ``fuse_max_points`` or its largest/smallest size ratio past
+        ``fuse_max_spread``.  Bucket composition only affects speed:
+        every bucket is bit-identical to running its clouds alone.
+        """
+        ordered = sorted(members, key=lambda item: (len(item[1]), item[0]))
+        buckets: list[list] = []
+        current: list = []
+        smallest = total = 0
+        for item in ordered:
+            n = len(item[1])
+            over_budget = (
+                self.fuse_max_points is not None
+                and total + n > self.fuse_max_points
+            )
+            over_spread = (
+                self.fuse_max_spread is not None
+                and n > smallest * self.fuse_max_spread
+            )
+            if current and (over_budget or over_spread):
+                buckets.append(current)
+                current, total = [], 0
+            if not current:
+                smallest = n
+            current.append(item)
+            total += n
+        if current:
+            buckets.append(current)
+        return buckets
+
     def _execute_fused(
         self,
         items: list[tuple[int, np.ndarray, np.ndarray | None]],
         pipeline: PipelineSpec,
     ) -> list[CloudResult]:
-        """Run the pipeline once over a fused group of equal-size clouds.
+        """Run the pipeline once over a fused group of clouds.
 
-        Each cloud keeps its own (cached) partition; the per-cloud ragged
-        layouts are concatenated into one problem whose blocks span all
-        clouds, and every stage — FPS, ball query, gather, KNN
-        interpolation — runs as a single kernel invocation.  Blocks never
-        search outside their own cloud (search spaces are per-partition
-        and KNN widening is group-confined), so the split-back results
-        are bit-identical to running each cloud alone.
+        Cloud sizes may differ: each cloud keeps its own (cached)
+        partition and its own sample quota (``pipeline.samples_for(n_i)``
+        allocated across its blocks), and the per-cloud ragged layouts
+        are concatenated into one problem whose blocks span all clouds.
+        Every stage — FPS, ball query, gather, KNN interpolation — runs
+        as a single kernel invocation; per-cloud row/point/block offset
+        tables carry the boundaries through every stage and drive the
+        split-back.  Blocks never search outside their own cloud (search
+        spaces are per-partition and KNN widening is group-confined), so
+        the results are bit-identical to running each cloud alone.
+
+        Requires one shared effective interpolation ``k`` across the
+        group — the lane keys of :meth:`_run_fused` guarantee it.
         """
         start = time.perf_counter()
-        n = len(items[0][1])
         structures, layouts, hits = [], [], []
         for _, coords, _ in items:
             structure, layout, hit = self.cache.get_ragged(coords)
@@ -575,11 +681,21 @@ class BatchExecutor:
             ]
         )
 
-        num_samples = pipeline.samples_for(n)
+        # Per-cloud sample quotas and the offset tables of the split-back:
+        # rows (sampled centres), points, and blocks, one cumulative table
+        # each, all in fused cloud order.
         quotas = [
-            allocate_samples(s.block_sizes, num_samples, clamp=True)
-            for s in structures
+            allocate_samples(
+                s.block_sizes, pipeline.samples_for(len(coords)), clamp=True
+            )
+            for s, (_, coords, _) in zip(structures, items)
         ]
+        samples_per_cloud = [int(q.sum()) for q in quotas]
+        row_offsets = np.zeros(len(items) + 1, dtype=np.int64)
+        np.cumsum(samples_per_cloud, out=row_offsets[1:])
+        point_offsets = fused.group_point_offsets
+        block_offsets = fused.group_block_offsets
+
         sampled_f = fps_on_layout(fused, np.concatenate(quotas))
         neighbors_f, ball_counts = ball_query_on_layout(
             fused, coords_f, sampled_f, pipeline.radius, pipeline.group_size
@@ -587,10 +703,17 @@ class BatchExecutor:
         grouped_f = exact_ops.gather_features(feats_f, neighbors_f)
         interpolated_f = None
         knn_stats = None
-        # Equal n ⇒ equal per-cloud sample totals ⇒ one shared k.
-        samples_per_cloud = int(quotas[0].sum())
         if pipeline.with_interpolation:
-            k = min(pipeline.interpolate_k, samples_per_cloud)
+            k_per_cloud = {
+                min(pipeline.interpolate_k, s) for s in samples_per_cloud
+            }
+            if len(k_per_cloud) != 1:
+                raise ValueError(
+                    "fused group mixes effective interpolation k values "
+                    f"{sorted(k_per_cloud)}; the scheduler must keep them "
+                    "in separate lanes"
+                )
+            k = k_per_cloud.pop()
             centers_f = np.arange(fused.num_points, dtype=np.int64)
             knn_f, knn_counts, knn_cands, widened = knn_on_layout(
                 fused, coords_f, centers_f, sampled_f, k
@@ -601,14 +724,14 @@ class BatchExecutor:
             )
             knn_stats = (knn_counts, knn_cands, widened, k)
 
-        seconds = (time.perf_counter() - start) / len(items)
+        elapsed = time.perf_counter() - start
+        total_points = int(point_offsets[-1])
         results = []
-        block_lo = 0
         for g, ((index, coords, _), structure) in enumerate(zip(items, structures)):
-            block_hi = block_lo + structure.num_blocks
-            blocks = slice(block_lo, block_hi)
-            row_lo, row_hi = g * samples_per_cloud, (g + 1) * samples_per_cloud
-            point_off = g * n
+            n = len(coords)
+            blocks = slice(int(block_offsets[g]), int(block_offsets[g + 1]))
+            row_lo, row_hi = int(row_offsets[g]), int(row_offsets[g + 1])
+            point_off = int(point_offsets[g])
             sizes = structure.block_sizes
             search = fused.search_sizes[blocks]
             traces = {
@@ -638,7 +761,7 @@ class BatchExecutor:
                     num_points=n,
                     num_blocks=structure.num_blocks,
                     cache_hit=hits[g],
-                    seconds=seconds,
+                    seconds=elapsed * n / total_points,
                     sampled=sampled_f[row_lo:row_hi] - point_off,
                     neighbors=neighbors_f[row_lo:row_hi] - point_off,
                     grouped=grouped_f[row_lo:row_hi],
@@ -646,7 +769,6 @@ class BatchExecutor:
                     traces=traces,
                 )
             )
-            block_lo = block_hi
         return results
 
     @staticmethod

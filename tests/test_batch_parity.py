@@ -12,14 +12,15 @@ never ``allclose``):
    global-search references in :mod:`repro.geometry.ops`;
 3. the :class:`~repro.runtime.executor.BatchExecutor` end-to-end pipeline
    equals a hand-rolled serial loop of the reference ops — for every
-   kernel selection and for whole-cloud fusion (equal-size clouds
-   concatenated into one ragged problem);
+   kernel selection and for whole-cloud fusion (size-bucketed clouds,
+   equal-size or mixed, concatenated into one ragged problem per bucket);
 4. kernel dispatch never changes results (see also ``tests/test_dispatch.py``
    for the boundary-straddling and property cases).
 """
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.core import bppo, ragged
 from repro.geometry import ops as exact_ops
@@ -310,6 +311,145 @@ class TestFusedExecutorParity:
             assert np.array_equal(a.grouped, b.grouped)
             assert np.array_equal(a.interpolated, b.interpolated)
         assert widened > 0  # the starved case was actually exercised
+
+
+class TestMixedSizeFusedParity:
+    """Mixed-size whole-cloud fusion: near-equal clouds bucket into one
+    ragged problem with per-cloud sample quotas and offset tables, and
+    every split-back result is bit-identical to the per-cloud serial
+    reference."""
+
+    @staticmethod
+    def assert_parity(clouds, engine, pipeline, partitioner, block_size=16):
+        report = engine.run(clouds, pipeline)
+        assert [r.index for r in report.results] == list(range(len(clouds)))
+        for coords, result in zip(clouds, report.results):
+            ref = TestExecutorParity.reference_pipeline(
+                coords, partitioner, block_size, pipeline
+            )
+            assert np.array_equal(ref[0], result.sampled)
+            assert np.array_equal(ref[1], result.neighbors)
+            assert np.array_equal(ref[2], result.grouped)
+            assert np.array_equal(ref[3], result.interpolated)
+        return report
+
+    @pytest.mark.parametrize("partitioner", ("kdtree", "fractal", "uniform", "none"))
+    def test_mixed_sizes_match_reference(self, partitioner):
+        pipeline = PipelineSpec(radius=0.4, group_size=8)
+        # Sizes straddle _STACK_SMALL (128) and RAGGED_BLOCK_MAX (512),
+        # so one batch spans all three kernel regimes.
+        sizes = (97, 120, 128, 131, 250, 500, 512, 530)
+        clouds = [make_cloud(n, seed=1100 + n, duplicates=(n % 2 == 0))
+                  for n in sizes]
+        engine = BatchExecutor(
+            partitioner, block_size=16, max_workers=1, fuse=True,
+            fuse_max_spread=None,
+        )
+        self.assert_parity(clouds, engine, pipeline, partitioner)
+
+    def test_single_point_cloud_in_fused_group(self):
+        """n=1 clouds fuse with other tiny clouds (shared effective k=1)
+        and still match the serial path exactly."""
+        pipeline = PipelineSpec(radius=0.4, group_size=4)
+        clouds = [make_cloud(n, seed=1200 + n) for n in (1, 2, 3, 4)]
+        engine = BatchExecutor("kdtree", block_size=16, max_workers=1, fuse=True)
+        self.assert_parity(clouds, engine, pipeline, "kdtree")
+
+    def test_duplicates_deduped_inside_bucket(self):
+        pipeline = PipelineSpec(radius=0.4, group_size=8)
+        clouds = [make_cloud(n, seed=1300 + n) for n in (60, 70, 80)]
+        batch = [clouds[0], clouds[1], clouds[0].copy(), clouds[2],
+                 clouds[1].copy()]
+        engine = BatchExecutor("kdtree", block_size=16, max_workers=1, fuse=True)
+        report = self.assert_parity(batch, engine, pipeline, "kdtree")
+        assert report.stats.reused == 2
+        assert report.results[2].reused and report.results[4].reused
+
+    def test_spread_budget_splits_buckets(self):
+        """The scheduler never packs clouds whose size ratio exceeds the
+        spread budget into one bucket, and the point budget caps bucket
+        mass; parity holds either way."""
+        pipeline = PipelineSpec(radius=0.4, group_size=8)
+        clouds = [make_cloud(n, seed=1400 + n) for n in (20, 30, 200, 260)]
+        engine = BatchExecutor(
+            "kdtree", block_size=16, max_workers=1, fuse=True,
+            fuse_max_spread=2.0,
+        )
+        buckets = engine._fuse_buckets([(i, c, None) for i, c in enumerate(clouds)])
+        assert [[len(c) for _, c, _ in b] for b in buckets] == [[20, 30], [200, 260]]
+        self.assert_parity(clouds, engine, pipeline, "kdtree")
+
+        tight = BatchExecutor(
+            "kdtree", block_size=16, max_workers=1, fuse=True,
+            fuse_max_points=50, fuse_max_spread=None,
+        )
+        buckets = tight._fuse_buckets([(i, c, None) for i, c in enumerate(clouds)])
+        assert [[len(c) for _, c, _ in b] for b in buckets] == [
+            [20, 30], [200], [260]
+        ]
+        self.assert_parity(clouds, tight, pipeline, "kdtree")
+
+    def test_mixed_sizes_with_features(self):
+        pipeline = PipelineSpec(radius=0.35, group_size=6)
+        rng = np.random.default_rng(17)
+        clouds = [
+            (rng.normal(size=(n, 3)), rng.normal(size=(n, 5)))
+            for n in (50, 64, 90, 130)
+        ]
+        engine = BatchExecutor("kdtree", block_size=16, max_workers=1)
+        fused = engine.run(clouds, pipeline, fuse=True)
+        serial = engine.run(clouds, pipeline)  # per-cloud unfused path
+        assert sum(not r.reused for r in serial.results) == len(clouds)
+        for a, b in zip(fused.results, serial.results):
+            assert np.array_equal(a.sampled, b.sampled)
+            assert np.array_equal(a.neighbors, b.neighbors)
+            assert np.array_equal(a.grouped, b.grouped)
+            assert np.array_equal(a.interpolated, b.interpolated)
+
+    def test_mixed_size_traces_match_serial(self):
+        pipeline = PipelineSpec(radius=0.4, group_size=8)
+        clouds = [make_cloud(n, seed=1500 + n) for n in (60, 75, 96)]
+        engine = BatchExecutor("kdtree", block_size=16, max_workers=1)
+        fused = engine.run(clouds, pipeline, fuse=True)
+        serial = engine.run(clouds, pipeline)
+        for a, b in zip(fused.results, serial.results):
+            assert set(a.traces) == set(b.traces)
+            for op in a.traces:
+                assert [
+                    (w.block_id, w.n_points, w.n_search, w.n_centers,
+                     w.n_outputs, w.widened)
+                    for w in a.traces[op].blocks
+                ] == [
+                    (w.block_id, w.n_points, w.n_search, w.n_centers,
+                     w.n_outputs, w.widened)
+                    for w in b.traces[op].blocks
+                ]
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        sizes=st.lists(st.integers(1, 160), min_size=2, max_size=8),
+        partitioner=st.sampled_from(["kdtree", "uniform", "fractal"]),
+        spread=st.sampled_from([None, 2.0, 4.0]),
+    )
+    def test_random_size_mixes(self, seed, sizes, partitioner, spread):
+        """Property: any mix of cloud sizes, any spread budget — fused
+        results equal the per-cloud serial reference at the bit level."""
+        rng = np.random.default_rng(seed)
+        clouds = [rng.normal(size=(n, 3)) for n in sizes]
+        pipeline = PipelineSpec(radius=0.5, group_size=4)
+        engine = BatchExecutor(
+            partitioner, block_size=8, max_workers=1, fuse=True,
+            fuse_max_spread=spread,
+        )
+        report = engine.run(clouds, pipeline)
+        for coords, result in zip(clouds, report.results):
+            ref = TestExecutorParity.reference_pipeline(
+                coords, partitioner, 8, pipeline
+            )
+            assert np.array_equal(ref[0], result.sampled)
+            assert np.array_equal(ref[1], result.neighbors)
+            assert np.array_equal(ref[3], result.interpolated)
 
 
 @pytest.mark.slow

@@ -119,17 +119,46 @@ class TestCostModel:
         assert RAGGED_BLOCK_MAX < 128 * 256
         assert dispatch.choose_kernel("ball_query", structure, 512) == "loop"
 
-    def test_gather_has_single_path(self):
-        structure, _ = synthetic_structure(32, 4)
-        assert dispatch.choose_kernel("gather", structure, 10) == "loop"
+    def test_gather_goes_through_cost_model(self):
+        """Regression: gather was hardcoded to 'loop' with a stale
+        "single implementation" comment despite the registry holding
+        stacked and ragged gather entries; it must cost-dispatch like
+        every other op."""
+        small, _ = synthetic_structure(8, 10)
+        assert dispatch.choose_kernel("gather", small, 40) == "stacked"
+        mid, _ = synthetic_structure(32, 10)
+        assert dispatch.choose_kernel("gather", mid, 160) == "ragged"
+        big, _ = synthetic_structure(256, 4)
+        assert dispatch.choose_kernel("gather", big, 512) == "loop"
 
-    def test_env_override_wins(self, monkeypatch):
+    def test_measured_center_counts_beat_the_estimate(self):
+        """Skewed measured counts flip the choice the proportional
+        estimate would make: 6 blocks of 16 points, 48 centres.  Spread
+        proportionally (8 per block) every product is 128 → stacked; all
+        measured onto one block the product is 48·16 = 768 → loop."""
+        structure, _ = synthetic_structure(16, 6)
+        assert dispatch.choose_kernel("ball_query", structure, 48) == "stacked"
+        measured = np.array([48, 0, 0, 0, 0, 0], dtype=np.int64)
+        assert (
+            dispatch.choose_kernel("ball_query", structure, 48, measured)
+            == "loop"
+        )
+        with pytest.raises(ValueError, match="center_counts"):
+            dispatch.choose_kernel("ball_query", structure, 48, measured[:3])
+
+    def test_explicit_kernel_beats_env(self, monkeypatch):
+        """Regression: REPRO_KERNEL used to silently override an explicit
+        kernel= argument; precedence is explicit arg > env > auto."""
         structure, coords = synthetic_structure(8, 4, seed=5)
         monkeypatch.setenv(dispatch.KERNEL_ENV, "ragged")
-        assert dispatch.resolve_kernel("fps", structure, 10, "loop") == "ragged"
+        assert dispatch.resolve_kernel("fps", structure, 10, "loop") == "loop"
+        assert dispatch.resolve_kernel("fps", structure, 10, "auto") == "ragged"
+        assert dispatch.resolve_kernel("fps", structure, 10) == "ragged"
         monkeypatch.setenv(dispatch.KERNEL_ENV, "bogus")
         with pytest.raises(ValueError, match="kernel"):
             dispatch.resolve_kernel("fps", structure, 10)
+        # A bogus env var is irrelevant when the caller pinned a kernel.
+        assert dispatch.resolve_kernel("fps", structure, 10, "stacked") == "stacked"
 
     def test_run_op_rejects_unknown(self):
         structure, coords = synthetic_structure(8, 2)

@@ -49,6 +49,22 @@ class TestPartitionCache:
         flat = np.zeros((6, 3))
         assert content_key(flat) != content_key(flat[:4])
 
+    def test_content_key_distinguishes_dtype(self):
+        """Regression: the digest hashed shape and raw bytes but not the
+        dtype, so same-shape arrays with identical raw bytes under
+        different input dtypes collided (all-zero int64 vs all-zero
+        float64) at any single call site, as did digests produced at
+        different renderings."""
+        ints = np.zeros((4, 3), dtype=np.int64)
+        floats = np.zeros((4, 3), dtype=np.float64)
+        assert ints.tobytes() == floats.tobytes()  # the collision setup
+        assert content_key(ints) != content_key(floats)  # input dtype hashed
+        assert content_key(ints, dtype=np.int64) != content_key(
+            floats, dtype=np.float64
+        )  # rendering dtype hashed too
+        # Value-equal inputs of one dtype still share a key (cache replay).
+        assert content_key(floats) == content_key(floats.copy())
+
 
 class TestBatchExecutor:
     def test_results_in_submission_order(self):
