@@ -1,0 +1,118 @@
+"""Extension bench — windowed micro-batching vs the per-cloud stream pool.
+
+PR 3 proved whole-cloud fusion beats the worker pool on batches handed
+over all at once; this bench proves the *serving* story: the same fused
+kernels reached through the windowed micro-batcher
+(:class:`repro.serve.WindowedServer` — collect up to ``W`` clouds or
+``T`` ms, bin-pack, fuse, emit in order) against the unfused
+``stream()`` pool path that PR 1 shipped for unbounded generators.
+
+Acceptance bar (the ISSUE's):
+
+- on seeded serving-shaped traffic (ragged ROI-crop sizes with exact
+  duplicate frames sprinkled in) the windowed fused stream must beat the
+  unfused 4-worker ``stream()`` path by >= 1.3x wall-clock;
+- every timed configuration is asserted bit-identical per cloud between
+  the two engines (the parity suite in ``tests/test_serve.py`` holds the
+  serial-reference obligation).
+
+Marked ``slow``: serving benches time wall-clock over hundreds of
+clouds.  Run with ``pytest -m slow benchmarks/bench_serve_window.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.runtime import BatchExecutor, PipelineSpec
+from repro.serve import LoadSpec, WindowConfig, WindowedServer, generate
+
+from _common import best_time, emit
+
+pytestmark = pytest.mark.slow
+
+PIPELINE = PipelineSpec(sample_ratio=0.25, radius=0.25, group_size=16)
+WORKERS = 4
+
+#: (label, LoadSpec, window, block size, acceptance bar)
+MIXES = (
+    (
+        "roi crops",
+        LoadSpec(clouds=128, min_points=64, max_points=256, dup_rate=0.15,
+                 dup_window=12, seed=0),
+        WindowConfig(max_clouds=32, max_wait=0.25),
+        32,
+        1.3,
+    ),
+    (
+        "frames",
+        LoadSpec(clouds=32, min_points=800, max_points=1600, dup_rate=0.1,
+                 dup_window=6, seed=1),
+        WindowConfig(max_clouds=8, max_wait=0.25),
+        64,
+        1.0,
+    ),
+)
+
+
+def run_bench():
+    rows = []
+    speedups = {}
+    for label, spec, window, block_size, bar in MIXES:
+        clouds = list(generate(spec))
+        pooled = BatchExecutor(
+            "kdtree", block_size=block_size, max_workers=WORKERS, mode="thread"
+        )
+        fused = BatchExecutor(
+            "kdtree", block_size=block_size, max_workers=WORKERS
+        )
+
+        def run_pool():
+            return list(pooled.stream(iter(clouds), PIPELINE))
+
+        def run_windowed():
+            server = WindowedServer(fused, window)
+            return list(server.serve(iter(clouds), PIPELINE))
+
+        t_pool, res_pool = best_time(run_pool)
+        t_serve, res_serve = best_time(run_windowed)
+
+        # Micro-batching must not change a single index or feature bit.
+        assert [r.index for r in res_serve] == [r.index for r in res_pool]
+        for a, b in zip(res_pool, res_serve):
+            assert np.array_equal(a.sampled, b.sampled)
+            assert np.array_equal(a.neighbors, b.neighbors)
+            assert np.array_equal(a.interpolated, b.interpolated)
+
+        total = len(clouds)
+        points = sum(len(c) for c in clouds)
+        speedups[label] = (t_pool / t_serve, bar)
+        rows.append([
+            label, f"{spec.min_points}-{spec.max_points}", total,
+            f"stream() pool ({WORKERS} thr)", f"{t_pool * 1e3:.0f}",
+            f"{total / t_pool:.0f}", f"{points / t_pool / 1e3:.0f}K", "1.00x",
+        ])
+        rows.append([
+            label, f"{spec.min_points}-{spec.max_points}", total,
+            f"windowed fuse (W={window.max_clouds})", f"{t_serve * 1e3:.0f}",
+            f"{total / t_serve:.0f}", f"{points / t_serve / 1e3:.0f}K",
+            f"{t_pool / t_serve:.2f}x",
+        ])
+
+    table = format_table(
+        ["mix", "sizes", "clouds", "engine", "ms / stream",
+         "clouds / s", "points / s", "speedup"],
+        rows,
+        title="windowed micro-batching vs unfused stream() pool "
+              "(kdtree, warm partition caches, duplicate frames in stream)",
+    )
+    return table, speedups
+
+
+def test_serve_window(benchmark):
+    table, speedups = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    emit("serve_window", table)
+    # Acceptance: >= 1.3x over the per-cloud pool on the serving-shaped
+    # ragged mix, and the windowed path never loses on big frames.
+    for label, (speedup, bar) in speedups.items():
+        assert speedup >= bar, (label, speedup, bar)

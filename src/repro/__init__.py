@@ -27,6 +27,7 @@ Subpackages:
 - :mod:`repro.networks` — trainable numpy PNNs + Table I workloads.
 - :mod:`repro.hw` — accelerator/GPU performance & energy models.
 - :mod:`repro.runtime` — the workload→hardware compiler.
+- :mod:`repro.serve` — windowed micro-batching serving layer.
 - :mod:`repro.analysis` — experiment tables and sweeps.
 """
 

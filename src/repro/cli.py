@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands cover the common workflows without writing any code:
+Six subcommands cover the common workflows without writing any code:
 
 - ``partition`` — partition a generated (or .npy) cloud with any
   strategy and print the block statistics.
@@ -10,12 +10,18 @@ Four subcommands cover the common workflows without writing any code:
 - ``batch-run`` — push a batch of clouds through the
   :class:`~repro.runtime.executor.BatchExecutor` engine and print
   per-cloud results plus aggregate throughput.
+- ``loadgen`` — emit a seeded serving-shaped cloud stream (ragged sizes,
+  duplicate frames, bursts) as concatenated ``.npy`` records.
+- ``serve`` — consume a cloud stream (``loadgen`` output, a file, or
+  built-in traffic) through the windowed micro-batching server with
+  live latency telemetry: ``repro loadgen | repro serve``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 import numpy as np
 
@@ -25,6 +31,15 @@ from .hw import AcceleratorSim, GPUModel, SOTA_CONFIGS
 from .networks import WORKLOADS, get_workload
 from .partition import PARTITIONER_NAMES, get_partitioner, summarize
 from .runtime import BatchExecutor, PipelineSpec
+from .serve import (
+    LoadSpec,
+    ServeTelemetry,
+    WindowConfig,
+    WindowedServer,
+    generate,
+    read_stream,
+    write_stream,
+)
 
 __all__ = ["main"]
 
@@ -136,11 +151,97 @@ def _cmd_batch_run(args: argparse.Namespace) -> int:
               f"kernel={engine.kernel}"
               f"{', fused' if args.fuse else ''})",
     ))
-    print(f"  throughput {stats.clouds_per_second:.1f} clouds/s "
-          f"({stats.points_per_second / 1e3:.0f}K points/s)   "
-          f"overlap {stats.speedup_over_busy:.2f}x   "
-          f"cache {stats.cache_hits}/{stats.clouds} hits   "
-          f"reused {stats.reused}")
+    print(f"  {stats.summary()}")
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    spec = LoadSpec(
+        clouds=args.clouds,
+        min_points=args.min_points,
+        max_points=args.max_points,
+        dup_rate=args.dup_rate,
+        dup_window=args.dup_window,
+        burst=args.burst,
+        interval=args.interval,
+        dataset=args.dataset,
+        seed=args.seed,
+    )
+    if args.out == "-":
+        count = write_stream(sys.stdout.buffer, generate(spec))
+    else:
+        with open(args.out, "wb") as fh:
+            count = write_stream(fh, generate(spec))
+    # stdout may be the wire; human chatter goes to stderr.
+    print(
+        f"loadgen: wrote {count} clouds "
+        f"({spec.min_points}-{spec.max_points} points, "
+        f"dup rate {spec.dup_rate}, seed {spec.seed})",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.input is None:
+        source = generate(LoadSpec(
+            clouds=args.clouds,
+            min_points=args.min_points,
+            max_points=args.max_points,
+            dup_rate=args.dup_rate,
+            interval=args.interval,
+            dataset=args.dataset,
+            seed=args.seed,
+        ))
+        close = None
+    elif args.input == "-":
+        source = read_stream(sys.stdin.buffer)
+        close = None
+    else:
+        fh = open(args.input, "rb")
+        source = read_stream(fh)
+        close = fh
+    engine = BatchExecutor(
+        args.partitioner,
+        block_size=args.block_size,
+        max_workers=args.workers,
+        in_flight=args.in_flight if args.in_flight != 0 else None,
+        kernel=args.kernel,
+        fuse_max_points=args.fuse_max_points if args.fuse_max_points > 0 else None,
+        fuse_max_spread=args.fuse_max_spread if args.fuse_max_spread > 0 else None,
+    )
+    pipeline = PipelineSpec(
+        sample_ratio=args.sample_ratio,
+        radius=args.radius,
+        group_size=args.group_size,
+    )
+    telemetry = ServeTelemetry(
+        window_capacity=args.window, every=args.stats_every
+    )
+    server = WindowedServer(
+        engine,
+        WindowConfig(max_clouds=args.window, max_wait=args.max_wait_ms / 1e3),
+        telemetry=telemetry,
+    )
+    print(
+        f"serve: window {args.window} clouds / {args.max_wait_ms:.0f} ms on "
+        f"{args.partitioner} ({engine.mode}, {engine.max_workers} workers, "
+        f"kernel={engine.kernel}, in-flight {engine.in_flight})"
+    )
+    start = time.perf_counter()
+    served = 0
+    points = 0
+    try:
+        for result in server.serve(source, pipeline, on_stats=print):
+            served += 1
+            points += result.num_points
+    finally:
+        if close is not None:
+            close.close()
+    wall = time.perf_counter() - start
+    report = telemetry.report(wall)
+    print(report.format())
+    print(f"  {points / wall / 1e3:.0f}K points/s")
     return 0
 
 
@@ -208,6 +309,69 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-batched-ops", action="store_true",
                    help="legacy alias for --kernel loop")
     p.set_defaults(func=_cmd_batch_run)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="emit a seeded serving-shaped cloud stream as .npy records",
+    )
+    p.add_argument("--clouds", type=int, default=64)
+    p.add_argument("--min-points", type=int, default=64)
+    p.add_argument("--max-points", type=int, default=256)
+    p.add_argument("--dup-rate", type=float, default=0.2,
+                   help="probability a frame exactly repeats a recent one")
+    p.add_argument("--dup-window", type=int, default=8,
+                   help="repeats are drawn from the last N distinct frames")
+    p.add_argument("--burst", type=int, default=1,
+                   help="frames per arrival burst")
+    p.add_argument("--interval", type=float, default=0.0,
+                   help="seconds between bursts (0 = firehose)")
+    p.add_argument("--dataset", choices=DATASET_NAMES, default="modelnet40")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default="-",
+                   help="output file ('-' = stdout, pipe into 'repro serve')")
+    p.set_defaults(func=_cmd_loadgen)
+
+    p = sub.add_parser(
+        "serve",
+        help="windowed micro-batching server over a cloud stream",
+    )
+    p.add_argument("--input",
+                   help="cloud stream to serve: a loadgen file or '-' for "
+                        "stdin; omit to generate built-in traffic from the "
+                        "loadgen options below")
+    p.add_argument("--window", type=int, default=16,
+                   help="micro-batch budget W: clouds per window")
+    p.add_argument("--max-wait-ms", type=float, default=50.0,
+                   help="window timeout T: max ms the first cloud of a "
+                        "window waits before execution starts")
+    p.add_argument("--in-flight", type=int, default=0,
+                   help="backpressure bound on pulled-but-unserved clouds "
+                        "(0 = engine default, 2 x workers)")
+    p.add_argument("--stats-every", type=int, default=10,
+                   help="print a telemetry line every N windows (0 = off)")
+    p.add_argument("--partitioner", choices=PARTITIONER_NAMES, default="fractal")
+    p.add_argument("--block-size", type=int, default=256)
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--kernel", choices=["auto", "loop", "stacked", "ragged"],
+                   default="auto")
+    p.add_argument("--fuse-max-points", type=int, default=262_144,
+                   help="fused-bucket point budget (0 = unbounded)")
+    p.add_argument("--fuse-max-spread", type=float, default=4.0,
+                   help="max size ratio inside one fused bucket "
+                        "(0 = unbounded)")
+    p.add_argument("--sample-ratio", type=float, default=0.25)
+    p.add_argument("--radius", type=float, default=0.2)
+    p.add_argument("--group-size", type=int, default=16)
+    p.add_argument("--clouds", type=int, default=64,
+                   help="built-in traffic: cloud count (no --input)")
+    p.add_argument("--min-points", type=int, default=64)
+    p.add_argument("--max-points", type=int, default=256)
+    p.add_argument("--dup-rate", type=float, default=0.2)
+    p.add_argument("--interval", type=float, default=0.0,
+                   help="built-in traffic: seconds between arrivals")
+    p.add_argument("--dataset", choices=DATASET_NAMES, default="modelnet40")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -1,7 +1,12 @@
 """Runtime: op-level IR, the workload compiler, and the batched
 multi-cloud execution engine."""
 
-from .cache import PartitionCache, clear_all_partition_caches, content_key
+from .cache import (
+    PartitionCache,
+    clear_all_partition_caches,
+    content_key,
+    result_key,
+)
 from .compiler import clear_caches, compile_program
 from .executor import (
     BatchExecutor,
@@ -26,4 +31,5 @@ __all__ = [
     "clear_caches",
     "compile_program",
     "content_key",
+    "result_key",
 ]

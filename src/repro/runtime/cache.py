@@ -24,7 +24,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.blocks import BlockStructure
     from ..core.ragged import RaggedBlocks
 
-__all__ = ["content_key", "PartitionCache", "clear_all_partition_caches"]
+__all__ = ["content_key", "result_key", "PartitionCache",
+           "clear_all_partition_caches"]
 
 #: Every live cache instance, so test harnesses can flush partition state
 #: globally (``repro.runtime.compiler.clear_caches``) without threading a
@@ -69,6 +70,21 @@ def content_key(coords: np.ndarray, *, dtype=np.float32) -> bytes:
     digest.update(str(coords.shape).encode())
     digest.update(coords.tobytes())
     return digest.digest()
+
+
+def result_key(coords: np.ndarray, features: np.ndarray | None) -> bytes:
+    """The request-deduplication identity of one cloud.
+
+    Exact float64 content of coords + features — replaying a *result*
+    for a merely float32-equal cloud would be wrong (the pipeline
+    computes in float64).  Every dedup surface (``stream()``,
+    ``run(fuse=True)``, the windowed server) must key through here so
+    their replay decisions can never diverge.
+    """
+    key = content_key(coords, dtype=np.float64)
+    if features is not None:
+        key += content_key(features, dtype=np.float64)
+    return key
 
 
 class PartitionCache:

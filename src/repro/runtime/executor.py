@@ -47,7 +47,9 @@ from ..core.ragged import (
 )
 from ..geometry import ops as exact_ops
 from ..partition.base import Partitioner, get_partitioner
-from .cache import PartitionCache, content_key
+from ..serve.planner import WindowPlan, plan_buckets
+from ..serve.telemetry import latency_percentiles
+from .cache import PartitionCache, result_key
 
 __all__ = [
     "PipelineSpec",
@@ -127,6 +129,11 @@ class ExecutorStats:
     cache_hits: int = 0
     cache_misses: int = 0
     reused: int = 0
+    #: Per-cloud processing-latency percentiles in seconds (replayed
+    #: duplicates count at ~0 — a served repeat really is that cheap).
+    latency_p50: float = 0.0
+    latency_p95: float = 0.0
+    latency_p99: float = 0.0
 
     @property
     def clouds_per_second(self) -> float:
@@ -141,6 +148,17 @@ class ExecutorStats:
         """Overlap achieved by the pool: per-cloud work time / wall time."""
         return self.busy_seconds / self.wall_seconds if self.wall_seconds > 0 else 0.0
 
+    def summary(self) -> str:
+        """One line with the numbers an operator looks at first."""
+        return (
+            f"throughput {self.clouds_per_second:.1f} clouds/s "
+            f"({self.points_per_second / 1e3:.0f}K points/s) | "
+            f"latency p50/p95/p99 {self.latency_p50 * 1e3:.2f}/"
+            f"{self.latency_p95 * 1e3:.2f}/{self.latency_p99 * 1e3:.2f} ms | "
+            f"cache {self.cache_hits}/{self.clouds} hits, "
+            f"{self.reused} reused | overlap {self.speedup_over_busy:.2f}x"
+        )
+
 
 @dataclass
 class BatchReport:
@@ -148,6 +166,10 @@ class BatchReport:
 
     results: list[CloudResult]
     stats: ExecutorStats
+
+    def summary(self) -> str:
+        """Delegates to :meth:`ExecutorStats.summary`."""
+        return self.stats.summary()
 
 
 def _as_cloud(item: object) -> tuple[np.ndarray, np.ndarray | None]:
@@ -227,6 +249,10 @@ class BatchExecutor:
             from a name.
         max_workers: worker count; ``1`` (or ``mode="serial"``) runs the
             serial fallback with no pool.  Defaults to ``min(4, cpus)``.
+        in_flight: backpressure bound — how many clouds :meth:`stream`
+            keeps in flight (and the serving layer's puller-queue
+            capacity) before the source is stalled.  Defaults to
+            ``2 × max_workers``.
         mode: ``"thread"`` (shared partition cache, numpy releases the
             GIL in the heavy kernels), ``"process"`` (independent caches,
             full parallelism; requires a partitioner *name*), or
@@ -268,6 +294,7 @@ class BatchExecutor:
         *,
         block_size: int = 256,
         max_workers: int | None = None,
+        in_flight: int | None = None,
         mode: str = "thread",
         kernel: str = "auto",
         fuse: bool = False,
@@ -298,6 +325,11 @@ class BatchExecutor:
         self.block_size = block_size
         self.max_workers = max_workers if max_workers else min(4, os.cpu_count() or 1)
         self.mode = "serial" if self.max_workers <= 1 else mode
+        if in_flight is not None and in_flight < 1:
+            raise ValueError(f"in_flight must be >= 1 or None, got {in_flight}")
+        self.in_flight = (
+            int(in_flight) if in_flight is not None else 2 * self.max_workers
+        )
         if not use_batched_ops and kernel == "auto":
             kernel = "loop"
         self.kernel = dispatch.validate_kernel(kernel)
@@ -413,9 +445,9 @@ class BatchExecutor:
         """Yield one :class:`CloudResult` per cloud, in submission order.
 
         ``clouds`` may be any iterable — including an unbounded generator:
-        at most ``2 × max_workers`` clouds are in flight at a time, so the
-        engine pulls from the source at the rate it can process (simple
-        backpressure for sensor streams).
+        at most ``in_flight`` clouds (default ``2 × max_workers``) are in
+        flight at a time, so the engine pulls from the source at the rate
+        it can process (simple backpressure for sensor streams).
 
         When ``reuse_results`` is on, a cloud whose (coords, features)
         content already appeared among the last ``reuse_window`` distinct
@@ -429,16 +461,7 @@ class BatchExecutor:
         def keyed():
             for i, c in enumerate(clouds):
                 coords, features = _as_cloud(c)
-                key = None
-                if self.reuse_results:
-                    # Exact float64 content: replaying a *result* for a
-                    # merely float32-equal cloud would be wrong (the
-                    # pipeline computes in float64).
-                    key = content_key(coords, dtype=np.float64) + (
-                        content_key(features, dtype=np.float64)
-                        if features is not None
-                        else b""
-                    )
+                key = result_key(coords, features) if self.reuse_results else None
                 yield i, coords, features, key
 
         def replay(result: CloudResult, index: int) -> CloudResult:
@@ -464,7 +487,7 @@ class BatchExecutor:
         with self._make_pool() as pool:
             pending: deque = deque()
             in_flight: OrderedDict = OrderedDict()
-            window = 2 * self.max_workers
+            window = self.in_flight
 
             def drain_one() -> CloudResult:
                 index, future, is_replay = pending.popleft()
@@ -515,6 +538,7 @@ class BatchExecutor:
         else:
             results = list(self.stream(clouds, pipeline))
         wall = time.perf_counter() - start
+        p50, p95, p99 = latency_percentiles([r.seconds for r in results])
         stats = ExecutorStats(
             clouds=len(results),
             points=sum(r.num_points for r in results),
@@ -523,6 +547,9 @@ class BatchExecutor:
             cache_hits=sum(1 for r in results if r.cache_hit and not r.reused),
             cache_misses=sum(1 for r in results if not r.cache_hit),
             reused=sum(1 for r in results if r.reused),
+            latency_p50=p50,
+            latency_p95=p95,
+            latency_p99=p99,
         )
         return BatchReport(results=results, stats=stats)
 
@@ -553,19 +580,40 @@ class BatchExecutor:
             count += 1
             coords, features = _as_cloud(cloud)
             if self.reuse_results:
-                key = content_key(coords, dtype=np.float64) + (
-                    content_key(features, dtype=np.float64)
-                    if features is not None
-                    else b""
-                )
+                key = result_key(coords, features)
                 if key in canonical:
                     dup_of[index] = canonical[key]
                     continue
                 canonical[key] = index
             uniques.append((index, coords, features))
 
+        results, _ = self.execute_window(uniques, pipeline)
+        for index, original in dup_of.items():
+            results[index] = dataclasses.replace(
+                results[original], index=index, cache_hit=True,
+                seconds=0.0, reused=True,
+            )
+        return [results[index] for index in range(count)]
+
+    def execute_window(
+        self,
+        items: list[tuple[int, np.ndarray, np.ndarray | None]],
+        pipeline: PipelineSpec,
+    ) -> tuple[dict[int, CloudResult], WindowPlan]:
+        """Fused execution of pre-normalised ``(index, coords, features)``
+        clouds: the shared engine entry point of :meth:`run` (``fuse=True``)
+        and the windowed serving layer (:class:`repro.serve.WindowedServer`).
+
+        Items split into fusion lanes, each lane's buckets come from the
+        bin-packing planner, multi-cloud buckets run through
+        :meth:`_execute_fused`, and singletons fall back to the per-cloud
+        path (across the worker pool when one is configured).  Callers own
+        deduplication; every item here is executed.  Returns results keyed
+        by item index plus the :class:`~repro.serve.planner.WindowPlan`
+        counters describing how the window was scheduled.
+        """
         lanes: dict[tuple, list] = {}
-        for item in uniques:
+        for item in items:
             _, coords, features = item
             width = 3 if features is None else features.shape[1]
             if pipeline.with_interpolation:
@@ -578,12 +626,14 @@ class BatchExecutor:
             lanes.setdefault(lane, []).append(item)
 
         results: dict[int, CloudResult] = {}
+        fused_buckets = 0
         singletons: list[tuple[int, np.ndarray, np.ndarray | None]] = []
         for members in lanes.values():
             for bucket in self._fuse_buckets(members):
                 if len(bucket) == 1:
                     singletons.append(bucket[0])
                 else:
+                    fused_buckets += 1
                     for result in self._execute_fused(bucket, pipeline):
                         results[result.index] = result
         if singletons:
@@ -598,49 +648,27 @@ class BatchExecutor:
                     for future in futures:
                         result = future.result()
                         results[result.index] = result
-        for index, original in dup_of.items():
-            results[index] = dataclasses.replace(
-                results[original], index=index, cache_hit=True,
-                seconds=0.0, reused=True,
-            )
-        return [results[index] for index in range(count)]
+        plan = WindowPlan(
+            buckets=fused_buckets,
+            fused_clouds=len(items) - len(singletons),
+            singleton_clouds=len(singletons),
+        )
+        return results, plan
 
     def _fuse_buckets(
         self, members: list[tuple[int, np.ndarray, np.ndarray | None]]
     ) -> list[list[tuple[int, np.ndarray, np.ndarray | None]]]:
-        """Greedy size-bucketing of one fuse lane.
+        """Bin-pack one fuse lane under the engine's fusion caps.
 
-        Members are packed in ascending cloud-size order (submission
-        index breaks ties, keeping the schedule deterministic); a bucket
-        closes when admitting the next cloud would push its total past
-        ``fuse_max_points`` or its largest/smallest size ratio past
-        ``fuse_max_spread``.  Bucket composition only affects speed:
-        every bucket is bit-identical to running its clouds alone.
+        Delegates to the best-fit-decreasing planner of
+        :mod:`repro.serve.planner`.  Bucket composition only affects
+        speed: every bucket is bit-identical to running its clouds alone.
         """
-        ordered = sorted(members, key=lambda item: (len(item[1]), item[0]))
-        buckets: list[list] = []
-        current: list = []
-        smallest = total = 0
-        for item in ordered:
-            n = len(item[1])
-            over_budget = (
-                self.fuse_max_points is not None
-                and total + n > self.fuse_max_points
-            )
-            over_spread = (
-                self.fuse_max_spread is not None
-                and n > smallest * self.fuse_max_spread
-            )
-            if current and (over_budget or over_spread):
-                buckets.append(current)
-                current, total = [], 0
-            if not current:
-                smallest = n
-            current.append(item)
-            total += n
-        if current:
-            buckets.append(current)
-        return buckets
+        return plan_buckets(
+            members,
+            max_points=self.fuse_max_points,
+            max_spread=self.fuse_max_spread,
+        )
 
     def _execute_fused(
         self,

@@ -1,0 +1,50 @@
+"""Serving layer: windowed micro-batching on top of the batch engine.
+
+- :mod:`repro.serve.window` — the :class:`WindowedServer` micro-batcher
+  (collect up to ``W`` clouds or ``T`` ms, fuse, emit in order);
+- :mod:`repro.serve.planner` — best-fit-decreasing bucket packing,
+  shared with ``BatchExecutor.run(fuse=True)``;
+- :mod:`repro.serve.telemetry` — rolling latency percentiles and window
+  health counters;
+- :mod:`repro.serve.loadgen` — seeded serving-shaped traffic plus the
+  ``.npy``-record wire format of ``repro loadgen | repro serve``.
+"""
+
+from .loadgen import LoadSpec, generate, read_stream, write_stream
+from .planner import (
+    WindowPlan,
+    first_fit_buckets,
+    plan_buckets,
+    singleton_count,
+)
+from .telemetry import ServeReport, ServeTelemetry, latency_percentiles
+
+__all__ = [
+    "LoadSpec",
+    "ServeReport",
+    "ServeTelemetry",
+    "WindowConfig",
+    "WindowPlan",
+    "WindowedServer",
+    "first_fit_buckets",
+    "generate",
+    "latency_percentiles",
+    "plan_buckets",
+    "read_stream",
+    "singleton_count",
+    "write_stream",
+]
+
+_WINDOW_EXPORTS = ("WindowedServer", "WindowConfig")
+
+
+def __getattr__(name: str):
+    # repro.runtime.executor imports repro.serve.planner at module load,
+    # which executes this package __init__; importing .window here
+    # eagerly would close the cycle (window needs the executor).  Loading
+    # it on first attribute access keeps both import orders working.
+    if name in _WINDOW_EXPORTS:
+        from . import window
+
+        return getattr(window, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,183 @@
+"""Seeded serving-shaped load generation + a streamable cloud wire format.
+
+Serving traffic is nothing like a tidy benchmark batch: cloud sizes are
+ragged, popular frames repeat exactly (stalled sensors, retried
+requests, hot assets), and arrivals come in bursts rather than a steady
+drip.  :func:`generate` produces exactly that shape from one seed, so
+every serve benchmark, test, and CI smoke run sees the same stream.
+
+The wire format is a plain concatenation of ``.npy`` records — one per
+cloud — so ``repro loadgen | repro serve`` works over a pipe with no
+framing protocol of its own: :func:`write_stream` emits records,
+:func:`read_stream` consumes them incrementally (bounded memory, works
+on non-seekable pipes) until EOF.
+"""
+
+from __future__ import annotations
+
+import ast
+import time
+from collections import deque
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datasets import load_cloud
+
+__all__ = ["LoadSpec", "generate", "read_stream", "write_stream"]
+
+_MAGIC = b"\x93NUMPY"
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """One seeded serving workload.
+
+    Attributes:
+        clouds: total frames to emit.
+        min_points / max_points: cloud sizes are uniform in this
+            (inclusive) range — the ragged-size dimension of the traffic.
+        dup_rate: probability a frame is an exact repeat of a recent
+            distinct frame (the dedup-able fraction of the stream).
+        dup_window: repeats are drawn from the last this-many distinct
+            frames (popularity is recency-biased in serving traffic).
+        burst: frames per arrival burst; with ``interval > 0`` the
+            generator sleeps between bursts to model paced sensors.
+        interval: seconds between bursts (``0`` = firehose, no sleeping —
+            what tests and CI use).
+        dataset: synthetic dataset shapes are drawn from
+            (:mod:`repro.datasets` names; ``lidar`` and ``s3dis`` require
+            ``min_points >= 64``).
+        seed: the one knob that fixes the whole stream.
+    """
+
+    clouds: int = 64
+    min_points: int = 64
+    max_points: int = 256
+    dup_rate: float = 0.2
+    dup_window: int = 8
+    burst: int = 1
+    interval: float = 0.0
+    dataset: str = "modelnet40"
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.clouds < 1:
+            raise ValueError(f"clouds must be >= 1, got {self.clouds}")
+        if not 1 <= self.min_points <= self.max_points:
+            raise ValueError(
+                f"need 1 <= min_points <= max_points, got "
+                f"{self.min_points}..{self.max_points}"
+            )
+        if not 0.0 <= self.dup_rate <= 1.0:
+            raise ValueError(f"dup_rate must be in [0, 1], got {self.dup_rate}")
+        if self.dup_window < 1:
+            raise ValueError(f"dup_window must be >= 1, got {self.dup_window}")
+        if self.burst < 1:
+            raise ValueError(f"burst must be >= 1, got {self.burst}")
+        if self.interval < 0:
+            raise ValueError(f"interval must be >= 0, got {self.interval}")
+
+
+def generate(spec: LoadSpec) -> Iterator[np.ndarray]:
+    """Yield ``spec.clouds`` float64 ``(n, 3)`` clouds, deterministically.
+
+    Duplicate frames are yielded as the *same array object* as their
+    original, so their content hashes — and therefore the engine's
+    dedup behaviour — match exactly.
+    """
+    rng = np.random.default_rng(spec.seed)
+    recent: deque[np.ndarray] = deque(maxlen=spec.dup_window)
+    emitted = 0
+    while emitted < spec.clouds:
+        if spec.interval > 0 and emitted:
+            time.sleep(spec.interval)
+        for _ in range(min(spec.burst, spec.clouds - emitted)):
+            if recent and rng.random() < spec.dup_rate:
+                cloud = recent[int(rng.integers(len(recent)))]
+            else:
+                n = int(rng.integers(spec.min_points, spec.max_points + 1))
+                cloud = load_cloud(
+                    spec.dataset, n, seed=spec.seed * 100_003 + emitted
+                ).coords.astype(np.float64)
+                recent.append(cloud)
+            yield cloud
+            emitted += 1
+
+
+# -- wire format -------------------------------------------------------------
+
+
+def write_stream(fh, clouds: Iterable[np.ndarray]) -> int:
+    """Write clouds to ``fh`` as concatenated ``.npy`` records; returns
+    the record count.  The inverse of :func:`read_stream`."""
+    count = 0
+    for cloud in clouds:
+        arr = np.ascontiguousarray(np.asarray(cloud, dtype=np.float64))
+        # Header and payload written by hand: numpy's write_array calls
+        # ndarray.tofile on real file objects, which needs a seekable
+        # stream and dies on the pipes this format exists for.
+        np.lib.format.write_array_header_1_0(
+            fh, np.lib.format.header_data_from_array_1_0(arr)
+        )
+        fh.write(arr.tobytes())
+        count += 1
+    fh.flush()
+    return count
+
+
+def _read_exact(fh, count: int) -> bytes:
+    """Read exactly ``count`` bytes (pipes may return short reads)."""
+    chunks = []
+    remaining = count
+    while remaining > 0:
+        chunk = fh.read(remaining)
+        if not chunk:
+            break
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_stream(fh) -> Iterator[np.ndarray]:
+    """Yield arrays from a concatenated ``.npy`` stream until EOF.
+
+    Parses record headers by hand instead of looping :func:`numpy.load`
+    so it works on non-seekable pipes (``repro loadgen | repro serve``)
+    and never buffers more than one record.  A stream that ends mid-
+    record raises ``ValueError`` — serving silently on truncated input
+    would hide producer crashes.
+    """
+    while True:
+        preamble = _read_exact(fh, len(_MAGIC) + 2)
+        if not preamble:
+            return
+        if len(preamble) < len(_MAGIC) + 2 or preamble[: len(_MAGIC)] != _MAGIC:
+            raise ValueError("input is not a concatenated .npy cloud stream")
+        major = preamble[len(_MAGIC)]
+        header_len_size = 2 if major == 1 else 4
+        header_len_bytes = _read_exact(fh, header_len_size)
+        if len(header_len_bytes) < header_len_size:
+            raise ValueError("truncated .npy record header length")
+        header_len = int.from_bytes(header_len_bytes, "little")
+        header_bytes = _read_exact(fh, header_len)
+        if len(header_bytes) < header_len:
+            raise ValueError("truncated .npy record header")
+        header = ast.literal_eval(header_bytes.decode("latin1"))
+        dtype = np.dtype(header["descr"])
+        if dtype.hasobject:
+            raise ValueError("object-dtype records are not allowed on the wire")
+        shape = tuple(header["shape"])
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        data = _read_exact(fh, count * dtype.itemsize)
+        if len(data) != count * dtype.itemsize:
+            raise ValueError("truncated .npy record payload")
+        arr = np.frombuffer(data, dtype=dtype)
+        if header.get("fortran_order"):
+            arr = arr.reshape(shape[::-1]).T
+        else:
+            arr = arr.reshape(shape)
+        # frombuffer views are read-only; downstream partitioners expect
+        # ordinary writable arrays.
+        yield arr.copy()

@@ -1,0 +1,211 @@
+"""Live serving telemetry: rolling latency percentiles and window health.
+
+The serving loop is judged on tail latency, not mean throughput, so the
+telemetry tracks the distribution: rolling p50/p95/p99 over the last
+``rolling`` served clouds (bounded memory on unbounded streams), plus the
+window-scheduler vitals — queue depth at window close, window occupancy
+(how full windows run against their ``W`` budget), and the fused-vs-
+singleton split (how much traffic the bucket planner actually fuses).
+
+Two consumption styles:
+
+- :meth:`ServeTelemetry.tick` returns a one-line stats summary every
+  ``every`` windows (the periodic log line of ``repro serve``);
+- :meth:`ServeTelemetry.report` folds everything into a final
+  :class:`ServeReport` once the stream ends.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "PERCENTILES",
+    "ServeReport",
+    "ServeTelemetry",
+    "latency_percentiles",
+]
+
+#: The latency percentiles every surface reports, in order.
+PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def latency_percentiles(values) -> tuple[float, float, float]:
+    """``(p50, p95, p99)`` of ``values`` (seconds), zeros when empty.
+
+    Linear interpolation between order statistics (numpy's default), the
+    convention latency dashboards expect.
+    """
+    values = np.asarray(list(values), dtype=np.float64)
+    if values.size == 0:
+        return (0.0, 0.0, 0.0)
+    p50, p95, p99 = np.percentile(values, PERCENTILES)
+    return (float(p50), float(p95), float(p99))
+
+
+@dataclass(frozen=True)
+class ServeReport:
+    """Final accounting of one serving session."""
+
+    clouds: int
+    windows: int
+    buckets: int
+    fused_clouds: int
+    singleton_clouds: int
+    reused_clouds: int
+    wall_seconds: float
+    latency_p50: float
+    latency_p95: float
+    latency_p99: float
+    mean_occupancy: float
+    max_queue_depth: int
+    timeout_windows: int
+
+    @property
+    def clouds_per_second(self) -> float:
+        return self.clouds / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def fused_ratio(self) -> float:
+        """Fraction of distinct (non-reused) clouds served from a fused
+        bucket rather than the per-cloud fallback."""
+        distinct = self.fused_clouds + self.singleton_clouds
+        return self.fused_clouds / distinct if distinct else 0.0
+
+    def format(self) -> str:
+        """Multi-line human report (``repro serve`` prints this)."""
+        lines = [
+            f"served {self.clouds} clouds in {self.windows} windows "
+            f"({self.wall_seconds * 1e3:.0f} ms, "
+            f"{self.clouds_per_second:.1f} clouds/s)",
+            f"  latency p50/p95/p99 {self.latency_p50 * 1e3:.2f}/"
+            f"{self.latency_p95 * 1e3:.2f}/{self.latency_p99 * 1e3:.2f} ms",
+            f"  fused {self.fused_clouds} clouds in {self.buckets} buckets "
+            f"({self.fused_ratio:.0%} of distinct traffic), "
+            f"{self.singleton_clouds} singletons, "
+            f"{self.reused_clouds} reused",
+            f"  windows {self.mean_occupancy:.0%} full on average, "
+            f"{self.timeout_windows} closed on timeout, "
+            f"max queue depth {self.max_queue_depth}",
+        ]
+        return "\n".join(lines)
+
+
+class ServeTelemetry:
+    """Rolling statistics collector for the windowed serving loop.
+
+    Args:
+        window_capacity: the scheduler's ``W`` (occupancy denominator).
+        rolling: how many recent per-cloud latencies the percentile
+            window retains — the memory bound on unbounded streams.
+        every: emit a :meth:`tick` line every that many windows
+            (``0`` disables periodic lines).
+    """
+
+    def __init__(
+        self,
+        *,
+        window_capacity: int = 16,
+        rolling: int = 1024,
+        every: int = 10,
+    ):
+        if window_capacity < 1:
+            raise ValueError(f"window_capacity must be >= 1, got {window_capacity}")
+        if rolling < 1:
+            raise ValueError(f"rolling must be >= 1, got {rolling}")
+        self.window_capacity = window_capacity
+        self.every = every
+        self.latencies: deque[float] = deque(maxlen=rolling)
+        self.clouds = 0
+        self.windows = 0
+        self.buckets = 0
+        self.fused_clouds = 0
+        self.singleton_clouds = 0
+        self.reused_clouds = 0
+        self.occupancy_sum = 0
+        self.max_queue_depth = 0
+        self.timeout_windows = 0
+        self.last_queue_depth = 0
+
+    # -- recording -----------------------------------------------------------
+
+    def record_latency(self, seconds: float) -> None:
+        """One cloud served; ``seconds`` is arrival-to-emit latency."""
+        self.latencies.append(float(seconds))
+        self.clouds += 1
+
+    def record_window(
+        self,
+        *,
+        size: int,
+        buckets: int,
+        fused: int,
+        singletons: int,
+        reused: int,
+        queue_depth: int,
+        timed_out: bool,
+    ) -> None:
+        """One window executed (counts, not timings — latency is per cloud)."""
+        self.windows += 1
+        self.buckets += buckets
+        self.fused_clouds += fused
+        self.singleton_clouds += singletons
+        self.reused_clouds += reused
+        self.occupancy_sum += size
+        self.last_queue_depth = queue_depth
+        self.max_queue_depth = max(self.max_queue_depth, queue_depth)
+        if timed_out:
+            self.timeout_windows += 1
+
+    # -- reading -------------------------------------------------------------
+
+    @property
+    def mean_occupancy(self) -> float:
+        if not self.windows:
+            return 0.0
+        return self.occupancy_sum / (self.windows * self.window_capacity)
+
+    def percentiles(self) -> tuple[float, float, float]:
+        """Rolling ``(p50, p95, p99)`` latency in seconds."""
+        return latency_percentiles(self.latencies)
+
+    def stats_line(self) -> str:
+        """One-line snapshot: the periodic log line of ``repro serve``."""
+        p50, p95, p99 = self.percentiles()
+        distinct = self.fused_clouds + self.singleton_clouds
+        fused_ratio = self.fused_clouds / distinct if distinct else 0.0
+        return (
+            f"[serve] {self.clouds} clouds / {self.windows} windows | "
+            f"p50/p95/p99 {p50 * 1e3:.2f}/{p95 * 1e3:.2f}/{p99 * 1e3:.2f} ms | "
+            f"queue {self.last_queue_depth} | "
+            f"occupancy {self.mean_occupancy:.0%} | "
+            f"fused {fused_ratio:.0%} | reused {self.reused_clouds}"
+        )
+
+    def tick(self) -> str | None:
+        """:meth:`stats_line` every ``every`` windows, else ``None``."""
+        if self.every and self.windows and self.windows % self.every == 0:
+            return self.stats_line()
+        return None
+
+    def report(self, wall_seconds: float) -> ServeReport:
+        """Freeze everything into the final :class:`ServeReport`."""
+        p50, p95, p99 = self.percentiles()
+        return ServeReport(
+            clouds=self.clouds,
+            windows=self.windows,
+            buckets=self.buckets,
+            fused_clouds=self.fused_clouds,
+            singleton_clouds=self.singleton_clouds,
+            reused_clouds=self.reused_clouds,
+            wall_seconds=wall_seconds,
+            latency_p50=p50,
+            latency_p95=p95,
+            latency_p99=p99,
+            mean_occupancy=self.mean_occupancy,
+            max_queue_depth=self.max_queue_depth,
+            timeout_windows=self.timeout_windows,
+        )

@@ -1,0 +1,264 @@
+"""Windowed micro-batching: whole-cloud fusion for unbounded streams.
+
+``BatchExecutor.run(fuse=True)`` needs the whole batch in hand before it
+can plan fused buckets, so the streaming path — the one that actually
+models sensor and serving traffic — never benefited from fusion.  The
+:class:`WindowedServer` closes that gap with the classic serving trade:
+hold each request for at most ``T`` milliseconds, batch whatever arrived
+(up to ``W`` clouds), and run the batch through the same bin-packing
+planner and fused kernels as the offline path.
+
+The loop:
+
+1. a puller thread drains the source iterator into a bounded queue
+   (capacity ``engine.in_flight``), so a slow consumer stalls the pull,
+   never memory; including the window being assembled, at most
+   ``in_flight + max_clouds`` clouds are ever held ahead of emission;
+2. the scheduler opens a window at the first arrival and closes it after
+   ``window.max_clouds`` clouds or ``window.max_wait`` seconds,
+   whichever comes first — occupancy rides the traffic rate;
+3. the window dedups exact repeats (against this window *and* the last
+   ``engine.reuse_window`` distinct clouds of the stream), plans fused
+   buckets for the rest, executes via the engine's fused machinery, and
+   emits :class:`~repro.runtime.executor.CloudResult`\\ s in submission
+   order.
+
+Results are bit-identical to ``run(fuse=True)`` over the same finite
+stream, and therefore to the serial per-cloud reference — window
+boundaries affect latency and throughput, never a single index or bit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import queue
+import threading
+import time
+from collections import OrderedDict
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..runtime.cache import result_key
+from ..runtime.executor import BatchExecutor, CloudResult, PipelineSpec, _as_cloud
+from .telemetry import ServeTelemetry
+
+__all__ = ["WindowConfig", "WindowedServer"]
+
+#: Queue markers from the puller thread: source exhausted / source raised.
+_DONE = object()
+
+
+@dataclass(frozen=True)
+class WindowConfig:
+    """Micro-batching window: close after ``max_clouds`` arrivals or
+    ``max_wait`` seconds past the first arrival, whichever comes first.
+
+    ``max_wait`` is the latency an idle-ish stream pays for batching;
+    ``max_clouds`` is the biggest fused plan a busy stream can build.
+    """
+
+    max_clouds: int = 16
+    max_wait: float = 0.05
+
+    def __post_init__(self):
+        if self.max_clouds < 1:
+            raise ValueError(f"max_clouds must be >= 1, got {self.max_clouds}")
+        if self.max_wait <= 0:
+            raise ValueError(f"max_wait must be > 0, got {self.max_wait}")
+
+
+@dataclass
+class _Arrival:
+    index: int
+    arrived: float
+    coords: np.ndarray
+    features: np.ndarray | None
+    key: bytes | None
+
+
+class WindowedServer:
+    """Serve an unbounded cloud stream through windowed fused execution.
+
+    Usage::
+
+        engine = BatchExecutor("fractal", block_size=128, fuse_max_spread=4.0)
+        server = WindowedServer(engine, WindowConfig(max_clouds=16,
+                                                     max_wait=0.02))
+        for result in server.serve(sensor_frames(), pipeline):
+            consume(result)                      # submission order
+        print(server.telemetry.report(wall).format())
+
+    Args:
+        engine: the :class:`BatchExecutor` that executes windows; its
+            fusion caps steer the bucket planner, ``in_flight`` bounds
+            the pull-ahead, and ``reuse_results`` / ``reuse_window``
+            drive cross-window dedup.
+        window: the :class:`WindowConfig` (default 16 clouds / 50 ms).
+        telemetry: a :class:`ServeTelemetry` to record into; one is
+            created (sized to the window) when omitted.
+    """
+
+    def __init__(
+        self,
+        engine: BatchExecutor,
+        window: WindowConfig | None = None,
+        *,
+        telemetry: ServeTelemetry | None = None,
+    ):
+        self.engine = engine
+        self.window = window or WindowConfig()
+        self.telemetry = telemetry or ServeTelemetry(
+            window_capacity=self.window.max_clouds
+        )
+
+    def serve(
+        self,
+        clouds: Iterable[object],
+        pipeline: PipelineSpec | None = None,
+        *,
+        on_stats=None,
+    ) -> Iterator[CloudResult]:
+        """Yield one :class:`CloudResult` per cloud, in submission order.
+
+        ``on_stats`` (e.g. ``print``) receives the periodic telemetry
+        line every ``telemetry.every`` windows.  The source may be
+        unbounded; closing the generator stops the puller thread.
+        """
+        pipeline = pipeline or PipelineSpec()
+        inbox: queue.Queue = queue.Queue(maxsize=max(1, self.engine.in_flight))
+        stop = threading.Event()
+
+        def put(item) -> None:
+            while not stop.is_set():
+                try:
+                    inbox.put(item, timeout=0.05)
+                    return
+                except queue.Full:
+                    continue
+
+        def pull() -> None:
+            try:
+                for cloud in clouds:
+                    put((cloud, time.perf_counter()))
+                    if stop.is_set():
+                        return
+            except BaseException as exc:  # re-raised on the consumer side
+                put((_DONE, exc))
+            else:
+                put((_DONE, None))
+
+        puller = threading.Thread(
+            target=pull, name="repro-serve-pull", daemon=True
+        )
+        puller.start()
+        # Cross-window dedup: content -> canonical CloudResult of the last
+        # `reuse_window` distinct clouds (same bound as stream()).
+        done: OrderedDict[bytes, CloudResult] = OrderedDict()
+        next_index = 0
+        source_error: BaseException | None = None
+        try:
+            exhausted = False
+            while not exhausted:
+                item = inbox.get()
+                if item[0] is _DONE:
+                    source_error = item[1]
+                    break
+                batch = [self._admit(item, next_index)]
+                next_index += 1
+                deadline = time.perf_counter() + self.window.max_wait
+                timed_out = False
+                while len(batch) < self.window.max_clouds:
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        timed_out = True
+                        break
+                    try:
+                        item = inbox.get(timeout=remaining)
+                    except queue.Empty:
+                        timed_out = True
+                        break
+                    if item[0] is _DONE:
+                        source_error = item[1]
+                        exhausted = True
+                        break
+                    batch.append(self._admit(item, next_index))
+                    next_index += 1
+                yield from self._run_window(
+                    batch, pipeline, done, inbox.qsize(), timed_out, on_stats
+                )
+            if source_error is not None:
+                raise source_error
+        finally:
+            stop.set()
+
+    # -- internals -----------------------------------------------------------
+
+    def _admit(self, item: tuple, index: int) -> _Arrival:
+        """Normalise one queued arrival and key it for dedup."""
+        cloud, arrived = item
+        coords, features = _as_cloud(cloud)
+        key = (
+            result_key(coords, features) if self.engine.reuse_results else None
+        )
+        return _Arrival(index, arrived, coords, features, key)
+
+    def _run_window(
+        self,
+        batch: list[_Arrival],
+        pipeline: PipelineSpec,
+        done: OrderedDict,
+        queue_depth: int,
+        timed_out: bool,
+        on_stats,
+    ) -> Iterator[CloudResult]:
+        """Dedup, plan, execute, and emit one closed window."""
+        uniques: list[tuple[int, np.ndarray, np.ndarray | None]] = []
+        canonical: dict[bytes, int] = {}
+        replays: list[tuple[int, bytes]] = []
+        dup_of: dict[int, int] = {}
+        for arrival in batch:
+            key = arrival.key
+            if key is not None and key in done:
+                replays.append((arrival.index, key))
+            elif key is not None and key in canonical:
+                dup_of[arrival.index] = canonical[key]
+            else:
+                if key is not None:
+                    canonical[key] = arrival.index
+                uniques.append((arrival.index, arrival.coords, arrival.features))
+
+        results, plan = self.engine.execute_window(uniques, pipeline)
+        for index, key in replays:
+            done.move_to_end(key)
+            results[index] = dataclasses.replace(
+                done[key], index=index, cache_hit=True, seconds=0.0, reused=True
+            )
+        for index, original in dup_of.items():
+            results[index] = dataclasses.replace(
+                results[original], index=index, cache_hit=True,
+                seconds=0.0, reused=True,
+            )
+        for key, index in canonical.items():
+            done[key] = results[index]
+            while len(done) > self.engine.reuse_window:
+                done.popitem(last=False)
+
+        self.telemetry.record_window(
+            size=len(batch),
+            buckets=plan.buckets,
+            fused=plan.fused_clouds,
+            singletons=plan.singleton_clouds,
+            reused=len(replays) + len(dup_of),
+            queue_depth=queue_depth,
+            timed_out=timed_out,
+        )
+        for arrival in batch:
+            self.telemetry.record_latency(
+                time.perf_counter() - arrival.arrived
+            )
+            yield results[arrival.index]
+        line = self.telemetry.tick()
+        if line is not None and on_stats is not None:
+            on_stats(line)

@@ -80,3 +80,53 @@ class TestCommands:
     def test_batch_run_rejects_unknown_partitioner(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["batch-run", "--partitioner", "exact"])
+
+    def test_batch_run_prints_latency_summary(self, capsys):
+        rc = main(["batch-run", "--dataset", "modelnet40", "--clouds", "3",
+                   "--points", "128", "--partitioner", "kdtree",
+                   "--block-size", "32", "--workers", "1"])
+        assert rc == 0
+        assert "p50/p95/p99" in capsys.readouterr().out
+
+    def test_loadgen_to_file_then_serve(self, capsys, tmp_path):
+        path = tmp_path / "traffic.npy"
+        rc = main(["loadgen", "--clouds", "10", "--min-points", "40",
+                   "--max-points", "120", "--dup-rate", "0.3", "--seed", "3",
+                   "--out", str(path)])
+        assert rc == 0
+        assert path.stat().st_size > 0
+        rc = main(["serve", "--input", str(path), "--window", "4",
+                   "--max-wait-ms", "40", "--workers", "2",
+                   "--partitioner", "kdtree", "--block-size", "32",
+                   "--stats-every", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "served 10 clouds" in out
+        assert "p50/p95/p99" in out
+        assert "[serve]" in out  # the periodic telemetry line
+
+    def test_serve_builtin_traffic(self, capsys):
+        rc = main(["serve", "--clouds", "6", "--min-points", "32",
+                   "--max-points", "64", "--window", "3", "--workers", "1",
+                   "--partitioner", "kdtree", "--block-size", "32"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "served 6 clouds" in out
+        assert "windows" in out and "points/s" in out
+
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.window == 16
+        assert args.max_wait_ms == 50.0
+        assert args.input is None
+
+    def test_loadgen_rejects_bad_spec(self):
+        with pytest.raises(ValueError, match="min_points"):
+            main(["loadgen", "--clouds", "2", "--min-points", "50",
+                  "--max-points", "20", "--out", "-"])
+
+    def test_serve_rejects_negative_in_flight(self):
+        # 0 means "engine default"; negatives must fail loudly, not
+        # silently fall back.
+        with pytest.raises(ValueError, match="in_flight"):
+            main(["serve", "--clouds", "2", "--in-flight", "-4"])

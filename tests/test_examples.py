@@ -18,6 +18,7 @@ FAST_EXAMPLES = [
     "lidar_pipeline.py",
     "accelerator_comparison.py",
     "streaming_lidar.py",
+    "serving_window.py",
 ]
 
 
