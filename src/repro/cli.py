@@ -11,10 +11,15 @@ Six subcommands cover the common workflows without writing any code:
   :class:`~repro.runtime.executor.BatchExecutor` engine and print
   per-cloud results plus aggregate throughput.
 - ``loadgen`` — emit a seeded serving-shaped cloud stream (ragged sizes,
-  duplicate frames, bursts) as concatenated ``.npy`` records.
+  duplicate frames, bursts; uniform / diurnal / adversarial profiles;
+  ``--tenants N`` for a tagged multi-tenant mix) as concatenated
+  ``.npy`` records.
 - ``serve`` — consume a cloud stream (``loadgen`` output, a file, or
   built-in traffic) through the windowed micro-batching server with
   live latency telemetry: ``repro loadgen | repro serve``.
+  ``--tenants N`` serves N sessions through one shared engine with
+  deficit-round-robin fairness and cross-tenant fusion; ``--adaptive``
+  resizes the window online from arrival rate + rolling p95.
 """
 
 from __future__ import annotations
@@ -32,13 +37,21 @@ from .networks import WORKLOADS, get_workload
 from .partition import PARTITIONER_NAMES, get_partitioner, summarize
 from .runtime import BatchExecutor, PipelineSpec
 from .serve import (
+    AdaptiveWindow,
+    ControllerConfig,
     LoadSpec,
+    MultiTenantServer,
     ServeTelemetry,
+    TenantSpec,
     WindowConfig,
     WindowedServer,
     generate,
+    generate_tenants,
     read_stream,
+    read_tenant_stream,
+    tenant_specs,
     write_stream,
+    write_tenant_stream,
 )
 
 __all__ = ["main"]
@@ -166,25 +179,44 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         interval=args.interval,
         dataset=args.dataset,
         seed=args.seed,
+        profile=args.profile,
+        drift_period=args.drift_period,
+        drift_amplitude=args.drift_amplitude,
     )
+    if args.tenants > 0:
+        specs = tenant_specs(args.tenants, spec)
+        pairs = generate_tenants(specs, pace=spec.interval > 0)
+
+        def write(fh):
+            return write_tenant_stream(fh, pairs)
+    else:
+        def write(fh):
+            return write_stream(fh, generate(spec))
+
     if args.out == "-":
-        count = write_stream(sys.stdout.buffer, generate(spec))
+        count = write(sys.stdout.buffer)
     else:
         with open(args.out, "wb") as fh:
-            count = write_stream(fh, generate(spec))
+            count = write(fh)
     # stdout may be the wire; human chatter goes to stderr.
+    tenants = f", {args.tenants} tenants" if args.tenants > 0 else ""
     print(
         f"loadgen: wrote {count} clouds "
         f"({spec.min_points}-{spec.max_points} points, "
-        f"dup rate {spec.dup_rate}, seed {spec.seed})",
+        f"{spec.profile} profile, dup rate {spec.dup_rate}, "
+        f"seed {spec.seed}{tenants})",
         file=sys.stderr,
     )
     return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    tenants = max(0, args.tenants)
+    close = None
     if args.input is None:
-        source = generate(LoadSpec(
+        # Built-in traffic only: the loadgen knobs are ignored (and not
+        # validated) when a stream is piped or read from a file.
+        load = LoadSpec(
             clouds=args.clouds,
             min_points=args.min_points,
             max_points=args.max_points,
@@ -192,15 +224,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             interval=args.interval,
             dataset=args.dataset,
             seed=args.seed,
-        ))
-        close = None
+        )
+        if tenants:
+            source = generate_tenants(
+                tenant_specs(tenants, load), pace=load.interval > 0
+            )
+        else:
+            source = generate(load)
     elif args.input == "-":
-        source = read_stream(sys.stdin.buffer)
-        close = None
+        source = (
+            read_tenant_stream(sys.stdin.buffer)
+            if tenants
+            else read_stream(sys.stdin.buffer)
+        )
     else:
-        fh = open(args.input, "rb")
-        source = read_stream(fh)
-        close = fh
+        close = open(args.input, "rb")
+        source = read_tenant_stream(close) if tenants else read_stream(close)
     engine = BatchExecutor(
         args.partitioner,
         block_size=args.block_size,
@@ -215,33 +254,69 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         radius=args.radius,
         group_size=args.group_size,
     )
-    telemetry = ServeTelemetry(
-        window_capacity=args.window, every=args.stats_every
+    window = WindowConfig(
+        max_clouds=args.window, max_wait=args.max_wait_ms / 1e3
     )
-    server = WindowedServer(
-        engine,
-        WindowConfig(max_clouds=args.window, max_wait=args.max_wait_ms / 1e3),
-        telemetry=telemetry,
+    # Adaptive-only knobs are validated only when --adaptive asks for
+    # them; a static serve must not trip over e.g. --min-wait-ms 0.
+    bounds = (
+        ControllerConfig(
+            max_clouds=args.window,
+            max_wait=args.max_wait_ms / 1e3,
+            min_wait=min(args.min_wait_ms / 1e3, args.max_wait_ms / 1e3),
+        )
+        if args.adaptive
+        else None
     )
+    mode = "adaptive" if args.adaptive else "static"
     print(
-        f"serve: window {args.window} clouds / {args.max_wait_ms:.0f} ms on "
-        f"{args.partitioner} ({engine.mode}, {engine.max_workers} workers, "
-        f"kernel={engine.kernel}, in-flight {engine.in_flight})"
+        f"serve: window {args.window} clouds / {args.max_wait_ms:.0f} ms "
+        f"({mode}) on {args.partitioner} ({engine.mode}, "
+        f"{engine.max_workers} workers, kernel={engine.kernel}, "
+        f"in-flight {engine.in_flight}"
+        + (f", {tenants} tenants" if tenants else "")
+        + ")"
     )
     start = time.perf_counter()
     served = 0
     points = 0
     try:
-        for result in server.serve(source, pipeline, on_stats=print):
-            served += 1
-            points += result.num_points
+        if tenants:
+            server = MultiTenantServer(
+                engine,
+                [TenantSpec(f"t{i}", pipeline) for i in range(tenants)],
+                window=window,
+                controller=bounds,
+                quantum_points=args.quantum_points,
+                telemetry_every=args.stats_every,
+            )
+            with server:
+                for served_result in server.serve(source, on_stats=print):
+                    served += 1
+                    points += served_result.result.num_points
+            wall = time.perf_counter() - start
+            for name, report in server.reports(wall).items():
+                print(report.format())
+        else:
+            telemetry = ServeTelemetry(
+                window_capacity=args.window, every=args.stats_every
+            )
+            server = WindowedServer(
+                engine,
+                window,
+                controller=AdaptiveWindow(bounds) if bounds else None,
+                telemetry=telemetry,
+            )
+            with server:
+                for result in server.serve(source, pipeline, on_stats=print):
+                    served += 1
+                    points += result.num_points
+            wall = time.perf_counter() - start
+            print(telemetry.report(wall).format())
     finally:
         if close is not None:
             close.close()
-    wall = time.perf_counter() - start
-    report = telemetry.report(wall)
-    print(report.format())
-    print(f"  {points / wall / 1e3:.0f}K points/s")
+    print(f"served {served} clouds total | {points / wall / 1e3:.0f}K points/s")
     return 0
 
 
@@ -327,6 +402,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="seconds between bursts (0 = firehose)")
     p.add_argument("--dataset", choices=DATASET_NAMES, default="modelnet40")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--profile", choices=["uniform", "diurnal", "adversarial"],
+                   default="uniform",
+                   help="traffic shape: 'diurnal' drifts sizes/pacing "
+                        "sinusoidally, 'adversarial' emits spread mixes "
+                        "that defeat best-fit-decreasing packing")
+    p.add_argument("--drift-period", type=int, default=64,
+                   help="diurnal cycle length in clouds")
+    p.add_argument("--drift-amplitude", type=float, default=0.5,
+                   help="diurnal swing fraction in [0, 1]")
+    p.add_argument("--tenants", type=int, default=0,
+                   help="emit a tagged multi-tenant stream: N per-tenant "
+                        "rate/size mixes derived from the options above, "
+                        "each tenant emitting --clouds clouds "
+                        "(pipe into 'repro serve --tenants N')")
     p.add_argument("--out", default="-",
                    help="output file ('-' = stdout, pipe into 'repro serve')")
     p.set_defaults(func=_cmd_loadgen)
@@ -340,10 +429,26 @@ def build_parser() -> argparse.ArgumentParser:
                         "stdin; omit to generate built-in traffic from the "
                         "loadgen options below")
     p.add_argument("--window", type=int, default=16,
-                   help="micro-batch budget W: clouds per window")
+                   help="micro-batch budget W: clouds per window (the "
+                        "upper bound under --adaptive)")
     p.add_argument("--max-wait-ms", type=float, default=50.0,
                    help="window timeout T: max ms the first cloud of a "
-                        "window waits before execution starts")
+                        "window waits before execution starts (the upper "
+                        "bound under --adaptive)")
+    p.add_argument("--adaptive", action="store_true",
+                   help="resize W/T online from arrival rate + rolling "
+                        "p95, within [1, --window] x [--min-wait-ms, "
+                        "--max-wait-ms]")
+    p.add_argument("--min-wait-ms", type=float, default=2.0,
+                   help="adaptive controller's lower bound on T")
+    p.add_argument("--tenants", type=int, default=0,
+                   help="serve N tenant sessions sharing this engine "
+                        "(deficit-round-robin fairness, cross-tenant "
+                        "fusion); reads the tagged wire format of "
+                        "'repro loadgen --tenants N'")
+    p.add_argument("--quantum-points", type=float, default=8192.0,
+                   help="multi-tenant DRR quantum: points of admission "
+                        "credit per tenant per round")
     p.add_argument("--in-flight", type=int, default=0,
                    help="backpressure bound on pulled-but-unserved clouds "
                         "(0 = engine default, 2 x workers)")

@@ -29,7 +29,9 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import threading
 import time
+import weakref
 from collections import OrderedDict, deque
 from collections.abc import Iterable, Iterator
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
@@ -204,6 +206,12 @@ def _as_cloud(item: object) -> tuple[np.ndarray, np.ndarray | None]:
 # parent's modules, so this is cheap) and reuses it for every task; the
 # parent only ships (index, coords, features, pipeline) per cloud.
 
+def _shutdown_pool(pool: Executor) -> None:
+    """GC finalizer for engines dropped without :meth:`BatchExecutor.
+    close` — non-blocking so collection never stalls on workers."""
+    pool.shutdown(wait=False)
+
+
 _PROCESS_ENGINE: "BatchExecutor | None" = None
 
 
@@ -241,6 +249,14 @@ class BatchExecutor:
 
         for result in engine.stream(sensor_frames()):   # generator in,
             consume(result)                             # results stream out
+        engine.close()   # joins the persistent worker pool (or use `with`)
+
+    The worker pool is **persistent**: created lazily on the first
+    parallel call, shared by every subsequent ``stream()`` /
+    ``execute_window()``, and joined by :meth:`close` (the engine also
+    works as a context manager).  Serving layers that close a window
+    every few milliseconds reuse one pool instead of churning one per
+    window.
 
     Args:
         partitioner: strategy name from :mod:`repro.partition` or a
@@ -349,6 +365,12 @@ class BatchExecutor:
         self.reuse_results = reuse_results
         self.reuse_window = reuse_window
         self.cache = PartitionCache(self.partitioner, maxsize=cache_size)
+        # Persistent worker pool: created lazily on first parallel use,
+        # reused by every stream()/execute_window() after that, joined by
+        # close().  The serving layer closes one window every few ms, so
+        # a throwaway pool per window was measurable churn.
+        self._pool: Executor | None = None
+        self._pool_lock = threading.Lock()
 
     # -- single-cloud pipeline ----------------------------------------------
 
@@ -484,31 +506,31 @@ class BatchExecutor:
                 yield result
             return
 
-        with self._make_pool() as pool:
-            pending: deque = deque()
-            in_flight: OrderedDict = OrderedDict()
-            window = self.in_flight
+        pool = self._ensure_pool()
+        pending: deque = deque()
+        in_flight: OrderedDict = OrderedDict()
+        window = self.in_flight
 
-            def drain_one() -> CloudResult:
-                index, future, is_replay = pending.popleft()
-                result = future.result()
-                return replay(result, index) if is_replay else result
+        def drain_one() -> CloudResult:
+            index, future, is_replay = pending.popleft()
+            result = future.result()
+            return replay(result, index) if is_replay else result
 
-            for index, coords, features, key in keyed():
-                if key is not None and key in in_flight:
-                    in_flight.move_to_end(key)
-                    pending.append((index, in_flight[key], True))
-                else:
-                    future = self._submit(pool, (index, coords, features), pipeline)
-                    if key is not None:
-                        in_flight[key] = future
-                        while len(in_flight) > self.reuse_window:
-                            in_flight.popitem(last=False)
-                    pending.append((index, future, False))
-                while len(pending) >= window:
-                    yield drain_one()
-            while pending:
+        for index, coords, features, key in keyed():
+            if key is not None and key in in_flight:
+                in_flight.move_to_end(key)
+                pending.append((index, in_flight[key], True))
+            else:
+                future = self._submit(pool, (index, coords, features), pipeline)
+                if key is not None:
+                    in_flight[key] = future
+                    while len(in_flight) > self.reuse_window:
+                        in_flight.popitem(last=False)
+                pending.append((index, future, False))
+            while len(pending) >= window:
                 yield drain_one()
+        while pending:
+            yield drain_one()
 
     def run(
         self,
@@ -641,17 +663,18 @@ class BatchExecutor:
                 for index, coords, features in singletons:
                     results[index] = self._execute(index, coords, features, pipeline)
             else:
-                with self._make_pool() as pool:
-                    futures = [
-                        self._submit(pool, item, pipeline) for item in singletons
-                    ]
-                    for future in futures:
-                        result = future.result()
-                        results[result.index] = result
+                pool = self._ensure_pool()
+                futures = [
+                    self._submit(pool, item, pipeline) for item in singletons
+                ]
+                for future in futures:
+                    result = future.result()
+                    results[result.index] = result
         plan = WindowPlan(
             buckets=fused_buckets,
             fused_clouds=len(items) - len(singletons),
             singleton_clouds=len(singletons),
+            singleton_indices=tuple(sorted(index for index, _, _ in singletons)),
         )
         return results, plan
 
@@ -824,6 +847,50 @@ class BatchExecutor:
         return trace
 
     # -- pool plumbing -------------------------------------------------------
+
+    @property
+    def pool(self) -> Executor | None:
+        """The persistent worker pool (``None`` until first parallel use,
+        and again after :meth:`close`)."""
+        return self._pool
+
+    def _ensure_pool(self) -> Executor:
+        """Return the persistent pool, creating it on first use.
+
+        The pool outlives individual streams and windows: the windowed
+        serving layer closes a window every few milliseconds and a fresh
+        pool per window (threads spawned, joined, discarded) was pure
+        overhead.  :meth:`close` joins it; a closed engine lazily builds
+        a fresh pool if it is used again.
+        """
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = self._make_pool()
+                # Engines dropped without close() (loops over configs,
+                # REPL use) must not accumulate idle workers: shut the
+                # pool down when the engine is collected.  close() first
+                # is fine — shutdown is idempotent.
+                weakref.finalize(self, _shutdown_pool, self._pool)
+            return self._pool
+
+    def close(self) -> None:
+        """Join and discard the persistent worker pool (idempotent).
+
+        Safe to call on an engine that never went parallel.  The engine
+        stays usable afterwards — the next parallel call builds a new
+        pool — but long-lived servers should call this exactly once, at
+        shutdown, so worker threads/processes do not linger.
+        """
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "BatchExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def _make_pool(self) -> Executor:
         if self.mode == "process":

@@ -2,15 +2,31 @@
 
 - :mod:`repro.serve.window` — the :class:`WindowedServer` micro-batcher
   (collect up to ``W`` clouds or ``T`` ms, fuse, emit in order);
+- :mod:`repro.serve.tenancy` — the :class:`MultiTenantServer`: N client
+  sessions (own pipeline, dedup window, telemetry) sharing one engine
+  under deficit-round-robin fairness, with cross-tenant fused windows;
+- :mod:`repro.serve.controller` — the :class:`AdaptiveWindow` policy
+  that resizes ``W``/``T`` online from arrival rate + rolling p95;
 - :mod:`repro.serve.planner` — best-fit-decreasing bucket packing,
   shared with ``BatchExecutor.run(fuse=True)``;
 - :mod:`repro.serve.telemetry` — rolling latency percentiles and window
-  health counters;
-- :mod:`repro.serve.loadgen` — seeded serving-shaped traffic plus the
+  health counters, per stream (= per tenant);
+- :mod:`repro.serve.loadgen` — seeded serving-shaped traffic (uniform /
+  diurnal / adversarial profiles, multi-tenant mixes) plus the
   ``.npy``-record wire format of ``repro loadgen | repro serve``.
 """
 
-from .loadgen import LoadSpec, generate, read_stream, write_stream
+from .controller import AdaptiveWindow, ControllerConfig
+from .loadgen import (
+    LoadSpec,
+    generate,
+    generate_tenants,
+    read_stream,
+    read_tenant_stream,
+    tenant_specs,
+    write_stream,
+    write_tenant_stream,
+)
 from .planner import (
     WindowPlan,
     first_fit_buckets,
@@ -20,31 +36,51 @@ from .planner import (
 from .telemetry import ServeReport, ServeTelemetry, latency_percentiles
 
 __all__ = [
+    "AdaptiveWindow",
+    "ControllerConfig",
+    "DeficitRoundRobin",
     "LoadSpec",
+    "MultiTenantServer",
     "ServeReport",
     "ServeTelemetry",
+    "TenantResult",
+    "TenantSpec",
     "WindowConfig",
     "WindowPlan",
     "WindowedServer",
     "first_fit_buckets",
     "generate",
+    "generate_tenants",
     "latency_percentiles",
     "plan_buckets",
     "read_stream",
+    "read_tenant_stream",
     "singleton_count",
+    "tenant_specs",
     "write_stream",
+    "write_tenant_stream",
 ]
 
-_WINDOW_EXPORTS = ("WindowedServer", "WindowConfig")
+#: Exports that live in modules importing repro.runtime.executor.
+_LAZY_EXPORTS = {
+    "WindowedServer": "window",
+    "WindowConfig": "window",
+    "MultiTenantServer": "tenancy",
+    "TenantSpec": "tenancy",
+    "TenantResult": "tenancy",
+    "DeficitRoundRobin": "tenancy",
+}
 
 
 def __getattr__(name: str):
     # repro.runtime.executor imports repro.serve.planner at module load,
-    # which executes this package __init__; importing .window here
-    # eagerly would close the cycle (window needs the executor).  Loading
-    # it on first attribute access keeps both import orders working.
-    if name in _WINDOW_EXPORTS:
-        from . import window
+    # which executes this package __init__; importing .window / .tenancy
+    # here eagerly would close the cycle (both need the executor).
+    # Loading them on first attribute access keeps both import orders
+    # working.
+    if name in _LAZY_EXPORTS:
+        import importlib
 
-        return getattr(window, name)
+        module = importlib.import_module(f".{_LAZY_EXPORTS[name]}", __name__)
+        return getattr(module, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,247 @@
+"""Adaptive window control: resize ``W``/``T`` online from traffic.
+
+The windowed micro-batcher has two knobs — close a window after ``W``
+clouds or ``T`` seconds — and PR 4 left them static, which bakes one
+traffic assumption into the server: a window sized for rush hour makes
+an idle stream pay the full ``T`` of batching latency for batches that
+never materialise, and a window sized for idle traffic starves the fused
+kernels at rush hour.  The :class:`AdaptiveWindow` controller replaces
+the static pair with an online policy driven by two live signals:
+
+- an EWMA **arrival rate** estimate (from inter-arrival gaps), which
+  says how many clouds a given wait can actually gather;
+- the **rolling p95** of served latencies, which says whether the
+  current policy is blowing the tail-latency budget.
+
+The control law, applied once per closed window:
+
+1. if even a maximum-length wait cannot gather ``gather_min`` clouds
+   (``rate × max_wait < gather_min - 1``), waiting buys nothing —
+   close windows immediately (``W = min_clouds``, ``T = min_wait``):
+   this is the idle-stream latency win;
+2. otherwise the candidate wait is the fusion sweet spot — the time the
+   current rate needs to deliver ``fuse_target`` clouds — scaled by
+   **utilization**: batching exists to raise capacity, so when the
+   observed per-cloud service time says the engine could serve this
+   rate many times over (``ρ = rate × service`` below ``util_low``),
+   waiting is pure latency loss and ``T`` collapses to the floor; as
+   ``ρ`` climbs toward ``util_high`` the full sweet-spot wait phases
+   in (linearly, so steady load converges instead of flapping).  ``W``
+   is what the chosen wait is expected to gather (plus headroom), so
+   busy windows keep closing on count, not on timeout;
+3. if a ``target_p95`` is configured and the rolling p95 overshoots it,
+   a multiplicative brake shrinks ``T`` (and releases slowly once the
+   tail recovers);
+4. everything is clamped into the configured bounds — ``W`` in
+   ``[min_clouds, max_clouds]``, ``T`` in ``[min_wait, max_wait]`` —
+   **unconditionally**, whatever the observations were.
+
+The controller is a pure consumer of timestamps handed to it
+(``observe_arrival(now)``), so tests drive it with a synthetic clock and
+the policy is deterministic for a given observation sequence.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+
+from .telemetry import latency_percentiles
+
+__all__ = ["ControllerConfig", "AdaptiveWindow"]
+
+#: Gaps below this are treated as simultaneous arrivals (rate cap).
+_MIN_GAP = 1e-6
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Bounds and gains of the adaptive window controller.
+
+    Attributes:
+        min_clouds / max_clouds: the range ``W`` may move in.  The static
+            scheduler's ``W`` is the natural ``max_clouds``.
+        min_wait / max_wait: the range ``T`` may move in (seconds).  The
+            static scheduler's ``T`` is the natural ``max_wait``.
+        alpha: EWMA weight of the newest inter-arrival sample (higher =
+            faster tracking, noisier estimate).
+        headroom: ``W`` overshoot factor over the expected arrivals of
+            one wait, so a window closes on count slightly *before* its
+            deadline under steady load.
+        fuse_target: the bucket size fusion is tuned for; ``T`` aims to
+            gather about this many clouds and no more (waiting past the
+            amortisation sweet spot only adds latency).
+        gather_min: the batch a maximum-length wait must plausibly reach
+            for waiting to be worth anything at all; below it the
+            controller closes windows immediately.
+        util_low / util_high: the utilisation band (``ρ = rate ×
+            per-cloud service time``) over which the sweet-spot wait
+            phases in — below ``util_low`` the engine has capacity to
+            burn and dispatches near-immediately; above ``util_high``
+            it batches at full strength.  Until the first service
+            observation arrives, ``ρ`` is assumed high (batch — the
+            safe default for throughput).
+        target_p95: optional tail-latency budget in seconds; overshoot
+            engages the multiplicative brake on ``T``.
+        rolling: how many recent latencies the p95 window retains.
+    """
+
+    min_clouds: int = 1
+    max_clouds: int = 64
+    min_wait: float = 0.002
+    max_wait: float = 0.100
+    alpha: float = 0.3
+    headroom: float = 1.25
+    fuse_target: int = 16
+    gather_min: float = 2.0
+    util_low: float = 0.5
+    util_high: float = 0.9
+    target_p95: float | None = None
+    rolling: int = 256
+
+    def __post_init__(self):
+        if not 1 <= self.min_clouds <= self.max_clouds:
+            raise ValueError(
+                f"need 1 <= min_clouds <= max_clouds, got "
+                f"{self.min_clouds}..{self.max_clouds}"
+            )
+        if not 0 < self.min_wait <= self.max_wait:
+            raise ValueError(
+                f"need 0 < min_wait <= max_wait, got "
+                f"{self.min_wait}..{self.max_wait}"
+            )
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {self.alpha}")
+        if self.headroom < 1.0:
+            raise ValueError(f"headroom must be >= 1.0, got {self.headroom}")
+        if self.fuse_target < 2:
+            raise ValueError(f"fuse_target must be >= 2, got {self.fuse_target}")
+        if self.gather_min < 1.0:
+            raise ValueError(f"gather_min must be >= 1.0, got {self.gather_min}")
+        if not 0.0 <= self.util_low < self.util_high:
+            raise ValueError(
+                f"need 0 <= util_low < util_high, got "
+                f"{self.util_low}..{self.util_high}"
+            )
+        if self.target_p95 is not None and self.target_p95 <= 0:
+            raise ValueError(f"target_p95 must be > 0, got {self.target_p95}")
+        if self.rolling < 1:
+            raise ValueError(f"rolling must be >= 1, got {self.rolling}")
+
+
+class AdaptiveWindow:
+    """Online ``(W, T)`` policy for one stream (one tenant, one session).
+
+    Usage (the serving loops do exactly this)::
+
+        controller = AdaptiveWindow(ControllerConfig(max_clouds=32))
+        W, T = controller.limits()          # schedule the next window
+        controller.observe_arrival(now)     # once per admitted cloud
+        controller.observe_latency(sec)     # once per emitted result
+        controller.observe_service(sec, n)  # once per executed window
+        controller.update()                 # once per closed window
+
+    Until the first inter-arrival gap is seen the controller behaves
+    exactly like the static scheduler at the upper bounds.
+    """
+
+    def __init__(self, config: ControllerConfig | None = None):
+        self.config = config or ControllerConfig()
+        self.rate: float | None = None  # EWMA arrival rate, clouds/s
+        self.service: float | None = None  # EWMA per-cloud service, s
+        self._last_arrival: float | None = None
+        self._latencies: deque[float] = deque(maxlen=self.config.rolling)
+        self._brake = 1.0
+        self.max_clouds = self.config.max_clouds
+        self.max_wait = self.config.max_wait
+        self.updates = 0
+
+    def limits(self) -> tuple[int, float]:
+        """The current window limits ``(W, T)``."""
+        return (self.max_clouds, self.max_wait)
+
+    # -- observations --------------------------------------------------------
+
+    def observe_arrival(self, now: float) -> None:
+        """Record one arrival timestamp (any monotonic clock)."""
+        if self._last_arrival is not None:
+            gap = max(float(now) - self._last_arrival, _MIN_GAP)
+            sample = 1.0 / gap
+            alpha = self.config.alpha
+            self.rate = (
+                sample
+                if self.rate is None
+                else alpha * sample + (1.0 - alpha) * self.rate
+            )
+        self._last_arrival = float(now)
+
+    def observe_latency(self, seconds: float) -> None:
+        """Record one served arrival→emission latency."""
+        self._latencies.append(float(seconds))
+
+    def observe_service(self, seconds: float, clouds: int = 1) -> None:
+        """Record one window execution: ``seconds`` spent computing
+        ``clouds`` distinct clouds (replays excluded).  Feeds the
+        utilisation estimate."""
+        if clouds < 1 or seconds < 0:
+            return
+        sample = float(seconds) / clouds
+        alpha = self.config.alpha
+        self.service = (
+            sample
+            if self.service is None
+            else alpha * sample + (1.0 - alpha) * self.service
+        )
+
+    def p95(self) -> float:
+        """Rolling p95 of the observed latencies (0.0 when none)."""
+        return latency_percentiles(self._latencies)[1]
+
+    # -- the control law -----------------------------------------------------
+
+    def update(self) -> tuple[int, float]:
+        """Re-plan ``(W, T)`` after a closed window; returns the new pair.
+
+        Never leaves the configured bounds, whatever was observed.
+        """
+        cfg = self.config
+        self.updates += 1
+        if self.rate is not None:
+            # Clouds a maximum-length wait would gather beyond the first.
+            reachable = self.rate * cfg.max_wait
+            if reachable < cfg.gather_min - 1.0:
+                # Too sparse to batch: stop paying latency for it.
+                clouds, wait = cfg.min_clouds, cfg.min_wait
+            else:
+                sweet = (cfg.fuse_target - 1) / self.rate
+                sweet = min(max(sweet, cfg.min_wait), cfg.max_wait)
+                if self.service is None:
+                    wait = sweet  # no capacity signal yet: batch
+                else:
+                    # Utilisation gates the wait: a server with capacity
+                    # to burn dispatches immediately, a loaded one needs
+                    # the batch.  Linear phase-in keeps steady load at a
+                    # fixed point instead of flapping across a cliff.
+                    rho = self.rate * self.service
+                    fraction = (rho - cfg.util_low) / (
+                        cfg.util_high - cfg.util_low
+                    )
+                    fraction = min(max(fraction, 0.0), 1.0)
+                    wait = cfg.min_wait + fraction * (sweet - cfg.min_wait)
+                clouds = math.ceil((1.0 + self.rate * wait) * cfg.headroom)
+            if cfg.target_p95 is not None:
+                p95 = self.p95()
+                if p95 > cfg.target_p95:
+                    # Braking below the min_wait/max_wait ratio is dead
+                    # travel (the clamp already holds there) and would
+                    # only slow the release once the tail recovers.
+                    self._brake = max(
+                        self._brake * 0.5, cfg.min_wait / cfg.max_wait
+                    )
+                elif p95 < 0.8 * cfg.target_p95:
+                    self._brake = min(self._brake * 1.25, 1.0)
+                wait *= self._brake
+            self.max_clouds = min(max(clouds, cfg.min_clouds), cfg.max_clouds)
+            self.max_wait = min(max(wait, cfg.min_wait), cfg.max_wait)
+        return self.limits()

@@ -58,12 +58,27 @@ class WindowPlan:
 
     ``fused_clouds`` ran inside a multi-cloud fused bucket;
     ``singleton_clouds`` fell back to the per-cloud path; ``buckets``
-    counts the multi-cloud fused invocations.
+    counts the multi-cloud fused invocations.  ``singleton_indices``
+    names the fallback clouds by their window item index so multi-tenant
+    telemetry can attribute the split per tenant.
     """
 
     buckets: int = 0
     fused_clouds: int = 0
     singleton_clouds: int = 0
+    singleton_indices: tuple[int, ...] = ()
+
+    def __add__(self, other: "WindowPlan") -> "WindowPlan":
+        """Aggregate the plans of one window's execution groups (a
+        multi-tenant window runs one fused execution per pipeline)."""
+        if not isinstance(other, WindowPlan):
+            return NotImplemented
+        return WindowPlan(
+            buckets=self.buckets + other.buckets,
+            fused_clouds=self.fused_clouds + other.fused_clouds,
+            singleton_clouds=self.singleton_clouds + other.singleton_clouds,
+            singleton_indices=self.singleton_indices + other.singleton_indices,
+        )
 
 
 def _order_plan(buckets: list[list[tuple[int, object]]]) -> list[list]:

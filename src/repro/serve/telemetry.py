@@ -48,7 +48,11 @@ def latency_percentiles(values) -> tuple[float, float, float]:
 
 @dataclass(frozen=True)
 class ServeReport:
-    """Final accounting of one serving session."""
+    """Final accounting of one serving session.
+
+    ``label`` names the stream the numbers belong to (the tenant, in
+    multi-tenant serving; empty for a single-stream server).
+    """
 
     clouds: int
     windows: int
@@ -63,6 +67,7 @@ class ServeReport:
     mean_occupancy: float
     max_queue_depth: int
     timeout_windows: int
+    label: str = ""
 
     @property
     def clouds_per_second(self) -> float:
@@ -77,8 +82,9 @@ class ServeReport:
 
     def format(self) -> str:
         """Multi-line human report (``repro serve`` prints this)."""
+        who = f"[{self.label}] " if self.label else ""
         lines = [
-            f"served {self.clouds} clouds in {self.windows} windows "
+            f"{who}served {self.clouds} clouds in {self.windows} windows "
             f"({self.wall_seconds * 1e3:.0f} ms, "
             f"{self.clouds_per_second:.1f} clouds/s)",
             f"  latency p50/p95/p99 {self.latency_p50 * 1e3:.2f}/"
@@ -103,6 +109,8 @@ class ServeTelemetry:
             window retains — the memory bound on unbounded streams.
         every: emit a :meth:`tick` line every that many windows
             (``0`` disables periodic lines).
+        label: stream name stamped on stats lines and the final report
+            (the tenant name in multi-tenant serving).
     """
 
     def __init__(
@@ -111,6 +119,7 @@ class ServeTelemetry:
         window_capacity: int = 16,
         rolling: int = 1024,
         every: int = 10,
+        label: str = "",
     ):
         if window_capacity < 1:
             raise ValueError(f"window_capacity must be >= 1, got {window_capacity}")
@@ -118,6 +127,7 @@ class ServeTelemetry:
             raise ValueError(f"rolling must be >= 1, got {rolling}")
         self.window_capacity = window_capacity
         self.every = every
+        self.label = label
         self.latencies: deque[float] = deque(maxlen=rolling)
         self.clouds = 0
         self.windows = 0
@@ -177,8 +187,9 @@ class ServeTelemetry:
         p50, p95, p99 = self.percentiles()
         distinct = self.fused_clouds + self.singleton_clouds
         fused_ratio = self.fused_clouds / distinct if distinct else 0.0
+        tag = f"serve:{self.label}" if self.label else "serve"
         return (
-            f"[serve] {self.clouds} clouds / {self.windows} windows | "
+            f"[{tag}] {self.clouds} clouds / {self.windows} windows | "
             f"p50/p95/p99 {p50 * 1e3:.2f}/{p95 * 1e3:.2f}/{p99 * 1e3:.2f} ms | "
             f"queue {self.last_queue_depth} | "
             f"occupancy {self.mean_occupancy:.0%} | "
@@ -208,4 +219,5 @@ class ServeTelemetry:
             mean_occupancy=self.mean_occupancy,
             max_queue_depth=self.max_queue_depth,
             timeout_windows=self.timeout_windows,
+            label=self.label,
         )

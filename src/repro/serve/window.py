@@ -26,6 +26,11 @@ The loop:
 Results are bit-identical to ``run(fuse=True)`` over the same finite
 stream, and therefore to the serial per-cloud reference — window
 boundaries affect latency and throughput, never a single index or bit.
+
+``W`` and ``T`` may be static (:class:`WindowConfig`) or controlled
+online by an :class:`~repro.serve.controller.AdaptiveWindow` (pass
+``controller=``); multi-stream serving with fairness across clients
+lives one layer up in :mod:`repro.serve.tenancy`.
 """
 
 from __future__ import annotations
@@ -42,6 +47,7 @@ import numpy as np
 
 from ..runtime.cache import result_key
 from ..runtime.executor import BatchExecutor, CloudResult, PipelineSpec, _as_cloud
+from .controller import AdaptiveWindow
 from .telemetry import ServeTelemetry
 
 __all__ = ["WindowConfig", "WindowedServer"]
@@ -96,8 +102,16 @@ class WindowedServer:
             the pull-ahead, and ``reuse_results`` / ``reuse_window``
             drive cross-window dedup.
         window: the :class:`WindowConfig` (default 16 clouds / 50 ms).
+        controller: an :class:`~repro.serve.controller.AdaptiveWindow`
+            that resizes ``W``/``T`` online within its configured bounds
+            (arrival rate + rolling p95); when given it replaces the
+            static ``window`` limits (which then only size telemetry).
         telemetry: a :class:`ServeTelemetry` to record into; one is
             created (sized to the window) when omitted.
+
+    The server closes like the engine it wraps: :meth:`close` joins the
+    engine's persistent worker pool (also available as a context
+    manager).
     """
 
     def __init__(
@@ -105,13 +119,33 @@ class WindowedServer:
         engine: BatchExecutor,
         window: WindowConfig | None = None,
         *,
+        controller: AdaptiveWindow | None = None,
         telemetry: ServeTelemetry | None = None,
     ):
         self.engine = engine
         self.window = window or WindowConfig()
-        self.telemetry = telemetry or ServeTelemetry(
-            window_capacity=self.window.max_clouds
+        self.controller = controller
+        capacity = (
+            controller.config.max_clouds if controller else self.window.max_clouds
         )
+        self.telemetry = telemetry or ServeTelemetry(window_capacity=capacity)
+
+    def close(self) -> None:
+        """Join the engine's persistent worker pool."""
+        self.engine.close()
+
+    def __enter__(self) -> "WindowedServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _limits(self) -> tuple[int, float]:
+        """The next window's ``(W, T)`` — adaptive when a controller is
+        attached, the static config otherwise."""
+        if self.controller is not None:
+            return self.controller.limits()
+        return (self.window.max_clouds, self.window.max_wait)
 
     def serve(
         self,
@@ -167,9 +201,10 @@ class WindowedServer:
                     break
                 batch = [self._admit(item, next_index)]
                 next_index += 1
-                deadline = time.perf_counter() + self.window.max_wait
+                max_clouds, max_wait = self._limits()
+                deadline = time.perf_counter() + max_wait
                 timed_out = False
-                while len(batch) < self.window.max_clouds:
+                while len(batch) < max_clouds:
                     remaining = deadline - time.perf_counter()
                     if remaining <= 0:
                         timed_out = True
@@ -202,6 +237,8 @@ class WindowedServer:
         key = (
             result_key(coords, features) if self.engine.reuse_results else None
         )
+        if self.controller is not None:
+            self.controller.observe_arrival(arrived)
         return _Arrival(index, arrived, coords, features, key)
 
     def _run_window(
@@ -229,7 +266,12 @@ class WindowedServer:
                     canonical[key] = arrival.index
                 uniques.append((arrival.index, arrival.coords, arrival.features))
 
+        exec_start = time.perf_counter()
         results, plan = self.engine.execute_window(uniques, pipeline)
+        if self.controller is not None and uniques:
+            self.controller.observe_service(
+                time.perf_counter() - exec_start, len(uniques)
+            )
         for index, key in replays:
             done.move_to_end(key)
             results[index] = dataclasses.replace(
@@ -255,10 +297,13 @@ class WindowedServer:
             timed_out=timed_out,
         )
         for arrival in batch:
-            self.telemetry.record_latency(
-                time.perf_counter() - arrival.arrived
-            )
+            latency = time.perf_counter() - arrival.arrived
+            self.telemetry.record_latency(latency)
+            if self.controller is not None:
+                self.controller.observe_latency(latency)
             yield results[arrival.index]
+        if self.controller is not None:
+            self.controller.update()
         line = self.telemetry.tick()
         if line is not None and on_stats is not None:
             on_stats(line)

@@ -19,6 +19,7 @@ FAST_EXAMPLES = [
     "accelerator_comparison.py",
     "streaming_lidar.py",
     "serving_window.py",
+    "multi_tenant_serving.py",
 ]
 
 

@@ -29,11 +29,15 @@ from repro.serve import (
     WindowedServer,
     first_fit_buckets,
     generate,
+    generate_tenants,
     latency_percentiles,
     plan_buckets,
     read_stream,
+    read_tenant_stream,
     singleton_count,
+    tenant_specs,
     write_stream,
+    write_tenant_stream,
 )
 
 
@@ -482,6 +486,210 @@ class TestLoadgen:
         truncated = io.BytesIO(buf.getvalue()[:-8])
         with pytest.raises(ValueError, match="truncated"):
             list(read_stream(truncated))
+
+
+class TestPersistentPool:
+    """The ROADMAP churn fix: one pool per engine, not one per window.
+
+    The singleton fallback of every window and every ``stream()`` call
+    must reuse the same server-owned pool; ``close()`` joins it.
+    """
+
+    def unfusable(self, count, seed):
+        # Pairwise spread > 1.01 so nothing fuses and every window takes
+        # the singleton fallback (the old per-window-pool path).
+        return [make_cloud(30 * (i + 1), seed=seed + i) for i in range(count)]
+
+    def test_pool_identity_across_windows(self):
+        engine = BatchExecutor(
+            "kdtree", block_size=16, max_workers=2, reuse_results=False,
+            fuse_max_spread=1.01,
+        )
+        assert engine.pool is None  # lazy: nothing parallel ran yet
+        server = WindowedServer(engine, WindowConfig(max_clouds=2))
+        pools = []
+        for start in (0, 2, 4):
+            clouds = self.unfusable(2, seed=5000 + start)
+            list(server.serve(iter(clouds), TestWindowedServeParity.PIPELINE))
+            pools.append(engine.pool)
+        assert pools[0] is not None
+        assert pools[1] is pools[0] and pools[2] is pools[0]
+
+    def test_stream_and_windows_share_one_pool(self):
+        engine = BatchExecutor(
+            "kdtree", block_size=16, max_workers=2, reuse_results=False,
+            fuse_max_spread=1.01,
+        )
+        list(engine.stream(self.unfusable(3, seed=5100)))
+        streamed_pool = engine.pool
+        engine.execute_window(
+            [(i, np.asarray(c, dtype=np.float64), None)
+             for i, c in enumerate(self.unfusable(2, seed=5200))],
+            PipelineSpec(),
+        )
+        assert streamed_pool is not None
+        assert engine.pool is streamed_pool
+
+    def test_close_joins_and_allows_reuse(self):
+        engine = BatchExecutor(
+            "kdtree", block_size=16, max_workers=2, reuse_results=False
+        )
+        results = list(engine.stream(self.unfusable(2, seed=5300)))
+        assert len(results) == 2
+        engine.close()
+        assert engine.pool is None
+        engine.close()  # idempotent
+        # a closed engine lazily rebuilds on next use
+        results = list(engine.stream(self.unfusable(2, seed=5400)))
+        assert len(results) == 2
+        assert engine.pool is not None
+        engine.close()
+
+    def test_context_manager(self):
+        with BatchExecutor(
+            "kdtree", block_size=16, max_workers=2, reuse_results=False
+        ) as engine:
+            list(engine.stream(self.unfusable(2, seed=5500)))
+            assert engine.pool is not None
+        assert engine.pool is None
+
+    def test_serial_engine_never_builds_a_pool(self):
+        engine = BatchExecutor("kdtree", block_size=16, max_workers=1)
+        list(engine.stream(self.unfusable(2, seed=5600)))
+        assert engine.pool is None
+        engine.close()  # no-op, no error
+
+    def test_server_close_delegates_to_engine(self):
+        engine = BatchExecutor(
+            "kdtree", block_size=16, max_workers=2, reuse_results=False,
+            fuse_max_spread=1.01,
+        )
+        with WindowedServer(engine, WindowConfig(max_clouds=2)) as server:
+            clouds = self.unfusable(2, seed=5700)
+            list(server.serve(iter(clouds), TestWindowedServeParity.PIPELINE))
+            assert engine.pool is not None
+        assert engine.pool is None
+
+
+class TestLoadgenProfiles:
+    def test_profile_validation(self):
+        with pytest.raises(ValueError, match="profile"):
+            LoadSpec(profile="weekly")
+        with pytest.raises(ValueError, match="drift_period"):
+            LoadSpec(profile="diurnal", drift_period=1)
+        with pytest.raises(ValueError, match="drift_amplitude"):
+            LoadSpec(profile="diurnal", drift_amplitude=1.5)
+        with pytest.raises(ValueError, match="adversary_spread"):
+            LoadSpec(profile="adversarial", adversary_spread=1.0)
+        with pytest.raises(ValueError, match="adversary_points"):
+            LoadSpec(profile="adversarial", adversary_points=1)
+
+    def test_diurnal_deterministic_and_bounded(self):
+        spec = LoadSpec(clouds=64, min_points=40, max_points=200,
+                        dup_rate=0.0, profile="diurnal", drift_period=16,
+                        drift_amplitude=0.8, seed=21)
+        first = [len(c) for c in generate(spec)]
+        second = [len(c) for c in generate(spec)]
+        assert first == second
+        assert all(40 <= n <= 200 for n in first)
+        # The band actually moves: early-cycle highs vs mid-cycle lows.
+        crest = [n for i, n in enumerate(first) if i % 16 in (3, 4, 5)]
+        trough = [n for i, n in enumerate(first) if i % 16 in (11, 12, 13)]
+        assert np.mean(crest) > np.mean(trough) + 40
+
+    def test_adversarial_defeats_packing(self):
+        """The adversarial mix strands (nearly) everything as singleton
+        fallbacks where the uniform mix fuses most of the window — the
+        planner stress source the ROADMAP asked for."""
+        cap = 512
+        adversarial = LoadSpec(
+            clouds=24, min_points=32, max_points=cap, dup_rate=0.0,
+            profile="adversarial", adversary_points=cap, seed=8,
+        )
+        uniform = LoadSpec(clouds=24, min_points=200, max_points=260,
+                           dup_rate=0.0, seed=8)
+
+        def singletons(spec):
+            members = [
+                (i, c, None) for i, c in enumerate(generate(spec))
+            ]
+            buckets = plan_buckets(members, max_points=cap, max_spread=4.0)
+            return singleton_count(buckets)
+
+        assert singletons(adversarial) >= 16
+        assert singletons(uniform) <= 2
+
+    def test_adversarial_sizes_deterministic(self):
+        spec = LoadSpec(clouds=20, min_points=32, max_points=512,
+                        profile="adversarial", seed=3)
+        assert [len(c) for c in generate(spec)] == \
+            [len(c) for c in generate(spec)]
+
+
+class TestMultiTenantLoadgen:
+    def test_tenant_specs_deterministic_mix(self):
+        base = LoadSpec(clouds=10, min_points=40, max_points=100, seed=5)
+        specs = tenant_specs(3, base)
+        assert list(specs) == ["t0", "t1", "t2"]
+        again = tenant_specs(3, base)
+        assert specs == again
+        # rate/size actually differ across the mix
+        assert len({s.seed for s in specs.values()}) == 3
+        assert len({(s.min_points, s.max_points) for s in specs.values()}) == 3
+        assert len({s.burst for s in specs.values()}) == 3
+        with pytest.raises(ValueError, match="count"):
+            tenant_specs(0)
+
+    def test_generate_tenants_merges_deterministically(self):
+        specs = tenant_specs(
+            3, LoadSpec(clouds=6, min_points=20, max_points=40, seed=9)
+        )
+        first = list(generate_tenants(specs))
+        second = list(generate_tenants(specs))
+        assert [t for t, _ in first] == [t for t, _ in second]
+        assert all(np.array_equal(a, b)
+                   for (_, a), (_, b) in zip(first, second))
+        counts = {name: 0 for name in specs}
+        for name, _ in first:
+            counts[name] += 1
+        assert counts == {"t0": 6, "t1": 6, "t2": 6}
+        with pytest.raises(ValueError, match="at least one"):
+            list(generate_tenants({}))
+
+    def test_tagged_wire_roundtrip(self):
+        specs = tenant_specs(
+            2, LoadSpec(clouds=4, min_points=10, max_points=30, seed=6)
+        )
+        pairs = list(generate_tenants(specs))
+        buf = io.BytesIO()
+        assert write_tenant_stream(buf, pairs) == 8
+        buf.seek(0)
+        back = list(read_tenant_stream(buf))
+        assert [t for t, _ in back] == [t for t, _ in pairs]
+        for (_, a), (_, b) in zip(pairs, back):
+            assert np.array_equal(a, b) and b.dtype == np.float64
+            assert b.flags.writeable
+
+    def test_untagged_stream_defaults_to_t0(self):
+        clouds = list(generate(LoadSpec(clouds=3, min_points=10,
+                                        max_points=20, seed=7)))
+        buf = io.BytesIO()
+        write_stream(buf, clouds)
+        buf.seek(0)
+        back = list(read_tenant_stream(buf))
+        assert [t for t, _ in back] == ["t0", "t0", "t0"]
+
+    def test_dangling_tag_rejected(self):
+        buf = io.BytesIO()
+        write_tenant_stream(buf, [("a", np.zeros((4, 3)))])
+        # append a tag with no cloud after it
+        np.lib.format.write_array_header_1_0(
+            buf, np.lib.format.header_data_from_array_1_0(np.array("b"))
+        )
+        buf.write(np.array("b").tobytes())
+        buf.seek(0)
+        with pytest.raises(ValueError, match="tag"):
+            list(read_tenant_stream(buf))
 
 
 class TestResultKey:
