@@ -31,6 +31,7 @@ import time
 import numpy as np
 
 from .analysis import format_table
+from .core.delta import PatchPolicy
 from .datasets import DATASET_NAMES, load_cloud, scale_points
 from .hw import AcceleratorSim, GPUModel, SOTA_CONFIGS
 from .networks import WORKLOADS, get_workload
@@ -182,6 +183,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         profile=args.profile,
         drift_period=args.drift_period,
         drift_amplitude=args.drift_amplitude,
+        frame_motion=args.frame_motion,
+        frame_churn=args.frame_churn,
     )
     if args.tenants > 0:
         specs = tenant_specs(args.tenants, spec)
@@ -248,6 +251,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         kernel=args.kernel,
         fuse_max_points=args.fuse_max_points if args.fuse_max_points > 0 else None,
         fuse_max_spread=args.fuse_max_spread if args.fuse_max_spread > 0 else None,
+        delta=args.delta,
+        delta_policy=(
+            PatchPolicy(motion_threshold=args.motion_threshold)
+            if args.delta
+            else None
+        ),
+        build_kernel=args.build,
     )
     pipeline = PipelineSpec(
         sample_ratio=args.sample_ratio,
@@ -274,6 +284,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"({mode}) on {args.partitioner} ({engine.mode}, "
         f"{engine.max_workers} workers, kernel={engine.kernel}, "
         f"in-flight {engine.in_flight}"
+        + (", delta" if args.delta else "")
         + (f", {tenants} tenants" if tenants else "")
         + ")"
     )
@@ -402,15 +413,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="seconds between bursts (0 = firehose)")
     p.add_argument("--dataset", choices=DATASET_NAMES, default="modelnet40")
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--profile", choices=["uniform", "diurnal", "adversarial"],
+    p.add_argument("--profile",
+                   choices=["uniform", "diurnal", "adversarial", "frames"],
                    default="uniform",
                    help="traffic shape: 'diurnal' drifts sizes/pacing "
                         "sinusoidally, 'adversarial' emits spread mixes "
-                        "that defeat best-fit-decreasing packing")
+                        "that defeat best-fit-decreasing packing, 'frames' "
+                        "evolves one sensor cloud per frame (bounded "
+                        "motion + tail churn — the delta-protocol stream)")
     p.add_argument("--drift-period", type=int, default=64,
                    help="diurnal cycle length in clouds")
     p.add_argument("--drift-amplitude", type=float, default=0.5,
                    help="diurnal swing fraction in [0, 1]")
+    p.add_argument("--frame-motion", type=float, default=0.02,
+                   help="frames profile: per-point displacement bound per "
+                        "frame (uniform in a ball of this radius)")
+    p.add_argument("--frame-churn", type=float, default=0.1,
+                   help="frames profile: fraction of the tail replaced by "
+                        "fresh returns each frame, in [0, 1)")
     p.add_argument("--tenants", type=int, default=0,
                    help="emit a tagged multi-tenant stream: N per-tenant "
                         "rate/size mixes derived from the options above, "
@@ -459,6 +479,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=4)
     p.add_argument("--kernel", choices=["auto", "loop", "stacked", "ragged"],
                    default="auto")
+    p.add_argument("--delta", action="store_true",
+                   help="streaming-frames delta protocol: serve near-miss "
+                        "frames by certificate-verified reuse or "
+                        "incremental patching of a cached partition "
+                        "(bit-identical to a rebuild)")
+    p.add_argument("--motion-threshold", type=float, default=0.1,
+                   help="delta protocol: max per-point drift a frame may "
+                        "show and still qualify for reuse/patching")
+    p.add_argument("--build", choices=["auto", "build_then_sample", "fused"],
+                   default="auto",
+                   help="cold-build strategy on cache misses: 'fused' "
+                        "interleaves FPS with partition construction "
+                        "(bit-identical; REPRO_BUILD fills in for 'auto')")
     p.add_argument("--fuse-max-points", type=int, default=262_144,
                    help="fused-bucket point budget (0 = unbounded)")
     p.add_argument("--fuse-max-spread", type=float, default=4.0,

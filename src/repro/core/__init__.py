@@ -10,6 +10,10 @@
   kernels for the mid-size block regime (and whole-cloud fusion).
 - :mod:`repro.core.dispatch` — the kernel registry and cost-model
   dispatcher choosing ``loop | stacked | ragged`` per call.
+- :mod:`repro.core.coldpath` — the fused build-and-sample cold-path
+  kernel (FPS interleaved with partition construction).
+- :mod:`repro.core.delta` — frame deltas, rebuild certificates, and the
+  incremental-update glue of the streaming-frames protocol.
 """
 
 from .blocks import Block, BlockStructure, PartitionCost
@@ -33,7 +37,29 @@ from .config import (
     DEFAULT_SMALL_SCALE_THRESHOLD,
     FractalConfig,
 )
-from .dispatch import KERNEL_NAMES, KERNELS, choose_kernel, resolve_kernel, run_op
+from .coldpath import (
+    FusedBuildUnsupported,
+    fused_build_and_sample,
+    supports_fused_build,
+)
+from .delta import (
+    FrameDelta,
+    PatchPolicy,
+    attach_certificate,
+    certificate_of,
+    updater_from_certificate,
+)
+from .dispatch import (
+    BUILD_KERNEL_NAMES,
+    KERNEL_NAMES,
+    KERNELS,
+    choose_build_kernel,
+    choose_kernel,
+    resolve_build_kernel,
+    resolve_kernel,
+    run_build,
+    run_op,
+)
 from .fractal import fractal_partition
 from .ragged import (
     RAGGED_BLOCK_MAX,
@@ -51,6 +77,7 @@ from .serialize import load_block_structure, save_block_structure, save_tree
 from .tree import FractalNode, FractalTree
 
 __all__ = [
+    "BUILD_KERNEL_NAMES",
     "Block",
     "BlockLayout",
     "BlockStructure",
@@ -60,13 +87,18 @@ __all__ = [
     "FractalConfig",
     "FractalNode",
     "FractalTree",
+    "FrameDelta",
+    "FusedBuildUnsupported",
     "KERNELS",
     "KERNEL_NAMES",
     "OpTrace",
     "PartitionCost",
+    "PatchPolicy",
     "RAGGED_BLOCK_MAX",
     "RaggedBlocks",
     "allocate_samples",
+    "attach_certificate",
+    "certificate_of",
     "block_ball_query",
     "block_ball_query_batched",
     "block_fps",
@@ -78,10 +110,12 @@ __all__ = [
     "block_knn",
     "block_knn_batched",
     "block_knn_graph",
+    "choose_build_kernel",
     "choose_kernel",
     "edge_recall",
     "exact_knn_graph",
     "fractal_partition",
+    "fused_build_and_sample",
     "load_block_structure",
     "ragged_ball_query",
     "ragged_fps",
@@ -89,8 +123,12 @@ __all__ = [
     "ragged_interpolate",
     "ragged_knn",
     "ragged_of",
+    "resolve_build_kernel",
     "resolve_kernel",
+    "run_build",
     "run_op",
     "save_block_structure",
     "save_tree",
+    "supports_fused_build",
+    "updater_from_certificate",
 ]

@@ -170,6 +170,12 @@ class BlockStructure:
         if not np.all(seen):
             missing = int((~seen).sum())
             raise ValueError(f"{missing} points not covered by any block")
-        for block, space in zip(self.blocks, self.search_spaces):
-            if not np.all(np.isin(block.indices, space)):
+        # Membership via generation stamps: one reusable array instead of
+        # a sort-based isin per block.
+        stamp = np.zeros(self.num_points, dtype=np.int64)
+        for gen, (block, space) in enumerate(
+            zip(self.blocks, self.search_spaces), start=1
+        ):
+            stamp[space] = gen
+            if not np.all(stamp[block.indices] == gen):
                 raise ValueError("search space must contain the block's own points")

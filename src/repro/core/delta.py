@@ -1,0 +1,484 @@
+"""Frame deltas, rebuild certificates, and the structure-patch protocol.
+
+Streaming sensors make every frame a *near* miss of the partition cache:
+the cloud moved a little, so the content key changes, but the tree the
+previous frame paid for is usually still the tree a rebuild would
+produce.  This module gives the cache the machinery to prove or repair
+that, instead of rebuilding:
+
+- :class:`FrameDelta` aligns two frames under the streaming contract
+  (retained points keep their row order; deletions come off the tail of
+  the old frame; insertions append to the new one) and measures motion
+  and churn.
+- **Rebuild certificates** (:class:`KDTreeCertificate`,
+  :class:`OctreeCertificate`, :class:`GridCertificate`,
+  :class:`FractalCertificate`) are cheap per-structure summaries,
+  attached at build time, whose ``verify(structure, new_coords)`` is
+  *sound*: when it returns True, a from-scratch rebuild on the new
+  coordinates is guaranteed to reproduce the cached structure bit for
+  bit, so the cache may reuse it outright.  Verification re-derives each
+  split decision from per-leaf extrema of the new coordinates — O(n)
+  numpy work instead of a full build.  It is deliberately conservative:
+  a tie or a crossed split plane fails the check and falls back to a
+  rebuild, never to a wrong structure.
+- :class:`PatchPolicy` bounds when patching is attempted at all (motion
+  threshold, churn budget, candidate scan depth); beyond those bounds
+  the cache rebuilds.
+- :func:`updater_from_certificate` reconstructs a routed
+  :class:`~repro.core.update.FractalUpdater` from a certificate without
+  re-partitioning, so insert/delete/move churn on fractal structures is
+  absorbed by the incremental machinery of :mod:`repro.core.update`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .blocks import BlockStructure
+from .config import FractalConfig
+
+__all__ = [
+    "FrameDelta",
+    "FractalCertificate",
+    "GridCertificate",
+    "KDTreeCertificate",
+    "OctreeCertificate",
+    "PatchPolicy",
+    "attach_certificate",
+    "certificate_of",
+    "updater_from_certificate",
+]
+
+#: Mirrors the builders' degenerate-extent cutoff.
+_DEGENERATE_EXTENT = 1e-12
+
+#: Dynamic attribute carrying the certificate (same pattern as the
+#: ``_owner_memo`` / ``_ragged`` memos on :class:`BlockStructure`).
+_CERT_ATTR = "_rebuild_cert"
+
+
+def attach_certificate(structure: BlockStructure, cert) -> None:
+    """Attach ``cert`` to ``structure`` for the cache's delta protocol."""
+    setattr(structure, _CERT_ATTR, cert)
+
+
+def certificate_of(structure: BlockStructure):
+    """The rebuild certificate attached at build time, or ``None``."""
+    return getattr(structure, _CERT_ATTR, None)
+
+
+# --------------------------------------------------------------------------
+# frame alignment
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PatchPolicy:
+    """Bounds on when a near-miss frame may patch instead of rebuild.
+
+    Args:
+        motion_threshold: maximum per-point displacement (Euclidean) a
+            retained point may have moved; beyond it the drift is assumed
+            to exceed block bounds and the frame rebuilds.
+        max_churn: maximum ``(inserts + deletes) / n_old`` fraction the
+            incremental updater will absorb.
+        candidates: how many most-recent cache entries are scanned for a
+            near match before giving up.
+    """
+
+    motion_threshold: float = 0.1
+    max_churn: float = 0.25
+    candidates: int = 4
+
+    def __post_init__(self):
+        if self.motion_threshold < 0:
+            raise ValueError(
+                f"motion_threshold must be >= 0, got {self.motion_threshold}"
+            )
+        if not 0 <= self.max_churn <= 1:
+            raise ValueError(f"max_churn must be in [0, 1], got {self.max_churn}")
+        if self.candidates < 1:
+            raise ValueError(f"candidates must be >= 1, got {self.candidates}")
+
+
+@dataclass(frozen=True)
+class FrameDelta:
+    """Row-aligned difference between two frames of one stream.
+
+    The streaming contract: the first ``retained`` rows of both frames
+    are the same physical points (possibly moved); rows past ``retained``
+    are deletions (old frame) and insertions (new frame).  ``between``
+    infers ``retained`` by trimming the trailing run of rows whose
+    displacement exceeds the motion threshold — a sensor that drops the
+    tail of its sweep and appends fresh returns produces exactly that
+    shape, and a genuinely teleporting mid-frame point simply pushes
+    ``max_motion`` over the threshold and forces a rebuild.
+    """
+
+    n_old: int
+    n_new: int
+    moved: np.ndarray  # retained rows whose coordinates changed
+    max_motion: float  # largest displacement among ``moved``
+    retained: int
+    n_inserted: int
+    n_deleted: int
+
+    @property
+    def churn(self) -> float:
+        return (self.n_inserted + self.n_deleted) / max(1, self.n_old)
+
+    @property
+    def pure_jitter(self) -> bool:
+        return self.n_inserted == 0 and self.n_deleted == 0
+
+    @classmethod
+    def between(
+        cls, old_coords: np.ndarray, new_coords: np.ndarray, motion_threshold: float
+    ) -> "FrameDelta":
+        old = np.asarray(old_coords, dtype=np.float64)
+        new = np.asarray(new_coords, dtype=np.float64)
+        prefix = min(len(old), len(new))
+        diff = new[:prefix] - old[:prefix]
+        disp = np.sqrt(np.sum(diff * diff, axis=1))
+        over = disp > motion_threshold
+        # Trim the trailing run of over-threshold rows: those are
+        # delete+insert pairs under the streaming contract, not moves.
+        retained = prefix
+        while retained > 0 and over[retained - 1]:
+            retained -= 1
+        moved = np.nonzero(disp[:retained] > 0.0)[0].astype(np.int64)
+        max_motion = float(disp[moved].max()) if moved.size else 0.0
+        return cls(
+            n_old=len(old),
+            n_new=len(new),
+            moved=moved,
+            max_motion=max_motion,
+            retained=retained,
+            n_inserted=len(new) - retained,
+            n_deleted=len(old) - retained,
+        )
+
+
+# --------------------------------------------------------------------------
+# certificate helpers
+# --------------------------------------------------------------------------
+
+
+def _leaf_extrema(
+    structure: BlockStructure, coords: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-block coordinate min/max — the only O(n) pass of verification."""
+    mins = np.empty((structure.num_blocks, 3), dtype=np.float64)
+    maxs = np.empty((structure.num_blocks, 3), dtype=np.float64)
+    for i, block in enumerate(structure.blocks):
+        pts = coords[block.indices]
+        mins[i] = pts.min(axis=0)
+        maxs[i] = pts.max(axis=0)
+    return mins, maxs
+
+
+def _leaf_positions(leaves: list) -> dict[int, int]:
+    return {id(leaf): pos for pos, leaf in enumerate(leaves)}
+
+
+class KDTreeCertificate:
+    """Split summary of a median KD-tree.
+
+    One record per internal node: the split dimension (``depth % 3``) and
+    the node's leaf range ``[leaf_lo, leaf_hi)`` with the left/right
+    boundary at ``leaf_split``, all in DFS leaf order.  A rebuild
+    reproduces the tree exactly iff at every node the left half is
+    strictly below the right half on the split dimension — the stable
+    median sort then lands the same membership on each side, and leaf
+    blocks are order-normalised by sorting.
+    """
+
+    strategy = "kdtree"
+
+    def __init__(self, dims, leaf_lo, leaf_split, leaf_hi):
+        self.dims = np.asarray(dims, dtype=np.int64)
+        self.leaf_lo = np.asarray(leaf_lo, dtype=np.int64)
+        self.leaf_split = np.asarray(leaf_split, dtype=np.int64)
+        self.leaf_hi = np.asarray(leaf_hi, dtype=np.int64)
+
+    @classmethod
+    def from_tree(cls, root, leaves: list) -> "KDTreeCertificate":
+        pos = _leaf_positions(leaves)
+        dims: list[int] = []
+        lo: list[int] = []
+        split: list[int] = []
+        hi: list[int] = []
+
+        def walk(node) -> tuple[int, int]:
+            if node.is_leaf:
+                p = pos[id(node)]
+                return p, p + 1
+            l_lo, l_hi = walk(node.left)
+            r_lo, r_hi = walk(node.right)
+            dims.append(node.depth % 3)
+            lo.append(l_lo)
+            split.append(r_lo)
+            hi.append(r_hi)
+            return l_lo, r_hi
+
+        walk(root)
+        return cls(dims, lo, split, hi)
+
+    def verify(self, structure: BlockStructure, new_coords: np.ndarray) -> bool:
+        if len(new_coords) != structure.num_points:
+            return False
+        mins, maxs = _leaf_extrema(structure, new_coords)
+        for dim, lo, split, hi in zip(
+            self.dims, self.leaf_lo, self.leaf_split, self.leaf_hi
+        ):
+            left_max = maxs[lo:split, dim].max()
+            right_min = mins[split:hi, dim].min()
+            if not left_max < right_min:  # ties fail: stable sort could flip
+                return False
+        return True
+
+
+class OctreeCertificate:
+    """Octant summary of an octree: per node, the child octant codes and
+    their leaf ranges.  Boxes are re-derived top-down from the new
+    bounding box; every point must still classify into its stored octant,
+    and leaf/split decisions (leaf bound, max depth, degenerate cell)
+    must re-derive identically.
+    """
+
+    strategy = "octree"
+
+    class _Node:
+        __slots__ = ("depth", "leaf_lo", "leaf_hi", "oversized", "children")
+
+        def __init__(self, depth, leaf_lo, leaf_hi, oversized, children):
+            self.depth = depth
+            self.leaf_lo = leaf_lo
+            self.leaf_hi = leaf_hi
+            self.oversized = oversized
+            self.children = children  # list[(code, _Node)]
+
+    def __init__(self, root: "OctreeCertificate._Node", max_depth: int):
+        self.root = root
+        self.max_depth = max_depth
+
+    @classmethod
+    def from_tree(cls, root, leaves: list, max_leaf_size: int, max_depth: int):
+        pos = _leaf_positions(leaves)
+
+        def walk(node) -> tuple["OctreeCertificate._Node", int, int]:
+            if node.is_leaf:
+                p = pos[id(node)]
+                out = cls._Node(
+                    node.depth, p, p + 1, len(node.indices) > max_leaf_size, []
+                )
+                return out, p, p + 1
+            children = []
+            lo = hi = None
+            for child in node.children:
+                sub, c_lo, c_hi = walk(child)
+                children.append((child.code, sub))
+                lo = c_lo if lo is None else min(lo, c_lo)
+                hi = c_hi if hi is None else max(hi, c_hi)
+            out = cls._Node(node.depth, lo, hi, True, children)
+            return out, lo, hi
+
+        cert_root, _, _ = walk(root)
+        return cls(cert_root, max_depth)
+
+    def verify(self, structure: BlockStructure, new_coords: np.ndarray) -> bool:
+        if len(new_coords) != structure.num_points:
+            return False
+        mins, maxs = _leaf_extrema(structure, new_coords)
+        lo = mins.min(axis=0)
+        hi = maxs.max(axis=0)
+        return self._check(self.root, lo, hi, mins, maxs)
+
+    def _check(self, node, lo, hi, mins, maxs) -> bool:
+        if not node.children:
+            if not node.oversized:
+                return True  # under the leaf bound: a rebuild stops here too
+            if node.depth >= self.max_depth:
+                return True  # depth bound forces the leaf regardless
+            return bool(np.all(hi - lo <= _DEGENERATE_EXTENT))
+        if node.depth >= self.max_depth or np.all(hi - lo <= _DEGENERATE_EXTENT):
+            return False  # a rebuild would stop where the cache split
+        mid = (lo + hi) / 2.0
+        for code, child in node.children:
+            c_min = mins[child.leaf_lo : child.leaf_hi].min(axis=0)
+            c_max = maxs[child.leaf_lo : child.leaf_hi].max(axis=0)
+            for d, bit in ((0, 4), (1, 2), (2, 1)):
+                if code & bit:
+                    if not c_min[d] > mid[d]:
+                        return False
+                elif not c_max[d] <= mid[d]:
+                    return False
+            child_lo = np.where([code & 4, code & 2, code & 1], mid, lo).astype(
+                np.float64
+            )
+            child_hi = np.where([code & 4, code & 2, code & 1], hi, mid).astype(
+                np.float64
+            )
+            if not self._check(child, child_lo, child_hi, mins, maxs):
+                return False
+        return True
+
+
+class GridCertificate:
+    """Uniform grid summary: the per-point cell ids and the resolution.
+
+    A rebuild recomputes cell ids from the new bounding box; identical
+    ids mean the identical stable grouping, hence an identical structure.
+    """
+
+    strategy = "uniform"
+
+    def __init__(self, cell_ids: np.ndarray, resolution: int):
+        self.cell_ids = np.asarray(cell_ids, dtype=np.int64)
+        self.resolution = int(resolution)
+
+    def verify(self, structure: BlockStructure, new_coords: np.ndarray) -> bool:
+        n = len(new_coords)
+        if n != structure.num_points or n != len(self.cell_ids):
+            return False
+        r = self.resolution
+        lo = new_coords.min(axis=0)
+        hi = new_coords.max(axis=0)
+        extent = np.where(hi - lo > 0, hi - lo, 1.0)
+        cell = np.clip(((new_coords - lo) / extent * r).astype(np.int64), 0, r - 1)
+        cell_id = cell[:, 0] * r * r + cell[:, 1] * r + cell[:, 2]
+        return bool(np.array_equal(cell_id, self.cell_ids))
+
+
+class FractalCertificate:
+    """Split summary of a fractal tree (paper Alg. 1).
+
+    Internal nodes in preorder: split dimension, midpoint, depth, and
+    leaf ranges in DFT leaf order; per-leaf forced flags.  Verification
+    re-derives every decision from the new coordinates: the dimension
+    choice (cycle probes or longest extent, tie-free), the recomputed
+    midpoint separating left (``<= mid``) from right (``> mid``), and
+    degeneracy of forced leaves.  The stored midpoints double as the
+    routing planes for :func:`updater_from_certificate`.
+    """
+
+    strategy = "fractal"
+
+    def __init__(self, config, dims, mids, depths, leaf_lo, leaf_split, leaf_hi, forced):
+        self.config = config
+        self.dims = np.asarray(dims, dtype=np.int64)
+        self.mids = np.asarray(mids, dtype=np.float64)
+        self.depths = np.asarray(depths, dtype=np.int64)
+        self.leaf_lo = np.asarray(leaf_lo, dtype=np.int64)
+        self.leaf_split = np.asarray(leaf_split, dtype=np.int64)
+        self.leaf_hi = np.asarray(leaf_hi, dtype=np.int64)
+        self.forced = np.asarray(forced, dtype=bool)
+
+    @classmethod
+    def from_tree(cls, tree, config: FractalConfig) -> "FractalCertificate":
+        pos = _leaf_positions(tree.leaves)
+        dims: list[int] = []
+        mids: list[float] = []
+        depths: list[int] = []
+        lo: list[int] = []
+        split: list[int] = []
+        hi: list[int] = []
+
+        def walk(node) -> tuple[int, int]:
+            if node.is_leaf:
+                p = pos[id(node)]
+                return p, p + 1
+            # Preorder: parent before children, matching the cursor walk
+            # of updater_from_certificate.
+            slot = len(dims)
+            dims.append(node.split_dim)
+            mids.append(node.split_mid)
+            depths.append(node.depth)
+            lo.append(0)
+            split.append(0)
+            hi.append(0)
+            l_lo, _ = walk(node.left)
+            r_lo, r_hi = walk(node.right)
+            lo[slot], split[slot], hi[slot] = l_lo, r_lo, r_hi
+            return l_lo, r_hi
+
+        walk(tree.root)
+        forced = [bool(leaf.forced_leaf) for leaf in tree.leaves]
+        return cls(config, dims, mids, depths, lo, split, hi, forced)
+
+    def _dim_choice_stable(self, ext: np.ndarray, depth: int, dim: int) -> bool:
+        if ext[dim] <= _DEGENERATE_EXTENT:
+            return False
+        if self.config.split_rule == "longest":
+            return int(np.argmax(ext)) == dim
+        probes = (self.config.start_dim + depth + np.arange(3)) % 3
+        for probe_dim in probes:
+            if probe_dim == dim:
+                return True
+            if ext[probe_dim] > _DEGENERATE_EXTENT:
+                return False
+        return False
+
+    def verify(self, structure: BlockStructure, new_coords: np.ndarray) -> bool:
+        if len(new_coords) != structure.num_points:
+            return False
+        mins, maxs = _leaf_extrema(structure, new_coords)
+        for i in np.nonzero(self.forced)[0]:
+            if np.any(maxs[i] - mins[i] > _DEGENERATE_EXTENT):
+                return False
+        for dim, depth, lo, split, hi in zip(
+            self.dims, self.depths, self.leaf_lo, self.leaf_split, self.leaf_hi
+        ):
+            node_min = mins[lo:hi].min(axis=0)
+            node_max = maxs[lo:hi].max(axis=0)
+            if not self._dim_choice_stable(node_max - node_min, int(depth), int(dim)):
+                return False
+            mid = (node_max[dim] + node_min[dim]) / 2.0
+            if not maxs[lo:split, dim].max() <= mid:
+                return False
+            if not mins[split:hi, dim].min() > mid:
+                return False
+        return True
+
+
+def updater_from_certificate(cert: FractalCertificate, structure, coords: np.ndarray):
+    """Reconstruct a routed :class:`FractalUpdater` without re-partitioning.
+
+    The certificate's preorder (dim, mid, leaf range) records are exactly
+    the routing tree: leaves take their member sets from the structure's
+    blocks, so the updater starts with point ids equal to the rows of
+    ``coords`` and the cached partition as its live state.
+    """
+    from .update import FractalUpdater, UpdateStats, _Node
+
+    coords = np.asarray(coords, dtype=np.float64)
+    cursor = [0]
+
+    def build(leaf_lo: int, leaf_hi: int, depth: int) -> _Node:
+        k = cursor[0]
+        if (
+            k < len(cert.dims)
+            and cert.leaf_lo[k] == leaf_lo
+            and cert.leaf_hi[k] == leaf_hi
+        ):
+            cursor[0] += 1
+            node = _Node(depth=depth, dim=int(cert.dims[k]), mid=float(cert.mids[k]))
+            node.left = build(leaf_lo, int(cert.leaf_split[k]), depth + 1)
+            node.right = build(int(cert.leaf_split[k]), leaf_hi, depth + 1)
+            node.left.parent = node
+            node.right.parent = node
+            return node
+        if leaf_hi != leaf_lo + 1:
+            raise ValueError("certificate does not cover the structure's leaves")
+        members = set(structure.blocks[leaf_lo].indices.tolist())
+        return _Node(depth=depth, members=members)
+
+    updater = FractalUpdater.__new__(FractalUpdater)
+    updater.config = cert.config
+    updater._coords = coords.copy()
+    updater._alive = np.ones(len(coords), dtype=bool)
+    updater.stats = UpdateStats()
+    updater._root = build(0, structure.num_blocks, 0)
+    return updater

@@ -69,12 +69,18 @@ from .bppo import _STACK_SMALL
 from .ragged import RAGGED_BLOCK_MAX
 
 __all__ = [
+    "BUILD_KERNEL_ENV",
+    "BUILD_KERNEL_NAMES",
     "KERNELS",
     "KERNEL_NAMES",
     "KERNEL_ENV",
+    "choose_build_kernel",
     "choose_kernel",
+    "resolve_build_kernel",
     "resolve_kernel",
+    "run_build",
     "run_op",
+    "validate_build_kernel",
     "validate_kernel",
 ]
 
@@ -199,6 +205,111 @@ def resolve_kernel(
     if kernel == "auto":
         kernel = choose_kernel(op, structure, num_centers, center_counts)
     return kernel
+
+
+# --------------------------------------------------------------------------
+# cold-path build kernels (partition construction on a cache miss)
+# --------------------------------------------------------------------------
+
+#: Environment variable forcing a build kernel on cache misses
+#: (``build_then_sample | fused`` to pin one, ``auto`` / unset for the
+#: cost model).
+BUILD_KERNEL_ENV = "REPRO_BUILD"
+
+#: Accepted build-kernel selectors, ``auto`` first.
+BUILD_KERNEL_NAMES = ("auto", "build_then_sample", "fused")
+
+
+def validate_build_kernel(kernel: str) -> str:
+    if kernel not in BUILD_KERNEL_NAMES:
+        raise ValueError(
+            f"build kernel must be one of {BUILD_KERNEL_NAMES}, got {kernel!r}"
+        )
+    return kernel
+
+
+def _block_bound(partitioner) -> int:
+    """The partitioner's points-per-block target (``th`` / BS)."""
+    for attr in ("max_leaf_size", "target_block_size", "block_size"):
+        bound = getattr(partitioner, attr, None)
+        if bound:
+            return int(bound)
+    config = getattr(partitioner, "config", None)
+    if config is not None and getattr(config, "threshold", 0):
+        return int(config.threshold)
+    return 256
+
+
+def choose_build_kernel(partitioner, num_points: int, num_samples: int) -> str:
+    """Cost-model choice between the fused and the two-pass cold build.
+
+    Fusion wins when every leaf's eagerly sampled candidate is likely to
+    stay inside its final quota — i.e. the sample budget covers roughly
+    one sample per expected block.  Below that, the fused path's
+    at-least-one-per-leaf eagerness does work the largest-remainder
+    allocation will discard, and the two-pass build (which knows the
+    exact quotas, many of them zero) is cheaper.  Partitioners without
+    the leaf hook always build-then-sample.
+    """
+    from .coldpath import supports_fused_build
+
+    if not supports_fused_build(partitioner):
+        return "build_then_sample"
+    expected_blocks = -(-max(1, num_points) // _block_bound(partitioner))
+    return "fused" if num_samples >= expected_blocks else "build_then_sample"
+
+
+def resolve_build_kernel(
+    partitioner, num_points: int, num_samples: int, kernel: str = "auto"
+) -> str:
+    """Resolve a build-kernel selector to a concrete name.
+
+    Same precedence as :func:`resolve_kernel` (explicit > environment >
+    cost model), with one safety clamp: ``"fused"`` on a partitioner
+    without the leaf hook degrades to ``"build_then_sample"`` — the
+    partitioner choice is orthogonal to the build-kernel knob, and a
+    hard error here would make ``REPRO_BUILD=fused`` unusable in mixed
+    sweeps.
+    """
+    from .coldpath import supports_fused_build
+
+    kernel = validate_build_kernel(kernel)
+    if kernel == "auto":
+        override = os.environ.get(BUILD_KERNEL_ENV)
+        if override:
+            kernel = validate_build_kernel(override)
+    if kernel == "auto":
+        kernel = choose_build_kernel(partitioner, num_points, num_samples)
+    if kernel == "fused" and not supports_fused_build(partitioner):
+        kernel = "build_then_sample"
+    return kernel
+
+
+def run_build(
+    partitioner,
+    coords: np.ndarray,
+    num_samples: int,
+    kernel: str = "auto",
+):
+    """Build a partition and its FPS sample set in one dispatched call.
+
+    Returns ``(structure, sampled, fps_trace, name)`` where ``name`` is
+    the build kernel that ran.  Both kernels are bit-identical; the fused
+    one interleaves per-leaf FPS with tree construction
+    (:func:`repro.core.coldpath.fused_build_and_sample`), the reference
+    one runs ``partitioner(coords)`` followed by ``block_fps``.
+    """
+    from .coldpath import fused_build_and_sample
+
+    name = resolve_build_kernel(partitioner, len(coords), num_samples, kernel)
+    if name == "fused":
+        structure, sampled, trace = fused_build_and_sample(
+            partitioner, coords, num_samples
+        )
+    else:
+        structure = partitioner(coords)
+        sampled, trace = bppo.block_fps(structure, coords, num_samples)
+    return structure, sampled, trace, name
 
 
 def run_op(

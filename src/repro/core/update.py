@@ -140,12 +140,77 @@ class FractalUpdater:
             self._alive[pid] = False
             self._maybe_merge(leaf)
 
+    def move(self, ids: np.ndarray, new_coords: np.ndarray) -> int:
+        """Move live points to new coordinates; returns the re-home count.
+
+        The common streaming case — sensor jitter — leaves most points
+        inside their leaf's half-spaces, so the routing is done for the
+        whole batch at once (one vectorized descent with the old and the
+        new coordinates) and only the *crossers* pay the per-point
+        discard/insert bookkeeping, with the usual split/merge
+        maintenance at their source and destination leaves.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        new_coords = np.asarray(new_coords, dtype=np.float64).reshape(-1, 3)
+        if len(ids) != len(new_coords):
+            raise ValueError("ids and new_coords must have equal length")
+        if len(ids) == 0:
+            return 0
+        if np.any(ids < 0) or np.any(ids >= len(self._alive)) or not np.all(
+            self._alive[ids]
+        ):
+            raise KeyError("move() requires live point ids")
+        sources = self._route_many(self._coords[ids])
+        self._coords[ids] = new_coords
+        dests = self._route_many(new_coords)
+        self.stats.points_routed += len(ids)
+        crossed = 0
+        touched_dest: list[_Node] = []
+        touched_src: list[_Node] = []
+        for pid, src, dst in zip(ids.tolist(), sources, dests):
+            if src is dst:
+                continue
+            crossed += 1
+            src.members.discard(pid)
+            dst.members.add(pid)
+            touched_src.append(src)
+            touched_dest.append(dst)
+        for leaf in touched_dest:
+            if leaf.is_leaf and len(leaf.members) > self.config.threshold:
+                self._split_leaf(leaf)
+        for leaf in touched_src:
+            if leaf.is_leaf:
+                self._maybe_merge(leaf)
+        return crossed
+
     def _route(self, point: np.ndarray) -> _Node:
         node = self._root
         while not node.is_leaf:
             self.stats.comparisons += 1
             node = node.left if point[node.dim] <= node.mid else node.right
         return node
+
+    def _route_many(self, pts: np.ndarray) -> list[_Node]:
+        """Leaf of each row of ``pts`` via a vectorized tree descent."""
+        out: list[Optional[_Node]] = [None] * len(pts)
+        stack: list[tuple[_Node, np.ndarray]] = [
+            (self._root, np.arange(len(pts), dtype=np.int64))
+        ]
+        while stack:
+            node, rows = stack.pop()
+            if node.is_leaf:
+                for r in rows.tolist():
+                    out[r] = node
+                continue
+            self.stats.comparisons += len(rows)
+            go_left = pts[rows, node.dim] <= node.mid
+            left_rows = rows[go_left]
+            right_rows = rows[~go_left]
+            if len(left_rows):
+                stack.append((node.left, left_rows))
+            if len(right_rows):
+                stack.append((node.right, right_rows))
+        return out
 
     def _split_leaf(self, leaf: _Node) -> None:
         members = np.array(sorted(leaf.members), dtype=np.int64)
@@ -200,22 +265,30 @@ class FractalUpdater:
         """
         leaves: list[_Node] = []
         self._collect(self._root, leaves)
-        live_ids = np.array(
-            sorted(pid for leaf in leaves for pid in leaf.members), dtype=np.int64
+        member_arrays = [
+            np.sort(np.fromiter(leaf.members, dtype=np.int64,
+                                count=len(leaf.members)))
+            for leaf in leaves
+        ]
+        live_ids = (
+            np.sort(np.concatenate(member_arrays))
+            if member_arrays else np.empty(0, dtype=np.int64)
         )
-        row_of = {int(pid): row for row, pid in enumerate(live_ids)}
-
+        # Leaves partition the live ids, so row lookup is a searchsorted
+        # into the sorted id vector (a sorted subset maps to sorted rows).
         blocks, spaces = [], []
-        for leaf in leaves:
-            rows = np.array(sorted(row_of[p] for p in leaf.members), dtype=np.int64)
+        for leaf, members in zip(leaves, member_arrays):
+            rows = np.searchsorted(live_ids, members)
             blocks.append(Block(rows, depth=leaf.depth))
             if leaf.depth <= 1 or leaf.parent is None:
                 spaces.append(rows)
             else:
                 parent_members = getattr(leaf.parent, "_cached_members")
-                spaces.append(
-                    np.array(sorted(row_of[p] for p in parent_members), dtype=np.int64)
+                parent_ids = np.sort(
+                    np.fromiter(parent_members, dtype=np.int64,
+                                count=len(parent_members))
                 )
+                spaces.append(np.searchsorted(live_ids, parent_ids))
         structure = BlockStructure(
             num_points=len(live_ids),
             blocks=blocks,

@@ -9,6 +9,7 @@ import numpy as np
 
 from ..core.blocks import BlockStructure
 from ..core.config import FractalConfig
+from ..core.delta import FractalCertificate, attach_certificate
 from ..core.fractal import fractal_partition
 from .base import Partitioner
 
@@ -25,10 +26,13 @@ class FractalPartitioner(Partitioner):
     """
 
     name = "fractal"
+    supports_fused_build = True
 
     def __init__(self, threshold: int = 256, config: FractalConfig | None = None):
         self.config = config or FractalConfig(threshold=threshold)
 
-    def partition(self, coords: np.ndarray) -> BlockStructure:
-        tree = fractal_partition(coords, self.config)
-        return tree.block_structure()
+    def partition(self, coords: np.ndarray, on_leaf=None) -> BlockStructure:
+        tree = fractal_partition(coords, self.config, on_leaf=on_leaf)
+        structure = tree.block_structure()
+        attach_certificate(structure, FractalCertificate.from_tree(tree, self.config))
+        return structure

@@ -20,6 +20,7 @@ from typing import Optional
 import numpy as np
 
 from ..core.blocks import Block, BlockStructure, PartitionCost
+from ..core.delta import OctreeCertificate, attach_certificate
 from .base import Partitioner
 
 __all__ = ["OctreePartitioner", "OctreeNode"]
@@ -37,6 +38,8 @@ class OctreeNode:
     hi: np.ndarray
     children: list["OctreeNode"] = field(default_factory=list)
     parent: Optional["OctreeNode"] = field(default=None, repr=False)
+    #: Octant code within the parent cell (root: -1).
+    code: int = -1
 
     @property
     def is_leaf(self) -> bool:
@@ -52,6 +55,7 @@ class OctreePartitioner(Partitioner):
     """
 
     name = "octree"
+    supports_fused_build = True
 
     def __init__(self, max_leaf_size: int = 256, max_depth: int = 24):
         if max_leaf_size < 1:
@@ -59,7 +63,7 @@ class OctreePartitioner(Partitioner):
         self.max_leaf_size = max_leaf_size
         self.max_depth = max_depth
 
-    def partition(self, coords: np.ndarray) -> BlockStructure:
+    def partition(self, coords: np.ndarray, on_leaf=None) -> BlockStructure:
         n = len(coords)
         if n == 0:
             raise ValueError("cannot partition an empty point cloud")
@@ -69,6 +73,8 @@ class OctreePartitioner(Partitioner):
         hi = coords.max(axis=0)
         root = OctreeNode(np.arange(n, dtype=np.int64), 0, lo, hi)
         frontier = [root] if n > self.max_leaf_size else []
+        if not frontier and on_leaf is not None:
+            on_leaf(np.sort(root.indices))
         levels = 0
         while frontier:
             levels += 1
@@ -76,9 +82,13 @@ class OctreePartitioner(Partitioner):
             next_frontier: list[OctreeNode] = []
             for node in frontier:
                 if node.depth >= self.max_depth:
+                    if on_leaf is not None:
+                        on_leaf(np.sort(node.indices))
                     continue
                 extent = node.hi - node.lo
                 if np.all(extent <= _DEGENERATE_EXTENT):
+                    if on_leaf is not None:
+                        on_leaf(np.sort(node.indices))
                     continue  # coincident points: give up on this cell
                 mid = (node.lo + node.hi) / 2.0
                 pts = coords[node.indices]
@@ -98,24 +108,34 @@ class OctreePartitioner(Partitioner):
                         [code & 4, code & 2, code & 1], node.hi, mid
                     ).astype(np.float64)
                     child = OctreeNode(
-                        node.indices[mask], node.depth + 1, child_lo, child_hi, parent=node
+                        node.indices[mask], node.depth + 1, child_lo, child_hi,
+                        parent=node, code=code,
                     )
                     node.children.append(child)
                     if len(child.indices) > self.max_leaf_size:
                         next_frontier.append(child)
+                    elif on_leaf is not None:
+                        on_leaf(np.sort(child.indices))
             frontier = next_frontier
         cost.levels = levels
 
         leaves = self._collect_leaves(root)
         blocks = [Block(np.sort(leaf.indices), depth=max(leaf.depth, 1)) for leaf in leaves]
         spaces = [b.indices for b in blocks]
-        return BlockStructure(
+        structure = BlockStructure(
             num_points=n,
             blocks=blocks,
             search_spaces=spaces,
             cost=cost,
             strategy=self.name,
         )
+        attach_certificate(
+            structure,
+            OctreeCertificate.from_tree(
+                root, leaves, self.max_leaf_size, self.max_depth
+            ),
+        )
+        return structure
 
     @staticmethod
     def _collect_leaves(root: OctreeNode) -> list[OctreeNode]:

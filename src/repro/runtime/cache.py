@@ -8,6 +8,20 @@ keys finished :class:`~repro.core.blocks.BlockStructure` objects by a
 content hash of the coordinates and replays them instead of re-sorting.
 The cache is a thread-safe LRU: the batched executor shares one instance
 across its worker threads.
+
+With a :class:`~repro.core.delta.PatchPolicy` attached, the cache also
+serves *near* misses — the streaming-frames case where every frame of a
+moving sensor hashes differently but barely moved.  :meth:`acquire`
+then scans the most recent entries for a frame-delta match and either
+
+- **reuses** the cached structure outright when its rebuild certificate
+  proves a from-scratch build of the new coordinates would reproduce it
+  bit for bit (jitter under the motion threshold), or
+- **patches** it through the incremental fractal updater
+  (:mod:`repro.core.update`) for insert/delete/move churn, or
+- falls back to a full **cold** build when drift exceeds the policy
+  bounds, the certificate fails, or a patch does not survive its own
+  sanity checks — never to a wrong structure.
 """
 
 from __future__ import annotations
@@ -16,13 +30,23 @@ import hashlib
 import threading
 import weakref
 from collections import OrderedDict
-from typing import TYPE_CHECKING, Callable
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
 
 import numpy as np
+
+from ..core.delta import (
+    FractalCertificate,
+    FrameDelta,
+    PatchPolicy,
+    certificate_of,
+    updater_from_certificate,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.blocks import BlockStructure
     from ..core.ragged import RaggedBlocks
+    from ..core.update import FractalUpdater
 
 __all__ = ["content_key", "result_key", "PartitionCache",
            "clear_all_partition_caches"]
@@ -87,6 +111,24 @@ def result_key(coords: np.ndarray, features: np.ndarray | None) -> bytes:
     return key
 
 
+@dataclass
+class _Entry:
+    """One cached partition plus the state the delta protocol needs.
+
+    ``coords``/``patcher``/``live_ids`` stay ``None`` unless a patch
+    policy is attached — the exact-hit path never pays for them.  The
+    patcher is *consumed* by the patch that uses it (ownership moves to
+    the patched entry); a later near-match of the same entry rebuilds
+    one from the certificate instead, so a mutated updater can never be
+    applied twice.
+    """
+
+    structure: "BlockStructure"
+    coords: Optional[np.ndarray] = None
+    patcher: Optional["FractalUpdater"] = None
+    live_ids: Optional[np.ndarray] = None
+
+
 class PartitionCache:
     """Thread-safe LRU of partition results keyed by cloud content.
 
@@ -96,28 +138,63 @@ class PartitionCache:
             Partitioner` qualifies).
         maxsize: retained structures; least-recently-used entries are
             evicted first.
+        policy: a :class:`~repro.core.delta.PatchPolicy` enabling the
+            near-miss delta protocol (off by default: ``None``).
     """
 
     def __init__(
         self,
         partitioner: Callable[[np.ndarray], "BlockStructure"],
         maxsize: int = 64,
+        *,
+        policy: PatchPolicy | None = None,
     ):
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
         self.partitioner = partitioner
         self.maxsize = maxsize
+        self.policy = policy
         self.hits = 0
         self.misses = 0
-        self._entries: OrderedDict[bytes, "BlockStructure"] = OrderedDict()
+        self.patches = 0
+        self.delta_reuses = 0
+        self._entries: OrderedDict[bytes, _Entry] = OrderedDict()
         self._lock = threading.Lock()
         _ALL_CACHES.add(self)
 
     def __len__(self) -> int:
         return len(self._entries)
 
+    @property
+    def cold_builds(self) -> int:
+        """Misses that paid a full build (miss minus patched/reused)."""
+        return self.misses - self.patches - self.delta_reuses
+
     def get(self, coords: np.ndarray) -> tuple["BlockStructure", bool]:
         """Return ``(structure, was_cached)`` for ``coords``.
+
+        ``was_cached`` reports exact (warm) hits only; with a patch
+        policy attached a near-miss may still be served delta-patched —
+        callers that care about the full outcome use :meth:`acquire`.
+        """
+        structure, outcome, _ = self.acquire(coords)
+        return structure, outcome == "warm"
+
+    def acquire(
+        self,
+        coords: np.ndarray,
+        *,
+        builder: Callable[[np.ndarray], tuple["BlockStructure", object]] | None = None,
+    ) -> tuple["BlockStructure", str, object]:
+        """Serve ``coords``, reporting how: ``(structure, outcome, payload)``.
+
+        ``outcome`` is ``"warm"`` (exact hit), ``"reused"``
+        (certificate-verified reuse of a near-match — bit-identical to a
+        rebuild), ``"patched"`` (incremental updater absorbed the frame
+        delta), or ``"cold"`` (full build).  ``payload`` is whatever the
+        ``builder`` returned alongside the structure (the fused
+        build-and-sample kernel hands back its sample set this way) and
+        is ``None`` on every non-cold outcome.
 
         The partitioner runs outside the lock, so concurrent misses on
         the same new cloud may both partition it (identical results, one
@@ -126,18 +203,43 @@ class PartitionCache:
         """
         key = content_key(coords)
         with self._lock:
-            if key in self._entries:
+            entry = self._entries.get(key)
+            if entry is not None:
                 self._entries.move_to_end(key)
                 self.hits += 1
-                return self._entries[key], True
+                return entry.structure, "warm", None
             self.misses += 1
-        structure = self.partitioner(coords)
+            candidates = (
+                list(reversed(self._entries.values()))[: self.policy.candidates]
+                if self.policy is not None
+                else []
+            )
+        if candidates:
+            new64 = np.ascontiguousarray(np.asarray(coords, dtype=np.float64))
+            for entry in candidates:
+                patched = self._try_patch(entry, new64)
+                if patched is None:
+                    continue
+                structure, outcome, new_entry = patched
+                with self._lock:
+                    if outcome == "reused":
+                        self.delta_reuses += 1
+                    else:
+                        self.patches += 1
+                    self._store(key, new_entry)
+                return structure, outcome, None
+        if builder is not None:
+            structure, payload = builder(coords)
+        else:
+            structure, payload = self.partitioner(coords), None
+        entry_coords = (
+            np.ascontiguousarray(np.asarray(coords, dtype=np.float64))
+            if self.policy is not None
+            else None
+        )
         with self._lock:
-            self._entries[key] = structure
-            self._entries.move_to_end(key)
-            while len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
-        return structure, False
+            self._store(key, _Entry(structure, entry_coords))
+        return structure, "cold", payload
 
     def get_ragged(
         self, coords: np.ndarray
@@ -149,10 +251,18 @@ class PartitionCache:
         digest), so it lives and dies with the cached partition — one
         layout build per distinct cloud, shared by every consumer.
         """
+        structure, layout, outcome = self.acquire_ragged(coords)
+        return structure, layout, outcome == "warm"
+
+    def acquire_ragged(
+        self, coords: np.ndarray
+    ) -> tuple["BlockStructure", "RaggedBlocks", str]:
+        """:meth:`acquire` plus the memoized ragged layout and the full
+        outcome string (the fused window path feeds it to telemetry)."""
         from ..core.ragged import ragged_of
 
-        structure, was_cached = self.get(coords)
-        return structure, ragged_of(structure, coords), was_cached
+        structure, outcome, _ = self.acquire(coords)
+        return structure, ragged_of(structure, coords), outcome
 
     def clear(self) -> None:
         """Drop all entries and reset the hit/miss counters."""
@@ -160,3 +270,70 @@ class PartitionCache:
             self._entries.clear()
             self.hits = 0
             self.misses = 0
+            self.patches = 0
+            self.delta_reuses = 0
+
+    # -- delta protocol ------------------------------------------------------
+
+    def _store(self, key: bytes, entry: _Entry) -> None:
+        """Insert under the lock, evicting LRU overflow."""
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def _take_patcher(self, entry: _Entry) -> Optional["FractalUpdater"]:
+        with self._lock:
+            patcher, entry.patcher = entry.patcher, None
+            return patcher
+
+    def _try_patch(
+        self, entry: _Entry, new64: np.ndarray
+    ) -> tuple["BlockStructure", str, _Entry] | None:
+        """Serve ``new64`` from ``entry`` if the policy allows; else None."""
+        policy = self.policy
+        old = entry.coords
+        if old is None:
+            return None
+        n_old, n_new = len(old), len(new64)
+        if abs(n_new - n_old) > policy.max_churn * max(1, n_old):
+            return None  # cheap reject before the O(n) delta
+        delta = FrameDelta.between(old, new64, policy.motion_threshold)
+        if delta.max_motion > policy.motion_threshold:
+            return None  # drift exceeds block bounds: rebuild
+        if delta.churn > policy.max_churn:
+            return None
+        structure = entry.structure
+        if delta.pure_jitter:
+            cert = certificate_of(structure)
+            if cert is not None and cert.verify(structure, new64):
+                # A rebuild is proven to reproduce this structure: share it.
+                return structure, "reused", _Entry(structure, new64)
+        if structure.strategy != "fractal":
+            return None
+        patcher = self._take_patcher(entry)
+        if patcher is None:
+            cert = certificate_of(structure)
+            if not isinstance(cert, FractalCertificate):
+                return None
+            patcher = updater_from_certificate(cert, structure, old)
+        try:
+            live = entry.live_ids
+            if live is None:
+                live = np.arange(n_old, dtype=np.int64)
+            if delta.n_deleted:
+                patcher.remove(live[delta.retained:])
+            if len(delta.moved):
+                patcher.move(live[delta.moved], new64[delta.moved])
+            if delta.n_inserted:
+                patcher.insert(new64[delta.retained:])
+            patched, new_live = patcher.structure()
+            # Sanity gate: a corrupted patch must rebuild, never serve.
+            if patched.num_points != n_new:
+                raise ValueError("patched structure lost points")
+            if not np.array_equal(patcher.coords(), new64):
+                raise ValueError("patched coordinates misaligned with frame")
+            patched.validate()
+        except Exception:
+            return None
+        return patched, "patched", _Entry(patched, new64, patcher, new_live)

@@ -41,6 +41,8 @@ import numpy as np
 
 from ..core import bppo, dispatch
 from ..core.bppo import BlockWork, OpTrace, allocate_samples
+from ..core.coldpath import fused_build_and_sample
+from ..core.delta import PatchPolicy
 from ..core.ragged import (
     RaggedBlocks,
     ball_query_on_layout,
@@ -105,6 +107,12 @@ class CloudResult:
     ``reused`` marks a result replayed from an identical earlier cloud of
     the same batch (request deduplication); its arrays are shared with the
     original result, so treat them as read-only.
+
+    ``partition_source`` records how the partition was obtained —
+    ``"warm"`` (exact cache hit), ``"reused"`` (certificate-verified
+    reuse of a near-match), ``"patched"`` (incremental delta update), or
+    ``"cold"`` (full build); empty on results from engines predating the
+    delta protocol.
     """
 
     index: int
@@ -118,6 +126,7 @@ class CloudResult:
     interpolated: np.ndarray | None
     traces: dict[str, OpTrace] = field(default_factory=dict)
     reused: bool = False
+    partition_source: str = ""
 
 
 @dataclass
@@ -131,6 +140,12 @@ class ExecutorStats:
     cache_hits: int = 0
     cache_misses: int = 0
     reused: int = 0
+    #: Cache misses absorbed by the delta protocol (certificate reuse or
+    #: an incremental patch) instead of a full rebuild.  Zero unless the
+    #: engine was built with ``delta=True``.
+    patched: int = 0
+    #: Cache misses that paid a full partition build.
+    cold: int = 0
     #: Per-cloud processing-latency percentiles in seconds (replayed
     #: duplicates count at ~0 — a served repeat really is that cheap).
     latency_p50: float = 0.0
@@ -158,7 +173,13 @@ class ExecutorStats:
             f"latency p50/p95/p99 {self.latency_p50 * 1e3:.2f}/"
             f"{self.latency_p95 * 1e3:.2f}/{self.latency_p99 * 1e3:.2f} ms | "
             f"cache {self.cache_hits}/{self.clouds} hits, "
-            f"{self.reused} reused | overlap {self.speedup_over_busy:.2f}x"
+            f"{self.reused} reused | "
+            + (
+                f"partitions {self.cold} cold, {self.patched} patched | "
+                if self.patched
+                else ""
+            )
+            + f"overlap {self.speedup_over_busy:.2f}x"
         )
 
 
@@ -216,7 +237,9 @@ _PROCESS_ENGINE: "BatchExecutor | None" = None
 
 
 def _process_init(partitioner_name: str, block_size: int, kernel: str,
-                  cache_size: int) -> None:
+                  cache_size: int, build_kernel: str = "auto",
+                  delta: bool = False,
+                  delta_policy: "PatchPolicy | None" = None) -> None:
     global _PROCESS_ENGINE
     _PROCESS_ENGINE = BatchExecutor(
         partitioner_name,
@@ -224,6 +247,9 @@ def _process_init(partitioner_name: str, block_size: int, kernel: str,
         max_workers=1,
         kernel=kernel,
         cache_size=cache_size,
+        build_kernel=build_kernel,
+        delta=delta,
+        delta_policy=delta_policy,
     )
 
 
@@ -302,6 +328,21 @@ class BatchExecutor:
             clouds even when nothing repeats, so the window bounds
             steady-state memory on unbounded unique streams (at the
             default 32 and 8 K-point clouds, a few tens of MB).
+        delta: enable the streaming-frames delta protocol — on a cache
+            miss the partition cache scans recent entries for a
+            near-match and serves a certificate-verified reuse or an
+            incrementally patched structure (bit-identical to a rebuild)
+            instead of partitioning from scratch.  See
+            :class:`repro.core.delta.PatchPolicy`.
+        delta_policy: explicit :class:`~repro.core.delta.PatchPolicy`
+            (implies ``delta=True``); ``None`` with ``delta=True`` uses
+            the policy defaults.
+        build_kernel: cold-build strategy on a cache miss —
+            ``"build_then_sample"`` partitions then runs block FPS,
+            ``"fused"`` interleaves per-leaf FPS with tree construction
+            (:mod:`repro.core.coldpath`), ``"auto"`` (default) lets the
+            cost model pick (``REPRO_BUILD`` overrides).  Bit-identical
+            either way.
     """
 
     def __init__(
@@ -320,6 +361,9 @@ class BatchExecutor:
         cache_size: int = 64,
         reuse_results: bool = True,
         reuse_window: int = 32,
+        delta: bool = False,
+        delta_policy: PatchPolicy | None = None,
+        build_kernel: str = "auto",
     ):
         if mode not in ("thread", "process", "serial"):
             raise ValueError(f"mode must be thread|process|serial, got {mode!r}")
@@ -364,7 +408,16 @@ class BatchExecutor:
         self.cache_size = cache_size
         self.reuse_results = reuse_results
         self.reuse_window = reuse_window
-        self.cache = PartitionCache(self.partitioner, maxsize=cache_size)
+        self.build_kernel = dispatch.validate_build_kernel(build_kernel)
+        policy = (
+            (delta_policy or PatchPolicy())
+            if (delta or delta_policy is not None)
+            else None
+        )
+        self.delta = policy is not None
+        self.cache = PartitionCache(
+            self.partitioner, maxsize=cache_size, policy=policy
+        )
         # Persistent worker pool: created lazily on first parallel use,
         # reused by every stream()/execute_window() after that, joined by
         # close().  The serving layer closes one window every few ms, so
@@ -383,9 +436,28 @@ class BatchExecutor:
     ) -> CloudResult:
         """Run the full BPPO pipeline on one cloud."""
         start = time.perf_counter()
-        structure, cache_hit = self.cache.get(coords)
-
         n = len(coords)
+        num_samples = pipeline.samples_for(n)
+
+        def cold_build(c: np.ndarray):
+            """Cache-miss builder: the fused kernel hands back its FPS
+            result as the acquire payload, so a fused cold build never
+            pays a second sampling pass below."""
+            name = dispatch.resolve_build_kernel(
+                self.partitioner, n, num_samples, self.build_kernel
+            )
+            if name == "fused":
+                built, sampled, trace = fused_build_and_sample(
+                    self.partitioner, c, num_samples
+                )
+                return built, (sampled, trace)
+            return self.partitioner(c), None
+
+        structure, source, payload = self.cache.acquire(
+            coords, builder=cold_build
+        )
+        cache_hit = source == "warm"
+
         feats = coords if features is None else features
         traces: dict[str, OpTrace] = {}
 
@@ -395,16 +467,18 @@ class BatchExecutor:
         # work instead of the population-proportion estimate.  A pinned
         # kernel never consults the cost model, so skip the bookkeeping.
         auto = self.kernel == "auto"
-        num_samples = pipeline.samples_for(n)
-        quotas = (
-            allocate_samples(structure.block_sizes, num_samples, clamp=True)
-            if auto
-            else None
-        )
-        sampled, traces["fps"] = dispatch.run_op(
-            "fps", structure, coords, num_samples,
-            kernel=self.kernel, num_centers=num_samples, center_counts=quotas,
-        )
+        if payload is not None:
+            sampled, traces["fps"] = payload
+        else:
+            quotas = (
+                allocate_samples(structure.block_sizes, num_samples, clamp=True)
+                if auto
+                else None
+            )
+            sampled, traces["fps"] = dispatch.run_op(
+                "fps", structure, coords, num_samples,
+                kernel=self.kernel, num_centers=num_samples, center_counts=quotas,
+            )
         sampled_counts = (
             np.bincount(
                 structure.block_of_point()[sampled],
@@ -444,6 +518,7 @@ class BatchExecutor:
             grouped=grouped,
             interpolated=interpolated,
             traces=traces,
+            partition_source=source,
         )
 
     def run_cloud(
@@ -569,6 +644,14 @@ class BatchExecutor:
             cache_hits=sum(1 for r in results if r.cache_hit and not r.reused),
             cache_misses=sum(1 for r in results if not r.cache_hit),
             reused=sum(1 for r in results if r.reused),
+            patched=sum(
+                1 for r in results
+                if not r.reused and r.partition_source in ("patched", "reused")
+            ),
+            cold=sum(
+                1 for r in results
+                if not r.reused and r.partition_source == "cold"
+            ),
             latency_p50=p50,
             latency_p95=p95,
             latency_p99=p99,
@@ -715,12 +798,12 @@ class BatchExecutor:
         group — the lane keys of :meth:`_run_fused` guarantee it.
         """
         start = time.perf_counter()
-        structures, layouts, hits = [], [], []
+        structures, layouts, sources = [], [], []
         for _, coords, _ in items:
-            structure, layout, hit = self.cache.get_ragged(coords)
+            structure, layout, source = self.cache.acquire_ragged(coords)
             structures.append(structure)
             layouts.append(layout)
-            hits.append(hit)
+            sources.append(source)
         fused = RaggedBlocks.concatenate(layouts)
         coords_f = np.concatenate(
             [np.asarray(coords, dtype=np.float64) for _, coords, _ in items]
@@ -811,13 +894,14 @@ class BatchExecutor:
                     index=index,
                     num_points=n,
                     num_blocks=structure.num_blocks,
-                    cache_hit=hits[g],
+                    cache_hit=sources[g] == "warm",
                     seconds=elapsed * n / total_points,
                     sampled=sampled_f[row_lo:row_hi] - point_off,
                     neighbors=neighbors_f[row_lo:row_hi] - point_off,
                     grouped=grouped_f[row_lo:row_hi],
                     interpolated=interpolated,
                     traces=traces,
+                    partition_source=sources[g],
                 )
             )
         return results
@@ -902,6 +986,9 @@ class BatchExecutor:
                     self.block_size,
                     self.kernel,
                     self.cache_size,
+                    self.build_kernel,
+                    self.delta,
+                    self.cache.policy,
                 ),
             )
         return ThreadPoolExecutor(

@@ -12,7 +12,7 @@
 - :mod:`repro.serve.telemetry` — rolling latency percentiles and window
   health counters, per stream (= per tenant);
 - :mod:`repro.serve.loadgen` — seeded serving-shaped traffic (uniform /
-  diurnal / adversarial profiles, multi-tenant mixes) plus the
+  diurnal / adversarial / frames profiles, multi-tenant mixes) plus the
   ``.npy``-record wire format of ``repro loadgen | repro serve``.
 """
 

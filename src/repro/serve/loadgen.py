@@ -20,7 +20,13 @@ Three traffic profiles stress different scheduler surfaces:
   size ratio to the giants exceeds ``adversary_spread`` (no bucket can
   legally hold both) — best-fit-decreasing strands nearly everything as
   singleton fallbacks, the worst case the planner and the persistent
-  pool must absorb.
+  pool must absorb;
+- ``frames`` — one simulated sensor: each frame is the previous frame
+  with every point nudged inside a ball of radius ``frame_motion``
+  (bounded per-point displacement, so a delta policy with
+  ``motion_threshold >= frame_motion`` always qualifies) and a
+  ``frame_churn`` fraction of the tail replaced by fresh returns — the
+  streaming workload the cold-path delta protocol exists for.
 
 Multi-tenant traffic comes from :func:`tenant_specs` (one seeded
 rate/size mix per tenant) merged by :func:`generate_tenants` into a
@@ -64,7 +70,7 @@ __all__ = [
 
 _MAGIC = b"\x93NUMPY"
 
-_PROFILES = ("uniform", "diurnal", "adversarial")
+_PROFILES = ("uniform", "diurnal", "adversarial", "frames")
 
 
 @dataclass(frozen=True)
@@ -96,6 +102,12 @@ class LoadSpec:
             profile defeats (``None`` = ``max_points``).
         adversary_spread: the planner spread cap the giant/dwarf ratio
             must exceed.
+        frame_motion: ``frames`` profile — per-frame displacement bound;
+            every retained point moves uniformly inside a ball of this
+            radius, so ``max_motion <= frame_motion`` holds exactly.
+        frame_churn: ``frames`` profile — fraction of the cloud's tail
+            replaced by fresh sensor returns each frame (delete + insert
+            churn for the delta protocol), in ``[0, 1)``.
     """
 
     clouds: int = 64
@@ -112,6 +124,8 @@ class LoadSpec:
     drift_amplitude: float = 0.5
     adversary_points: int | None = None
     adversary_spread: float = 4.0
+    frame_motion: float = 0.02
+    frame_churn: float = 0.1
 
     def __post_init__(self):
         if self.clouds < 1:
@@ -149,6 +163,14 @@ class LoadSpec:
         if self.adversary_spread <= 1.0:
             raise ValueError(
                 f"adversary_spread must be > 1, got {self.adversary_spread}"
+            )
+        if self.frame_motion < 0:
+            raise ValueError(
+                f"frame_motion must be >= 0, got {self.frame_motion}"
+            )
+        if not 0.0 <= self.frame_churn < 1.0:
+            raise ValueError(
+                f"frame_churn must be in [0, 1), got {self.frame_churn}"
             )
 
 
@@ -195,18 +217,53 @@ def _burst_gap(spec: LoadSpec, burst_index: int, base: float) -> float:
     return base
 
 
+def _advance_frame(
+    cloud: np.ndarray, spec: LoadSpec, rng: np.random.Generator
+) -> np.ndarray:
+    """One step of the ``frames`` sensor: bounded jitter + tail churn.
+
+    Retained points keep their row order (the frame-delta contract of
+    :meth:`repro.core.delta.FrameDelta.between`); each moves uniformly
+    inside a ball of radius ``frame_motion``, and the trailing
+    ``frame_churn`` fraction is replaced by fresh uniform returns drawn
+    in the cloud's bounding box.
+    """
+    n = len(cloud)
+    out = cloud.copy()
+    if spec.frame_motion > 0:
+        dirs = rng.normal(size=(n, 3))
+        norms = np.linalg.norm(dirs, axis=1, keepdims=True)
+        norms[norms == 0] = 1.0
+        radii = spec.frame_motion * rng.random((n, 1)) ** (1.0 / 3.0)
+        out += dirs / norms * radii
+    k = min(int(round(spec.frame_churn * n)), n - 1)
+    if k > 0:
+        lo, hi = out.min(axis=0), out.max(axis=0)
+        span = np.where(hi - lo > 0, hi - lo, 1.0)
+        fresh = lo + rng.random((k, 3)) * span
+        out = np.concatenate([out[:-k], fresh])
+    return np.ascontiguousarray(out)
+
+
 def _frames(spec: LoadSpec) -> Iterator[np.ndarray]:
     """The spec's cloud sequence, deterministic, without pacing."""
     rng = np.random.default_rng(spec.seed)
     recent: deque[np.ndarray] = deque(maxlen=spec.dup_window)
+    current: np.ndarray | None = None  # the `frames` sensor state
     for emitted in range(spec.clouds):
         if recent and rng.random() < spec.dup_rate:
             cloud = recent[int(rng.integers(len(recent)))]
+        elif spec.profile == "frames" and current is not None:
+            current = _advance_frame(current, spec, rng)
+            cloud = current
+            recent.append(cloud)
         else:
             n = _draw_size(spec, rng, emitted)
             cloud = load_cloud(
                 spec.dataset, n, seed=spec.seed * 100_003 + emitted
             ).coords.astype(np.float64)
+            if spec.profile == "frames":
+                current = cloud
             recent.append(cloud)
         yield cloud
 

@@ -52,6 +52,11 @@ class ServeReport:
 
     ``label`` names the stream the numbers belong to (the tenant, in
     multi-tenant serving; empty for a single-stream server).
+
+    The partition-source split (``cold`` / ``patched`` / ``warm``)
+    counts how each distinct cloud's partition was obtained — full cold
+    build, delta protocol (certificate reuse or incremental patch), or
+    exact cache hit.  All zero on servers predating the delta protocol.
     """
 
     clouds: int
@@ -68,6 +73,9 @@ class ServeReport:
     max_queue_depth: int
     timeout_windows: int
     label: str = ""
+    cold_clouds: int = 0
+    patched_clouds: int = 0
+    warm_clouds: int = 0
 
     @property
     def clouds_per_second(self) -> float:
@@ -97,6 +105,11 @@ class ServeReport:
             f"{self.timeout_windows} closed on timeout, "
             f"max queue depth {self.max_queue_depth}",
         ]
+        if self.cold_clouds or self.patched_clouds or self.warm_clouds:
+            lines.append(
+                f"  partitions {self.cold_clouds} cold, "
+                f"{self.patched_clouds} patched, {self.warm_clouds} warm"
+            )
         return "\n".join(lines)
 
 
@@ -139,6 +152,9 @@ class ServeTelemetry:
         self.max_queue_depth = 0
         self.timeout_windows = 0
         self.last_queue_depth = 0
+        self.cold_clouds = 0
+        self.patched_clouds = 0
+        self.warm_clouds = 0
 
     # -- recording -----------------------------------------------------------
 
@@ -157,13 +173,24 @@ class ServeTelemetry:
         reused: int,
         queue_depth: int,
         timed_out: bool,
+        cold: int = 0,
+        patched: int = 0,
+        warm: int = 0,
     ) -> None:
-        """One window executed (counts, not timings — latency is per cloud)."""
+        """One window executed (counts, not timings — latency is per cloud).
+
+        ``cold``/``patched``/``warm`` split the window's distinct clouds
+        by partition source (zero when the serving layer predates the
+        delta protocol or the engine runs without it).
+        """
         self.windows += 1
         self.buckets += buckets
         self.fused_clouds += fused
         self.singleton_clouds += singletons
         self.reused_clouds += reused
+        self.cold_clouds += cold
+        self.patched_clouds += patched
+        self.warm_clouds += warm
         self.occupancy_sum += size
         self.last_queue_depth = queue_depth
         self.max_queue_depth = max(self.max_queue_depth, queue_depth)
@@ -194,6 +221,12 @@ class ServeTelemetry:
             f"queue {self.last_queue_depth} | "
             f"occupancy {self.mean_occupancy:.0%} | "
             f"fused {fused_ratio:.0%} | reused {self.reused_clouds}"
+            + (
+                f" | cold/patched/warm {self.cold_clouds}/"
+                f"{self.patched_clouds}/{self.warm_clouds}"
+                if self.patched_clouds or self.warm_clouds
+                else ""
+            )
         )
 
     def tick(self) -> str | None:
@@ -220,4 +253,7 @@ class ServeTelemetry:
             max_queue_depth=self.max_queue_depth,
             timeout_windows=self.timeout_windows,
             label=self.label,
+            cold_clouds=self.cold_clouds,
+            patched_clouds=self.patched_clouds,
+            warm_clouds=self.warm_clouds,
         )

@@ -287,6 +287,7 @@ class WindowedServer:
             while len(done) > self.engine.reuse_window:
                 done.popitem(last=False)
 
+        sources = [results[index].partition_source for index, _, _ in uniques]
         self.telemetry.record_window(
             size=len(batch),
             buckets=plan.buckets,
@@ -295,6 +296,9 @@ class WindowedServer:
             reused=len(replays) + len(dup_of),
             queue_depth=queue_depth,
             timed_out=timed_out,
+            cold=sources.count("cold"),
+            patched=sources.count("patched") + sources.count("reused"),
+            warm=sources.count("warm"),
         )
         for arrival in batch:
             latency = time.perf_counter() - arrival.arrived

@@ -198,3 +198,141 @@ class TestBatchExecutor:
         )
         assert set(result.traces) == {"fps", "ball_query", "gather", "interpolate"}
         assert result.traces["fps"].total_outputs == len(result.sampled)
+
+
+def make_frame_stream(count, n=400, seed=0, churn=0, motion=1e-3):
+    """A jittered (optionally churned) frame sequence from one sensor."""
+    rng = np.random.default_rng(seed)
+    frame = rng.normal(size=(n, 3))
+    frames = [frame]
+    for _ in range(count - 1):
+        dirs = rng.normal(size=frame.shape)
+        norms = np.linalg.norm(dirs, axis=1, keepdims=True)
+        norms[norms == 0] = 1.0
+        radii = motion * rng.random((len(frame), 1)) ** (1.0 / 3.0)
+        frame = frame + dirs / norms * radii
+        if churn:
+            frame = np.concatenate(
+                [frame[:-churn], rng.normal(size=(churn, 3))]
+            )
+        frames.append(frame)
+    return frames
+
+
+class TestDeltaEngine:
+    def test_jitter_stream_bit_identical_to_rebuild_engine(self):
+        # Pure jitter only ever takes the certificate path (proven
+        # rebuild identity) or a cold build — so every result must match
+        # an engine that rebuilds each frame from scratch.
+        frames = make_frame_stream(6, seed=1)
+        pipe = PipelineSpec(sample_ratio=0.25)
+        ref = BatchExecutor(
+            "fractal", mode="serial", reuse_results=False
+        ).run(frames, pipe)
+        dlt = BatchExecutor(
+            "fractal", mode="serial", reuse_results=False, delta=True
+        ).run(frames, pipe)
+        for a, b in zip(ref.results, dlt.results):
+            assert np.array_equal(a.sampled, b.sampled)
+            assert np.array_equal(a.neighbors, b.neighbors)
+            assert np.array_equal(a.grouped, b.grouped)
+            assert np.array_equal(a.interpolated, b.interpolated)
+        assert dlt.stats.patched >= 4
+        assert dlt.stats.cold == 1
+
+    def test_partition_source_and_counters(self):
+        frames = make_frame_stream(5, seed=2, churn=10)
+        report = BatchExecutor(
+            "fractal", mode="serial", reuse_results=False, delta=True
+        ).run(frames, PipelineSpec(sample_ratio=0.25))
+        sources = [r.partition_source for r in report.results]
+        assert sources[0] == "cold"
+        assert all(s in ("cold", "reused", "patched", "warm") for s in sources)
+        stats = report.stats
+        assert stats.patched + stats.cold + stats.cache_hits == len(frames)
+        # The delta path still counts as a cache miss (no exact hit).
+        assert stats.cache_misses == stats.patched + stats.cold
+        assert "patched" in stats.summary()
+
+    def test_churned_frames_serve_valid_results(self):
+        frames = make_frame_stream(5, seed=3, churn=15)
+        pipe = PipelineSpec(sample_ratio=0.25)
+        report = BatchExecutor(
+            "fractal", mode="serial", reuse_results=False, delta=True
+        ).run(frames, pipe)
+        assert report.stats.patched >= 3
+        for frame, result in zip(frames, report.results):
+            n = len(frame)
+            assert result.num_points == n
+            assert len(result.sampled) == pipe.samples_for(n)
+            assert len(np.unique(result.sampled)) == len(result.sampled)
+            assert result.sampled.max() < n
+            assert result.interpolated.shape == (n, 3)
+            assert set(result.traces) == {
+                "fps", "ball_query", "gather", "interpolate"
+            }
+
+    def test_corrupted_patch_rebuilds_with_correct_results(self, monkeypatch):
+        class BrokenPatcher:
+            def __init__(self, structure, coords):
+                self._structure = structure
+                self._coords = coords
+
+            def remove(self, ids):
+                pass
+
+            def move(self, ids, new_coords):
+                pass
+
+            def insert(self, coords):
+                return np.arange(len(coords), dtype=np.int64)
+
+            def structure(self):
+                return self._structure, np.arange(
+                    self._structure.num_points, dtype=np.int64
+                )
+
+            def coords(self):
+                return self._coords
+
+        frames = make_frame_stream(4, seed=4, churn=10)
+        pipe = PipelineSpec(sample_ratio=0.25)
+        engine = BatchExecutor(
+            "fractal", mode="serial", reuse_results=False, delta=True
+        )
+        first = engine.cache.partitioner(frames[0])
+        monkeypatch.setattr(
+            "repro.runtime.cache.updater_from_certificate",
+            lambda cert, structure, coords: BrokenPatcher(first, frames[0]),
+        )
+        report = engine.run(frames, pipe)
+        # Every patch attempt failed its sanity gate, so every frame
+        # paid a cold build — and the results must equal the plain
+        # engine's bit for bit.
+        assert report.stats.patched == 0
+        assert report.stats.cold == len(frames)
+        ref = BatchExecutor(
+            "fractal", mode="serial", reuse_results=False
+        ).run(frames, pipe)
+        for a, b in zip(ref.results, report.results):
+            assert np.array_equal(a.sampled, b.sampled)
+            assert np.array_equal(a.interpolated, b.interpolated)
+
+    def test_delta_policy_implies_delta(self):
+        from repro.core.delta import PatchPolicy
+
+        engine = BatchExecutor(
+            "fractal", delta_policy=PatchPolicy(motion_threshold=0.5)
+        )
+        assert engine.delta
+        assert engine.cache.policy.motion_threshold == 0.5
+
+    def test_non_delta_engine_reports_cold_sources(self):
+        clouds = make_clouds(3, seed=5, max_n=150)
+        report = BatchExecutor(
+            "kdtree", mode="serial", reuse_results=False
+        ).run(clouds, PipelineSpec())
+        assert all(
+            r.partition_source == "cold" for r in report.results
+        )
+        assert report.stats.patched == 0

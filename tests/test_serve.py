@@ -760,3 +760,138 @@ class TestExecutorSummary:
         report = BatchExecutor("kdtree", max_workers=1).run([])
         assert report.stats.latency_p99 == 0.0
         assert "0 reused" in report.summary()
+
+
+class TestFramesProfile:
+    """The streaming-frames loadgen profile: one simulated sensor whose
+    cloud jitters inside a motion ball and churns a tail fraction."""
+
+    def frames_spec(self, **overrides):
+        base = dict(clouds=10, min_points=200, max_points=240,
+                    dup_rate=0.0, profile="frames", frame_motion=0.02,
+                    frame_churn=0.0, seed=31)
+        base.update(overrides)
+        return LoadSpec(**base)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="frame_motion"):
+            LoadSpec(profile="frames", frame_motion=-0.1)
+        with pytest.raises(ValueError, match="frame_churn"):
+            LoadSpec(profile="frames", frame_churn=1.0)
+        with pytest.raises(ValueError, match="frame_churn"):
+            LoadSpec(profile="frames", frame_churn=-0.2)
+
+    def test_seeded_and_deterministic(self):
+        spec = self.frames_spec(frame_churn=0.15)
+        first = list(generate(spec))
+        second = list(generate(spec))
+        assert len(first) == 10
+        assert all(np.array_equal(a, b) for a, b in zip(first, second))
+
+    def test_jitter_bounded_by_frame_motion(self):
+        spec = self.frames_spec()
+        frames = list(generate(spec))
+        sizes = {len(f) for f in frames}
+        assert len(sizes) == 1  # one sensor, constant frame size
+        for old, new in zip(frames, frames[1:]):
+            disp = np.linalg.norm(new - old, axis=1)
+            assert disp.max() <= spec.frame_motion * (1 + 1e-9)
+            assert disp.max() > 0  # the sensor actually moves
+
+    def test_churn_replaces_tail_only(self):
+        spec = self.frames_spec(frame_motion=1e-3, frame_churn=0.25)
+        frames = list(generate(spec))
+        n = len(frames[0])
+        k = int(round(spec.frame_churn * n))
+        assert k > 0
+        churned = 0
+        for old, new in zip(frames, frames[1:]):
+            disp = np.linalg.norm(new - old, axis=1)
+            # The retained prefix only jitters ...
+            assert disp[: n - k].max() <= spec.frame_motion * (1 + 1e-9)
+            # ... while churned tail rows are fresh dataset draws.
+            if disp[n - k:].max() > 10 * spec.frame_motion:
+                churned += 1
+        assert churned >= len(frames) // 2
+
+    def test_dup_rate_replays_same_frame_object(self):
+        spec = self.frames_spec(clouds=40, dup_rate=0.5, seed=9)
+        frames = list(generate(spec))
+        repeats = sum(
+            1 for i, f in enumerate(frames)
+            if any(f is earlier for earlier in frames[:i])
+        )
+        assert repeats > 0
+
+
+class TestDeltaServe:
+    """Serving a frame stream through a delta-enabled engine: telemetry
+    must split partition work into cold / patched / warm, and jitter-only
+    streams must stay bit-identical to a rebuild-every-frame server."""
+
+    PIPELINE = PipelineSpec(sample_ratio=0.25, radius=0.4, group_size=8)
+
+    def frame_stream(self, clouds, churn, seed=17, motion=0.02):
+        spec = LoadSpec(
+            clouds=clouds, min_points=260, max_points=300, dup_rate=0.0,
+            profile="frames", frame_motion=motion, frame_churn=churn,
+            seed=seed,
+        )
+        return list(generate(spec))
+
+    def test_telemetry_splits_partition_sources(self):
+        frames = self.frame_stream(12, churn=0.1)
+        engine = BatchExecutor("fractal", max_workers=1, delta=True)
+        served, telemetry = serve_all(
+            engine, frames, self.PIPELINE, WindowConfig(max_clouds=4)
+        )
+        assert len(served) == 12
+        report = telemetry.report(wall_seconds=1.0)
+        assert report.cold_clouds >= 1
+        assert report.patched_clouds > 0
+        assert (report.cold_clouds + report.patched_clouds
+                + report.warm_clouds) == 12
+        assert "partitions" in report.format()
+        assert "cold/patched/warm" in telemetry.stats_line()
+
+    def test_jitter_only_delta_serving_is_bit_identical(self):
+        # Small jitter keeps every point on its side of the split
+        # planes, so each frame takes the certificate path (proven
+        # rebuild-identical) or a cold build, and the delta server must
+        # emit exactly what a rebuild-every-frame server emits.  (Larger
+        # motion may fail certificate verification and fall back to the
+        # updater, which serves a valid but not rebuild-identical
+        # partition — that path is covered by the executor delta suite.)
+        frames = self.frame_stream(8, churn=0.0, motion=1e-4)
+        window = WindowConfig(max_clouds=3)
+        plain, _ = serve_all(
+            BatchExecutor("fractal", max_workers=1, reuse_results=False),
+            frames, self.PIPELINE, window,
+        )
+        delta, telemetry = serve_all(
+            BatchExecutor(
+                "fractal", max_workers=1, reuse_results=False, delta=True
+            ),
+            frames, self.PIPELINE, window,
+        )
+        sources = [r.partition_source for r in delta]
+        assert set(sources) <= {"cold", "reused"}
+        assert "reused" in sources
+        for a, b in zip(plain, delta):
+            assert np.array_equal(a.sampled, b.sampled)
+            assert np.array_equal(a.neighbors, b.neighbors)
+            assert np.array_equal(a.grouped, b.grouped)
+            assert np.array_equal(a.interpolated, b.interpolated)
+        report = telemetry.report(wall_seconds=1.0)
+        assert report.patched_clouds > 0  # certificate reuses count here
+
+    def test_plain_engine_reports_all_cold(self):
+        clouds = [make_cloud(n, seed=3000 + n) for n in (40, 60, 80)]
+        engine = BatchExecutor("kdtree", block_size=16, max_workers=1)
+        _, telemetry = serve_all(
+            engine, clouds, self.PIPELINE, WindowConfig(max_clouds=2)
+        )
+        report = telemetry.report(wall_seconds=1.0)
+        assert report.cold_clouds == 3
+        assert report.patched_clouds == 0 and report.warm_clouds == 0
+        assert "cold/patched/warm" not in telemetry.stats_line()
