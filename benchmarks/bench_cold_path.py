@@ -15,13 +15,12 @@ Two lanes around partition construction, the serving layer's cold cost:
   acceptance bar is >= 1.3x on the jittered sequence — measured, not
   assumed.
 
-The churned lane is reported without a speed bar: the updater bounds the
-*points touched* (see ``bench_dynamic_update``), but its per-point tree
-routing is Python-bound while this implementation's full rebuild is a
-fast vectorised sweep, so patching roughly breaks even on wall-clock
-here.  The paper's claim for churned updates is about on-chip update
-work, which the work counters capture; the wall-clock win this bench
-demonstrates is certificate reuse on jittered frames.
+The churned lane carries its own speed bar since the updater went
+batch-vectorised: insert/remove/move land per leaf as bulk set updates
+behind one grouped tree descent, and the ``structure()`` export is one
+vectorised pass (Euler-tour parent slices + an id→row gather), so
+incremental patching beats the full rebuild on wall-clock (>= 1.2x
+asserted) as well as on points touched (see ``bench_dynamic_update``).
 """
 
 import numpy as np
@@ -44,9 +43,9 @@ FRAMES = 8
 SAMPLE_RATIO = 0.25
 
 #: (label, frame_motion, frame_churn).  The churn lane keeps motion at
-#: zero so it isolates insert/delete patching: any nonzero jitter marks
-#: every retained point as moved, and per-point move application is
-#: Python-bound (the certificate path is how jitter stays cheap).
+#: zero so it isolates insert/delete patching (nonzero jitter marks
+#: every retained point as moved and routes through the certificate
+#: path instead, which the jitter lane measures on its own).
 SEQUENCES = (
     ("jitter", 1e-6, 0.0),
     ("5% churn", 0.0, 0.05),
@@ -158,5 +157,7 @@ def test_cold_path(benchmark):
     table, speedups = benchmark.pedantic(run_bench, rounds=1, iterations=1)
     emit("cold_path", table)
     # Acceptance: the delta protocol beats per-frame rebuilds by >= 1.3x
-    # on the jittered sensor sequence.
+    # on the jittered sensor sequence, and the batch-vectorised updater
+    # makes the churned-patch lane beat the rebuild outright too.
     assert speedups["jitter"] >= 1.3, speedups
+    assert speedups["5% churn"] >= 1.2, speedups

@@ -124,8 +124,11 @@ def test_ragged_kernels(benchmark):
     table, mid_results = benchmark.pedantic(run_bench, rounds=1, iterations=1)
     emit("ragged_kernels", table)
     # Acceptance: in the mid-size regime the dispatcher must choose the
-    # ragged path on its own, and that path must beat the per-block loop.
+    # ragged path on its own, and that path must beat the per-block loop
+    # with a real margin — the fused multi-k KNN extraction (one padded
+    # stable argsort instead of k segment-min passes) widened it from
+    # the historical ~1.1x.
     assert mid_results, "sweep produced no mid-regime configuration"
     for choice, speedup in mid_results:
         assert choice == "ragged"
-        assert speedup > 1.0
+        assert speedup >= 1.1

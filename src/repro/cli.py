@@ -19,7 +19,11 @@ Six subcommands cover the common workflows without writing any code:
   live latency telemetry: ``repro loadgen | repro serve``.
   ``--tenants N`` serves N sessions through one shared engine with
   deficit-round-robin fairness and cross-tenant fusion; ``--adaptive``
-  resizes the window online from arrival rate + rolling p95.
+  resizes the window online from arrival rate + rolling p95;
+  ``--shards N`` replaces the in-process server with the sharded
+  front-end (:mod:`repro.shard`): a consistent-hash router over N
+  engine worker processes with shared-memory array transport
+  (``--transport shm|pickle``, ``--affinity content|stream``).
 """
 
 from __future__ import annotations
@@ -185,6 +189,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         drift_amplitude=args.drift_amplitude,
         frame_motion=args.frame_motion,
         frame_churn=args.frame_churn,
+        hot_assets=args.hot_assets,
+        hot_rate=args.hot_rate,
     )
     if args.tenants > 0:
         specs = tenant_specs(args.tenants, spec)
@@ -210,6 +216,74 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         f"seed {spec.seed}{tenants})",
         file=sys.stderr,
     )
+    return 0
+
+
+def _serve_sharded(args: argparse.Namespace, source, tenants: int) -> int:
+    """``repro serve --shards N``: the consistent-hash router front-end.
+
+    Tagged (multi-tenant) streams route by their stream tag under
+    ``--affinity stream``; untagged traffic defaults to content affinity
+    so hot assets pin to shards.  Results stay bit-identical to the
+    single-process server over the same stream.
+    """
+    from .shard import ShardRouter
+
+    engine_kwargs = dict(
+        partitioner=args.partitioner,
+        block_size=args.block_size,
+        kernel=args.kernel,
+        fuse_max_points=args.fuse_max_points if args.fuse_max_points > 0 else None,
+        fuse_max_spread=args.fuse_max_spread if args.fuse_max_spread > 0 else None,
+        delta=args.delta,
+        delta_policy=(
+            PatchPolicy(motion_threshold=args.motion_threshold)
+            if args.delta
+            else None
+        ),
+        build_kernel=args.build,
+    )
+    pipeline = PipelineSpec(
+        sample_ratio=args.sample_ratio,
+        radius=args.radius,
+        group_size=args.group_size,
+    )
+    router = ShardRouter(
+        args.shards,
+        engine=engine_kwargs,
+        pipeline=pipeline,
+        transport=args.transport,
+        affinity=args.affinity,
+        arena_bytes=args.arena_mb << 20,
+        max_clouds=args.window,
+        max_in_flight=args.in_flight if args.in_flight > 0 else 4 * args.shards,
+        telemetry=ServeTelemetry(
+            window_capacity=args.window, every=args.stats_every
+        ),
+    )
+    print(
+        f"serve: {args.shards} shards over {args.transport} transport "
+        f"({router.affinity} affinity) on {args.partitioner} "
+        f"(window {args.window}, in-flight {router.max_in_flight}"
+        + (", delta" if args.delta else "")
+        + (f", {tenants} tenants" if tenants else "")
+        + ")"
+    )
+    start = time.perf_counter()
+    served = 0
+    points = 0
+    with router:
+        for result in router.serve(source):
+            served += 1
+            points += result.result.num_points
+        wall = time.perf_counter() - start
+        print(router.report(wall).format())
+        shares = ", ".join(
+            f"{name} {stats['served']}"
+            for name, stats in router.shard_stats.items()
+        )
+        print(f"  shard share: {shares}")
+    print(f"served {served} clouds total | {points / wall / 1e3:.0f}K points/s")
     return 0
 
 
@@ -243,6 +317,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     else:
         close = open(args.input, "rb")
         source = read_tenant_stream(close) if tenants else read_stream(close)
+    if args.shards > 0:
+        try:
+            return _serve_sharded(args, source, tenants)
+        finally:
+            if close is not None:
+                close.close()
     engine = BatchExecutor(
         args.partitioner,
         block_size=args.block_size,
@@ -414,13 +494,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dataset", choices=DATASET_NAMES, default="modelnet40")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--profile",
-                   choices=["uniform", "diurnal", "adversarial", "frames"],
+                   choices=["uniform", "diurnal", "adversarial", "frames",
+                            "hotset"],
                    default="uniform",
                    help="traffic shape: 'diurnal' drifts sizes/pacing "
                         "sinusoidally, 'adversarial' emits spread mixes "
                         "that defeat best-fit-decreasing packing, 'frames' "
                         "evolves one sensor cloud per frame (bounded "
-                        "motion + tail churn — the delta-protocol stream)")
+                        "motion + tail churn — the delta-protocol stream), "
+                        "'hotset' draws a --hot-rate fraction of requests "
+                        "from a fixed catalog of --hot-assets clouds (the "
+                        "content-affine sharding workload)")
     p.add_argument("--drift-period", type=int, default=64,
                    help="diurnal cycle length in clouds")
     p.add_argument("--drift-amplitude", type=float, default=0.5,
@@ -431,6 +515,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--frame-churn", type=float, default=0.1,
                    help="frames profile: fraction of the tail replaced by "
                         "fresh returns each frame, in [0, 1)")
+    p.add_argument("--hot-assets", type=int, default=16,
+                   help="hotset profile: size of the fixed asset catalog")
+    p.add_argument("--hot-rate", type=float, default=0.8,
+                   help="hotset profile: fraction of requests drawn from "
+                        "the catalog (the rest are one-off cold clouds)")
     p.add_argument("--tenants", type=int, default=0,
                    help="emit a tagged multi-tenant stream: N per-tenant "
                         "rate/size mixes derived from the options above, "
@@ -469,9 +558,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quantum-points", type=float, default=8192.0,
                    help="multi-tenant DRR quantum: points of admission "
                         "credit per tenant per round")
+    p.add_argument("--shards", type=int, default=0,
+                   help="serve through N engine worker processes behind a "
+                        "consistent-hash router (0 = in-process server); "
+                        "each shard runs a private partition cache and "
+                        "dedup window, so the fleet's hot capacity is N x "
+                        "one process")
+    p.add_argument("--transport", choices=["shm", "pickle"], default="shm",
+                   help="sharded array transport: 'shm' moves clouds and "
+                        "results through shared-memory arenas (two copies "
+                        "end to end), 'pickle' ships them inline through "
+                        "the queues (the baseline)")
+    p.add_argument("--affinity", choices=["auto", "content", "stream"],
+                   default="auto",
+                   help="sharded routing key: 'content' pins repeated "
+                        "clouds to one shard (hot-asset caching), 'stream' "
+                        "pins each tenant/sensor stream (keeps --delta "
+                        "patching shard-local); 'auto' = stream when "
+                        "--delta else content")
+    p.add_argument("--arena-mb", type=int, default=64,
+                   help="sharded shm transport: arena size in MiB (one "
+                        "request arena per shard + one response arena per "
+                        "worker; overflow degrades to inline transport)")
     p.add_argument("--in-flight", type=int, default=0,
                    help="backpressure bound on pulled-but-unserved clouds "
-                        "(0 = engine default, 2 x workers)")
+                        "(0 = engine default, 2 x workers; with --shards, "
+                        "4 x shards)")
     p.add_argument("--stats-every", type=int, default=10,
                    help="print a telemetry line every N windows (0 = off)")
     p.add_argument("--partitioner", choices=PARTITIONER_NAMES, default="fractal")

@@ -780,35 +780,23 @@ def _select_knn_flat(
 
     Implements the exact (distance, index) lexicographic rule of
     ``repro.geometry.ops._knn_from_dists``, so the result is bit-identical
-    given identical distance bits.  For the small ``k`` of real pipelines
-    (interpolation uses k=3) the selection is ``k`` segment
-    extract-the-minimum passes — repeated first-tie argmin per centre is
-    precisely the lexicographic order, at O(k·P) with no sort.  Large
-    ``k`` falls back to one global lexsort (pairs are grouped per centre,
-    then ordered by distance-then-candidate; the first ``k`` of each
-    segment win).  Every centre must own at least ``k`` pairs
-    (guaranteed: widened blocks never reach this path).
+    given identical distance bits.  All ``k`` neighbours come out of one
+    fused sweep: the pairs scatter into a dense ``(centres, max_width)``
+    matrix (one vectorised store — the column *is* the local candidate
+    index), padded with ``+inf`` for centres narrower than the widest,
+    and one stable row argsort extracts every rank at once.  A stable
+    sort on distance keeps equal-distance candidates in column order,
+    which is precisely the lexicographic tie-break, and the ``inf`` pad
+    sorts behind every real candidate.  Every centre must own at least
+    ``k`` pairs (guaranteed: widened blocks never reach this path), so
+    the pad can never be selected.
     """
     num_centers = len(pairs_per_center)
-    c_starts = np.zeros(num_centers, dtype=np.int64)
-    np.cumsum(pairs_per_center[:-1], out=c_starts[1:])
-    if k <= 16:
-        total = len(d2)
-        remaining = d2.copy()
-        slots = np.arange(total)
-        out = np.empty((num_centers, k), dtype=np.int64)
-        for j in range(k):
-            seg_min = np.minimum.reduceat(remaining, c_starts)
-            candidates = np.where(
-                remaining == seg_min[center_of_pair], slots, total
-            )
-            first = np.minimum.reduceat(candidates, c_starts)
-            out[:, j] = cand_local[first]
-            remaining[first] = np.inf
-        return out
-    order = np.lexsort((cand_local, d2, center_of_pair))
-    take = c_starts[:, None] + np.arange(k)[None, :]
-    return cand_local[order[take]]
+    width = int(pairs_per_center.max()) if num_centers else 0
+    dense = np.full((num_centers, width), np.inf)
+    dense[center_of_pair, cand_local] = d2
+    order = np.argsort(dense, axis=1, kind="stable")
+    return np.ascontiguousarray(order[:, :k])
 
 
 def ragged_knn(

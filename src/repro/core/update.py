@@ -116,29 +116,58 @@ class FractalUpdater:
         return int(self._alive.sum())
 
     def insert(self, new_coords: np.ndarray) -> np.ndarray:
-        """Insert points; returns their stable ids."""
+        """Insert points; returns their stable ids.
+
+        The whole batch is routed in one vectorized descent
+        (:meth:`_route_groups`) and lands per leaf with one bulk set
+        update; leaves that overflow the threshold split once, after the
+        batch — the local rebuild re-enforces the leaf bound recursively,
+        so the partition invariants match per-point insertion.
+        """
         new_coords = np.asarray(new_coords, dtype=np.float64).reshape(-1, 3)
         start = len(self._coords)
         ids = np.arange(start, start + len(new_coords), dtype=np.int64)
         self._coords = np.concatenate([self._coords, new_coords])
         self._alive = np.concatenate([self._alive, np.ones(len(new_coords), dtype=bool)])
-        for pid in ids:
-            leaf = self._route(self._coords[pid])
-            leaf.members.add(int(pid))
-            self.stats.points_routed += 1
-            if len(leaf.members) > self.config.threshold:
+        self.stats.points_routed += len(ids)
+        touched = self._route_groups(new_coords)
+        for leaf, rows in touched:
+            leaf.members.update(ids[rows].tolist())
+        for leaf, _ in touched:
+            if leaf.is_leaf and len(leaf.members) > self.config.threshold:
                 self._split_leaf(leaf)
         return ids
 
     def remove(self, ids: np.ndarray) -> None:
-        """Remove points by id; merges underfilled sibling leaves."""
-        for pid in np.asarray(ids, dtype=np.int64):
-            if pid < 0 or pid >= len(self._alive) or not self._alive[pid]:
-                raise KeyError(f"point id {int(pid)} is not alive")
-            leaf = self._route(self._coords[pid])
-            leaf.members.discard(int(pid))
-            self._alive[pid] = False
-            self._maybe_merge(leaf)
+        """Remove points by id; merges underfilled sibling leaves.
+
+        Ids are validated up front (any dead, duplicate, or out-of-range
+        id raises before the partition is touched), the batch is routed
+        in one vectorized descent, and each touched leaf pays one bulk
+        ``difference_update``.  Merge maintenance runs after all
+        removals: a cascade can absorb another touched leaf into its
+        parent, so each leaf is merged only while still :meth:`_live`.
+        """
+        ids = np.asarray(ids, dtype=np.int64).reshape(-1)
+        bad = (ids < 0) | (ids >= len(self._alive))
+        if bad.any() or not self._alive[ids].all():
+            first = int(ids[bad][0]) if bad.any() else int(
+                ids[~self._alive[ids]][0]
+            )
+            raise KeyError(f"point id {first} is not alive")
+        if len(np.unique(ids)) != len(ids):
+            unique, counts = np.unique(ids, return_counts=True)
+            raise KeyError(
+                f"point id {int(unique[counts > 1][0])} is not alive "
+                "(repeated in one remove batch)"
+            )
+        touched = self._route_groups(self._coords[ids])
+        self._alive[ids] = False
+        for leaf, rows in touched:
+            leaf.members.difference_update(ids[rows].tolist())
+        for leaf, _ in touched:
+            if leaf.is_leaf and self._live(leaf):
+                self._maybe_merge(leaf)
 
     def move(self, ids: np.ndarray, new_coords: np.ndarray) -> int:
         """Move live points to new coordinates; returns the re-home count.
@@ -146,9 +175,9 @@ class FractalUpdater:
         The common streaming case — sensor jitter — leaves most points
         inside their leaf's half-spaces, so the routing is done for the
         whole batch at once (one vectorized descent with the old and the
-        new coordinates) and only the *crossers* pay the per-point
-        discard/insert bookkeeping, with the usual split/merge
-        maintenance at their source and destination leaves.
+        new coordinates) and only the *crossers* pay bookkeeping — one
+        bulk membership update per source and destination leaf, with the
+        usual split/merge maintenance afterwards.
         """
         ids = np.asarray(ids, dtype=np.int64)
         new_coords = np.asarray(new_coords, dtype=np.float64).reshape(-1, 3)
@@ -160,26 +189,40 @@ class FractalUpdater:
             self._alive[ids]
         ):
             raise KeyError("move() requires live point ids")
-        sources = self._route_many(self._coords[ids])
+        src_groups = self._route_groups(self._coords[ids])
         self._coords[ids] = new_coords
-        dests = self._route_many(new_coords)
+        dst_groups = self._route_groups(new_coords)
         self.stats.points_routed += len(ids)
-        crossed = 0
-        touched_dest: list[_Node] = []
-        touched_src: list[_Node] = []
-        for pid, src, dst in zip(ids.tolist(), sources, dests):
-            if src is dst:
-                continue
-            crossed += 1
-            src.members.discard(pid)
-            dst.members.add(pid)
-            touched_src.append(src)
-            touched_dest.append(dst)
-        for leaf in touched_dest:
-            if leaf.is_leaf and len(leaf.members) > self.config.threshold:
+        # Leaf-identity labels per point: crossers are the rows whose
+        # source and destination labels differ — one array compare
+        # instead of a per-point identity loop.
+        labels: dict[int, int] = {}
+        src_label = np.empty(len(ids), dtype=np.int64)
+        dst_label = np.empty(len(ids), dtype=np.int64)
+        for groups, label_arr in ((src_groups, src_label), (dst_groups, dst_label)):
+            for leaf, rows in groups:
+                label_arr[rows] = labels.setdefault(id(leaf), len(labels))
+        crossing = src_label != dst_label
+        crossed = int(crossing.sum())
+        if not crossed:
+            return 0
+        for leaf, rows in src_groups:
+            moved_out = rows[crossing[rows]]
+            if len(moved_out):
+                leaf.members.difference_update(ids[moved_out].tolist())
+        for leaf, rows in dst_groups:
+            moved_in = rows[crossing[rows]]
+            if len(moved_in):
+                leaf.members.update(ids[moved_in].tolist())
+        for leaf, rows in dst_groups:
+            if (
+                crossing[rows].any()
+                and leaf.is_leaf
+                and len(leaf.members) > self.config.threshold
+            ):
                 self._split_leaf(leaf)
-        for leaf in touched_src:
-            if leaf.is_leaf:
+        for leaf, rows in src_groups:
+            if crossing[rows].any() and leaf.is_leaf and self._live(leaf):
                 self._maybe_merge(leaf)
         return crossed
 
@@ -190,17 +233,23 @@ class FractalUpdater:
             node = node.left if point[node.dim] <= node.mid else node.right
         return node
 
-    def _route_many(self, pts: np.ndarray) -> list[_Node]:
-        """Leaf of each row of ``pts`` via a vectorized tree descent."""
-        out: list[Optional[_Node]] = [None] * len(pts)
+    def _route_groups(self, pts: np.ndarray) -> list[tuple[_Node, np.ndarray]]:
+        """``(leaf, rows)`` batches of ``pts`` via one vectorized descent.
+
+        One searchsorted-style sweep per tree level: every node visit
+        partitions its row set with a single vectorized comparison, so
+        the per-point Python cost of routing a batch is O(leaves
+        touched), not O(points).  Each returned leaf appears exactly
+        once.
+        """
+        groups: list[tuple[_Node, np.ndarray]] = []
         stack: list[tuple[_Node, np.ndarray]] = [
             (self._root, np.arange(len(pts), dtype=np.int64))
         ]
         while stack:
             node, rows = stack.pop()
             if node.is_leaf:
-                for r in rows.tolist():
-                    out[r] = node
+                groups.append((node, rows))
                 continue
             self.stats.comparisons += len(rows)
             go_left = pts[rows, node.dim] <= node.mid
@@ -210,7 +259,29 @@ class FractalUpdater:
                 stack.append((node.left, left_rows))
             if len(right_rows):
                 stack.append((node.right, right_rows))
+        return groups
+
+    def _route_many(self, pts: np.ndarray) -> list[_Node]:
+        """Leaf of each row of ``pts`` (kept for per-point consumers)."""
+        out: list[Optional[_Node]] = [None] * len(pts)
+        for leaf, rows in self._route_groups(pts):
+            for r in rows.tolist():
+                out[r] = leaf
         return out
+
+    @staticmethod
+    def _live(leaf: _Node) -> bool:
+        """Whether ``leaf`` is still referenced by the routing tree.
+
+        Batch maintenance defers merges until after every membership
+        update; a merge cascade can absorb a sibling that is *also* on
+        the touched list, leaving a detached node object behind.  A node
+        is live iff its parent still points at it (the root always is) —
+        the parent itself cannot have been merged away while it has an
+        attached child, so one hop suffices.
+        """
+        parent = leaf.parent
+        return parent is None or parent.left is leaf or parent.right is leaf
 
     def _split_leaf(self, leaf: _Node) -> None:
         members = np.array(sorted(leaf.members), dtype=np.int64)
@@ -244,16 +315,34 @@ class FractalUpdater:
         self._maybe_merge(parent)  # cascades up while underfilled
 
     # -------------------------------------------------------------- export
-    def _collect(self, node: _Node, leaves: list[_Node]) -> set[int]:
-        if node.is_leaf:
-            if node.members:
-                leaves.append(node)
-            return set(node.members)
-        left = self._collect(node.left, leaves)
-        right = self._collect(node.right, leaves)
-        node_members = left | right
-        node._cached_members = node_members  # type: ignore[attr-defined]
-        return node_members
+    def _collect(self, leaves: list[_Node], intervals: dict[int, tuple[int, int]]) -> None:
+        """DFS over the tree, listing populated leaves in tour order.
+
+        ``intervals[id(node)]`` becomes the half-open range of positions
+        in ``leaves`` covered by the node's subtree — the Euler-tour view
+        that lets :meth:`structure` assemble any subtree's member set by
+        concatenating one contiguous run of leaf arrays, instead of the
+        per-node Python set unions this method used to build.
+        """
+        stack: list[tuple[_Node, bool]] = [(self._root, False)]
+        starts: list[tuple[int, int]] = []
+        while stack:
+            node, done = stack.pop()
+            if done:
+                key, lo = starts.pop()
+                intervals[key] = (lo, len(leaves))
+                continue
+            if node.is_leaf:
+                if node.members:
+                    intervals[id(node)] = (len(leaves), len(leaves) + 1)
+                    leaves.append(node)
+                else:
+                    intervals[id(node)] = (len(leaves), len(leaves))
+                continue
+            starts.append((id(node), len(leaves)))
+            stack.append((node, True))
+            stack.append((node.right, False))
+            stack.append((node.left, False))
 
     def structure(self) -> tuple[BlockStructure, np.ndarray]:
         """Export the live partition.
@@ -262,33 +351,47 @@ class FractalUpdater:
             ``(structure, live_ids)`` — a :class:`BlockStructure` whose
             indices are *rows into* ``coords()`` (0..n_live-1), and the
             stable ids of those rows in order.
+
+        One vectorised pass: leaves land in tour order with a per-leaf
+        id array, an id→row lookup table replaces per-leaf searches, and
+        every parent search space is one contiguous slice of the
+        concatenated leaf ids (shared across that parent's leaves).
         """
         leaves: list[_Node] = []
-        self._collect(self._root, leaves)
+        intervals: dict[int, tuple[int, int]] = {}
+        self._collect(leaves, intervals)
         member_arrays = [
             np.sort(np.fromiter(leaf.members, dtype=np.int64,
                                 count=len(leaf.members)))
             for leaf in leaves
         ]
-        live_ids = (
-            np.sort(np.concatenate(member_arrays))
+        cat_ids = (
+            np.concatenate(member_arrays)
             if member_arrays else np.empty(0, dtype=np.int64)
         )
-        # Leaves partition the live ids, so row lookup is a searchsorted
-        # into the sorted id vector (a sorted subset maps to sorted rows).
+        offsets = np.zeros(len(leaves) + 1, dtype=np.int64)
+        if leaves:
+            np.cumsum([len(m) for m in member_arrays], out=offsets[1:])
+        live_ids = np.sort(cat_ids)
+        # Leaves partition the live ids: a dense id→row table makes every
+        # row lookup one gather (a sorted id subset maps to sorted rows).
+        lookup = np.empty(max(len(self._alive), 1), dtype=np.int64)
+        lookup[live_ids] = np.arange(len(live_ids), dtype=np.int64)
         blocks, spaces = [], []
-        for leaf, members in zip(leaves, member_arrays):
-            rows = np.searchsorted(live_ids, members)
+        parent_rows: dict[int, np.ndarray] = {}
+        for pos, (leaf, members) in enumerate(zip(leaves, member_arrays)):
+            rows = lookup[members]
             blocks.append(Block(rows, depth=leaf.depth))
             if leaf.depth <= 1 or leaf.parent is None:
                 spaces.append(rows)
-            else:
-                parent_members = getattr(leaf.parent, "_cached_members")
-                parent_ids = np.sort(
-                    np.fromiter(parent_members, dtype=np.int64,
-                                count=len(parent_members))
-                )
-                spaces.append(np.searchsorted(live_ids, parent_ids))
+                continue
+            key = id(leaf.parent)
+            space = parent_rows.get(key)
+            if space is None:
+                lo, hi = intervals[key]
+                space = np.sort(lookup[cat_ids[offsets[lo]: offsets[hi]]])
+                parent_rows[key] = space
+            spaces.append(space)
         structure = BlockStructure(
             num_points=len(live_ids),
             blocks=blocks,

@@ -26,7 +26,13 @@ Three traffic profiles stress different scheduler surfaces:
   (bounded per-point displacement, so a delta policy with
   ``motion_threshold >= frame_motion`` always qualifies) and a
   ``frame_churn`` fraction of the tail replaced by fresh returns — the
-  streaming workload the cold-path delta protocol exists for.
+  streaming workload the cold-path delta protocol exists for;
+- ``hotset`` — asset-serving traffic: a fixed catalog of ``hot_assets``
+  distinct clouds supplies a ``hot_rate`` fraction of requests (exact
+  repeats, recency-free — every asset stays warm forever), the rest are
+  one-off cold clouds.  When the catalog is bigger than one server's
+  dedup window but smaller than a shard fleet's aggregate capacity,
+  this is the workload where content-affine sharding wins.
 
 Multi-tenant traffic comes from :func:`tenant_specs` (one seeded
 rate/size mix per tenant) merged by :func:`generate_tenants` into a
@@ -70,7 +76,7 @@ __all__ = [
 
 _MAGIC = b"\x93NUMPY"
 
-_PROFILES = ("uniform", "diurnal", "adversarial", "frames")
+_PROFILES = ("uniform", "diurnal", "adversarial", "frames", "hotset")
 
 
 @dataclass(frozen=True)
@@ -108,6 +114,11 @@ class LoadSpec:
         frame_churn: ``frames`` profile — fraction of the cloud's tail
             replaced by fresh sensor returns each frame (delete + insert
             churn for the delta protocol), in ``[0, 1)``.
+        hot_assets: ``hotset`` profile — size of the fixed asset
+            catalog; repeats of one asset are the same array object, so
+            content hashes match exactly.
+        hot_rate: ``hotset`` profile — probability a request draws from
+            the catalog (uniformly) instead of being a one-off cloud.
     """
 
     clouds: int = 64
@@ -126,6 +137,8 @@ class LoadSpec:
     adversary_spread: float = 4.0
     frame_motion: float = 0.02
     frame_churn: float = 0.1
+    hot_assets: int = 16
+    hot_rate: float = 0.8
 
     def __post_init__(self):
         if self.clouds < 1:
@@ -171,6 +184,14 @@ class LoadSpec:
         if not 0.0 <= self.frame_churn < 1.0:
             raise ValueError(
                 f"frame_churn must be in [0, 1), got {self.frame_churn}"
+            )
+        if self.hot_assets < 1:
+            raise ValueError(
+                f"hot_assets must be >= 1, got {self.hot_assets}"
+            )
+        if not 0.0 <= self.hot_rate <= 1.0:
+            raise ValueError(
+                f"hot_rate must be in [0, 1], got {self.hot_rate}"
             )
 
 
@@ -245,14 +266,39 @@ def _advance_frame(
     return np.ascontiguousarray(out)
 
 
+def _hot_asset(
+    spec: LoadSpec, catalog: dict[int, np.ndarray], rng: np.random.Generator
+) -> np.ndarray:
+    """One catalog draw of the ``hotset`` profile, built lazily.
+
+    Asset ``i`` is a pure function of ``(spec.seed, i)`` — its size and
+    content never depend on when the stream first requests it — and
+    repeats return the cached array object itself, so content hashes
+    (and the engine's dedup) match exactly.
+    """
+    idx = int(rng.integers(spec.hot_assets))
+    cloud = catalog.get(idx)
+    if cloud is None:
+        size_rng = np.random.default_rng((spec.seed, 7_919, idx))
+        n = int(size_rng.integers(spec.min_points, spec.max_points + 1))
+        cloud = load_cloud(
+            spec.dataset, n, seed=spec.seed * 104_729 + idx
+        ).coords.astype(np.float64)
+        catalog[idx] = cloud
+    return cloud
+
+
 def _frames(spec: LoadSpec) -> Iterator[np.ndarray]:
     """The spec's cloud sequence, deterministic, without pacing."""
     rng = np.random.default_rng(spec.seed)
     recent: deque[np.ndarray] = deque(maxlen=spec.dup_window)
     current: np.ndarray | None = None  # the `frames` sensor state
+    catalog: dict[int, np.ndarray] = {}  # the `hotset` asset store
     for emitted in range(spec.clouds):
         if recent and rng.random() < spec.dup_rate:
             cloud = recent[int(rng.integers(len(recent)))]
+        elif spec.profile == "hotset" and rng.random() < spec.hot_rate:
+            cloud = _hot_asset(spec, catalog, rng)
         elif spec.profile == "frames" and current is not None:
             current = _advance_frame(current, spec, rng)
             cloud = current

@@ -1,0 +1,30 @@
+"""Sharded multi-process serving: consistent-hash router over engine
+shards with shared-memory array transport.
+
+Layers:
+
+- :mod:`~repro.shard.hashring` — consistent hashing with virtual nodes
+  (stable placement, ~1/N remap on membership change);
+- :mod:`~repro.shard.transport` — shm arena block pool + inline-pickle
+  fallback (:class:`ArrayRef` framing, refcount-free reclamation);
+- :mod:`~repro.shard.worker` — one engine shard: a serial
+  ``BatchExecutor`` with private partition cache and dedup window;
+- :mod:`~repro.shard.router` — the front-end: routing, ordering, flow
+  control, drain/rebalance, fleet telemetry.
+"""
+
+from .hashring import HashRing
+from .router import ShardResult, ShardRouter
+from .transport import ArrayRef, PickleChannel, ShmArena, ShmPeer
+from .worker import shard_main
+
+__all__ = [
+    "ArrayRef",
+    "HashRing",
+    "PickleChannel",
+    "ShardResult",
+    "ShardRouter",
+    "ShmArena",
+    "ShmPeer",
+    "shard_main",
+]

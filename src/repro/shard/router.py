@@ -1,0 +1,440 @@
+"""Sharded serving front-end: consistent-hash routing over engine shards.
+
+:class:`ShardRouter` is the process-level scale-out of the serving
+layer.  It keeps N :mod:`~repro.shard.worker` processes behind a
+:class:`~repro.shard.hashring.HashRing` and routes every request by a
+stable key:
+
+- ``affinity="content"`` — the content digest
+  (:func:`~repro.runtime.cache.result_key`), so every repeat of a hot
+  asset lands on the same shard and the fleet's dedup windows and
+  partition caches tile the catalog instead of replicating it.  With N
+  shards the aggregate hot capacity is N× one process — the sharded win
+  on hot-asset traffic, even on a single core.
+- ``affinity="stream"`` — the stream/tenant tag, so every frame of a
+  sensor stream hits one shard and delta patching
+  (``engine.delta=True``) stays shard-local: the shard that cached frame
+  *t*'s partition is the one asked to patch frame *t+1*.
+
+Bulk arrays move through the shared-memory transport
+(:mod:`~repro.shard.transport`): the router owns one request arena per
+shard, each worker owns a response arena, and the pipes carry only
+control tuples.  Each shard is wired by one duplex
+:func:`multiprocessing.Pipe` — no queue feeder threads or their extra
+pickling hop — and the router multiplexes result pipes with
+:func:`multiprocessing.connection.wait`.  Workers reply once per
+executed window (a single batched ``results`` message), so messaging
+cost amortises over the window instead of scaling per request.  Requests
+are written by a tiny per-shard sender thread: the router's main thread
+then never blocks on a pipe write, which could otherwise deadlock
+against a worker blocked writing a large inline result in ``pickle``
+mode.  Results are copied out of the arena at the emission boundary
+(ownership leaves the transport there) and the blocks are recycled.
+
+Ordering: results are emitted in global submission order — a total order
+that in particular preserves every stream's own order — via a reorder
+buffer, exactly like the single-process servers.  Membership changes are
+live: :meth:`add_shard` grows the ring (only ~1/N of the key space
+remaps), :meth:`remove_shard` drains the leaving shard first, so every
+in-flight cloud is delivered exactly once.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue
+import threading
+import time
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
+
+from ..runtime.cache import result_key
+from ..runtime.executor import CloudResult, PipelineSpec, _as_cloud
+from .hashring import HashRing
+from .transport import PickleChannel, ShmArena, ShmPeer
+from .worker import shard_main, unpack_result
+
+__all__ = ["ShardRouter", "ShardResult"]
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """One served cloud with its routing envelope."""
+
+    stream: str
+    seq: int
+    shard: str
+    latency: float
+    result: CloudResult
+
+
+def _send_loop(outbox: queue.SimpleQueue, conn) -> None:
+    """Per-shard sender: drain the outbox into the pipe, off the main
+    thread, so a full pipe never blocks routing/pumping."""
+    while True:
+        msg = outbox.get()
+        if msg is None:
+            break
+        try:
+            conn.send(msg)
+        except (BrokenPipeError, OSError):
+            break  # worker gone; the stop path will surface it
+
+
+@dataclass
+class _Shard:
+    """Router-side state of one worker process."""
+
+    name: str
+    process: mp.process.BaseProcess
+    conn: object  # router end of the duplex pipe
+    channel: object  # request arena (router-owned)
+    outbox: queue.SimpleQueue = field(default_factory=queue.SimpleQueue)
+    sender: threading.Thread | None = None
+    peer: ShmPeer = field(default_factory=ShmPeer)
+    in_flight: int = 0
+    served: int = 0
+    windows: int = 0
+    busy_seconds: float = 0.0
+
+
+class ShardRouter:
+    """Route a cloud stream across N single-process engine shards.
+
+    Usage::
+
+        router = ShardRouter(4, engine=dict(partitioner="fractal",
+                                            block_size=256))
+        for served in router.serve(clouds):        # submission order
+            consume(served.result)
+        print(router.report(wall).format())
+        router.close()
+
+    Args:
+        shards: shard count (names become ``shard-0..N-1``) or an
+            iterable of explicit shard names.
+        engine: keyword arguments for each shard's private
+            :class:`~repro.runtime.executor.BatchExecutor` (the
+            partitioner **name**, block size, cache and dedup sizing,
+            delta flags — anything but ``mode``/``max_workers``, which
+            are forced serial inside the worker).
+        pipeline: the :class:`PipelineSpec` every shard runs.
+        transport: ``"shm"`` (shared-memory arenas, control-only pipes)
+            or ``"pickle"`` (arrays inline through the pipes — the
+            baseline).
+        affinity: ``"content"``, ``"stream"``, or ``"auto"`` (stream
+            when the engine runs the delta protocol — patching needs
+            frame locality — content otherwise).
+        arena_bytes: size of each arena (one request arena per shard on
+            the router side, one response arena per worker).  Overflow
+            degrades to inline transport per array, never an error.
+        max_clouds: greedy window cap inside each worker.
+        max_in_flight: router-wide cap on unemitted requests; the pump
+            blocks submission beyond it, bounding arena pressure.
+        ship_traces: ship per-op :class:`OpTrace` diagnostics with each
+            result.  Off by default — traces are hundreds of nested
+            dataclass objects per window and (un)pickling them can cost
+            more than the arrays they describe; results then carry
+            ``traces={}``.
+        telemetry: optional :class:`ServeTelemetry` to record into.
+    """
+
+    def __init__(
+        self,
+        shards: int | Iterable[str] = 2,
+        *,
+        engine: dict | None = None,
+        pipeline: PipelineSpec | None = None,
+        transport: str = "shm",
+        affinity: str = "auto",
+        arena_bytes: int = 64 << 20,
+        max_clouds: int = 16,
+        max_in_flight: int = 32,
+        replicas: int = 128,
+        ship_traces: bool = False,
+        telemetry=None,
+    ):
+        if transport not in ("shm", "pickle"):
+            raise ValueError(f"transport must be shm|pickle, got {transport!r}")
+        if affinity not in ("auto", "content", "stream"):
+            raise ValueError(
+                f"affinity must be auto|content|stream, got {affinity!r}"
+            )
+        self.engine_kwargs = dict(engine or {})
+        self.engine_kwargs.pop("mode", None)
+        self.engine_kwargs.pop("max_workers", None)
+        self.pipeline = pipeline or PipelineSpec()
+        self.transport = transport
+        self.affinity = (
+            ("stream" if self.engine_kwargs.get("delta") else "content")
+            if affinity == "auto"
+            else affinity
+        )
+        self.arena_bytes = arena_bytes
+        self.max_clouds = max_clouds
+        self.max_in_flight = max_in_flight
+        self.ship_traces = ship_traces
+        if telemetry is None:
+            from ..serve.telemetry import ServeTelemetry
+
+            telemetry = ServeTelemetry(window_capacity=max_clouds, every=0)
+        self.telemetry = telemetry
+
+        # Start the resource tracker before the first fork: every shard
+        # then inherits one shared tracker, whose name registry (a set)
+        # dedups the create+attach registrations of each segment, and
+        # each segment's single unlink clears it — no spurious "leaked
+        # shared_memory" warnings from per-process trackers at exit.
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except (ImportError, AttributeError):  # non-POSIX fallback
+            pass
+        self._ctx = mp.get_context("fork")
+        self._ring = HashRing(replicas=replicas)
+        self._shards: dict[str, _Shard] = {}
+        self._pending: dict[int, tuple[str, int, float, str]] = {}
+        self._emitted: dict[int, ShardResult] = {}
+        self._next_req = 0
+        self._next_emit = 0
+        self._stream_seq: dict[str, int] = {}
+        self._drain_tokens = 0
+        self._closed = False
+        names = (
+            [f"shard-{i}" for i in range(shards)]
+            if isinstance(shards, int)
+            else list(shards)
+        )
+        if not names:
+            raise ValueError("need at least one shard")
+        for name in names:
+            self.add_shard(name)
+
+    # -- membership ----------------------------------------------------------
+
+    @property
+    def shards(self) -> tuple[str, ...]:
+        return self._ring.shards
+
+    def add_shard(self, name: str) -> None:
+        """Start a worker and join it to the ring (remaps ~1/N of keys)."""
+        if name in self._shards:
+            raise ValueError(f"shard {name!r} already running")
+        router_conn, worker_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=shard_main,
+            args=(name, worker_conn, self.engine_kwargs, self.pipeline),
+            kwargs=dict(transport=self.transport,
+                        arena_bytes=self.arena_bytes,
+                        max_clouds=self.max_clouds,
+                        ship_traces=self.ship_traces),
+            name=f"repro-{name}",
+            daemon=True,
+        )
+        process.start()
+        worker_conn.close()  # router keeps only its own end
+        channel = (
+            ShmArena(self.arena_bytes)
+            if self.transport == "shm"
+            else PickleChannel()
+        )
+        shard = _Shard(name, process, router_conn, channel)
+        shard.sender = threading.Thread(
+            target=_send_loop, args=(shard.outbox, router_conn),
+            name=f"repro-{name}-tx", daemon=True,
+        )
+        shard.sender.start()
+        # Handshake before the shard takes traffic: the first message on
+        # this shard's fresh pipe is its ``ready``.
+        msg = router_conn.recv()
+        if msg[0] != "ready" or msg[1] != name:
+            raise RuntimeError(f"bad handshake from {name!r}: {msg[:2]!r}")
+        self._shards[name] = shard
+        self._ring.add(name)
+
+    def remove_shard(self, name: str, *, drain: bool = True) -> None:
+        """Retire a shard; with ``drain`` every in-flight cloud it holds
+        is delivered (exactly once, in order) before the process stops."""
+        if name not in self._shards:
+            raise KeyError(f"unknown shard {name!r}")
+        self._ring.remove(name)  # future keys rehash onto survivors
+        shard = self._shards[name]
+        if drain:
+            token = self._drain_tokens = self._drain_tokens + 1
+            shard.outbox.put(("drain", token))
+            drained = False
+            while not (drained and shard.in_flight == 0):
+                msg = shard.conn.recv()
+                if msg[0] == "drained" and msg[2] == token:
+                    drained = True
+                else:
+                    self._handle(msg)
+        self._stop_shard(shard)
+        del self._shards[name]
+
+    def _stop_shard(self, shard: _Shard) -> None:
+        shard.outbox.put(("stop",))
+        shard.outbox.put(None)  # sender exits once the stop is on the wire
+        while True:
+            msg = shard.conn.recv()
+            if msg[0] == "stopped" and msg[1] == shard.name:
+                break
+            self._handle(msg)
+        if shard.sender is not None:
+            shard.sender.join(timeout=5)
+        shard.process.join(timeout=10)
+        shard.peer.close()      # detach from the worker's (unlinked) arena
+        shard.channel.close()   # unlink the router-owned request arena
+        shard.conn.close()
+
+    # -- serving -------------------------------------------------------------
+
+    def submit(self, cloud, *, stream: str = "t0") -> int:
+        """Route one cloud; returns its global submission index."""
+        if self._closed:
+            raise RuntimeError("router is closed")
+        coords, features = _as_cloud(cloud)
+        key = (
+            stream.encode("utf-8")
+            if self.affinity == "stream"
+            else result_key(coords, features)
+        )
+        name = self._ring.route(key)
+        shard = self._shards[name]
+        refs = [shard.channel.pack(coords)]
+        if features is not None:
+            refs.append(shard.channel.pack(features))
+        req_id = self._next_req
+        self._next_req += 1
+        seq = self._stream_seq.get(stream, 0)
+        self._stream_seq[stream] = seq + 1
+        self._pending[req_id] = (stream, seq, time.perf_counter(), name)
+        shard.in_flight += 1
+        shard.outbox.put(("run", req_id, tuple(refs), features is not None))
+        return req_id
+
+    def _handle(self, msg) -> None:
+        """Fold one worker message into router state."""
+        kind = msg[0]
+        if kind == "results":
+            _, name, payload, stats = msg
+            shard = self._shards[name]
+            now = time.perf_counter()
+            free_refs = []
+            for req_id, meta, refs, req_refs in payload:
+                shard.in_flight -= 1
+                shard.served += 1
+                # Copy out of the arena: ownership leaves the transport
+                # at the emission boundary, then the blocks recycle.
+                result = unpack_result(shard.peer, meta, refs, copy=True)
+                free_refs.extend(r for r in refs if r is not None)
+                shard.channel.reclaim(req_refs)
+                stream, seq, submitted, _ = self._pending.pop(req_id)
+                latency = now - submitted
+                self.telemetry.record_latency(latency)
+                self._emitted[req_id] = ShardResult(
+                    stream, seq, name, latency, result
+                )
+            # One free message recycles the whole window's response
+            # blocks — messaging stays O(windows), not O(requests).
+            shard.outbox.put(("free", tuple(free_refs)))
+            shard.windows += 1
+            shard.busy_seconds += stats.pop("seconds", 0.0)
+            self.telemetry.record_window(
+                queue_depth=len(self._pending), timed_out=False, **stats
+            )
+        elif kind in ("ready", "drained"):
+            pass  # late handshake/drain echo (already consumed)
+        else:
+            raise RuntimeError(f"unexpected shard message {msg[:2]!r}")
+
+    def _emit_ready(self) -> Iterator[ShardResult]:
+        """Yield completed results in global submission order."""
+        while self._next_emit in self._emitted:
+            served = self._emitted.pop(self._next_emit)
+            self._next_emit += 1
+            yield served
+
+    def pump(self, *, block: bool = False) -> Iterator[ShardResult]:
+        """Absorb worker messages; yield whatever became emittable.
+
+        With ``block=True`` waits until at least one shard reports
+        (progress guarantee for the flow-control loop).
+        """
+        yield from self._emit_ready()
+        conns = [s.conn for s in self._shards.values()]
+        if conns:
+            ready = mp_connection.wait(conns, timeout=None if block else 0)
+            for conn in ready:
+                while conn.poll(0):
+                    self._handle(conn.recv())
+        yield from self._emit_ready()
+
+    def serve(
+        self, clouds: Iterable[object], *, default_stream: str = "t0"
+    ) -> Iterator[ShardResult]:
+        """Serve a stream of clouds (or ``(stream, cloud)`` pairs).
+
+        Yields one :class:`ShardResult` per submission, in submission
+        order.  Flow control: at most ``max_in_flight`` requests ride
+        the shards at once; beyond that, submission blocks on results.
+        """
+        for item in clouds:
+            if (
+                isinstance(item, tuple)
+                and len(item) == 2
+                and isinstance(item[0], str)
+            ):
+                stream, cloud = item
+            else:
+                stream, cloud = default_stream, item
+            self.submit(cloud, stream=stream)
+            yield from self.pump()
+            while len(self._pending) >= self.max_in_flight:
+                yield from self.pump(block=True)
+        yield from self.flush()
+
+    def flush(self) -> Iterator[ShardResult]:
+        """Deliver every outstanding request."""
+        while self._pending:
+            yield from self.pump(block=True)
+        yield from self._emit_ready()
+
+    # -- lifecycle / reporting ----------------------------------------------
+
+    def report(self, wall_seconds: float):
+        """Aggregate :class:`~repro.serve.telemetry.ServeReport` across
+        the fleet (per-shard counters via :attr:`shard_stats`)."""
+        return self.telemetry.report(wall_seconds)
+
+    @property
+    def shard_stats(self) -> dict[str, dict]:
+        """Per-shard counters: served clouds, windows, busy seconds,
+        in-flight, and transport spill count."""
+        return {
+            name: {
+                "served": s.served,
+                "windows": s.windows,
+                "busy_seconds": round(s.busy_seconds, 6),
+                "in_flight": s.in_flight,
+                "spilled": getattr(s.channel, "spilled", 0),
+            }
+            for name, s in sorted(self._shards.items())
+        }
+
+    def close(self) -> None:
+        """Drain nothing, stop every shard, reclaim every arena."""
+        if self._closed:
+            return
+        self._closed = True
+        for name in list(self._shards):
+            self._stop_shard(self._shards[name])
+            del self._shards[name]
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

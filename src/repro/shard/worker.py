@@ -1,0 +1,204 @@
+"""The engine shard: one worker process behind the router.
+
+Each shard runs :func:`shard_main` in its own process: a private serial
+:class:`~repro.runtime.executor.BatchExecutor` (own ``PartitionCache``,
+own dedup window), a response :class:`~repro.shard.transport.ShmArena`
+it owns, and a request loop that mirrors the single-process
+:class:`~repro.serve.window.WindowedServer` window semantics —
+dedup against the shard's rolling done-window, fused execution through
+``execute_window``, replays marked ``reused`` — so a sharded deployment
+stays bit-identical to the one-process reference.
+
+Because the router's consistent hash sends every repeat of a content key
+(and every frame of a delta stream) to the same shard, shard-local
+caches see the same hit pattern a single process would, but the fleet's
+*aggregate* cache capacity is N× one process — that is where the sharded
+speedup on hot-asset traffic comes from on a single-core host.
+
+Control traffic rides one duplex :func:`multiprocessing.Pipe` per shard
+(no queue feeder threads, no extra pickling hop), bulk arrays ride the
+shm transport, and replies are batched per executed window — one
+``results`` message carries every result of the window plus its stats,
+so per-request messaging cost stays flat as windows grow:
+
+- router → worker: ``("run", req_id, refs, has_features)``,
+  ``("free", refs)`` (response blocks the router consumed),
+  ``("drain", token)``, ``("stop",)``;
+- worker → router: ``("ready", shard, arena_name)``,
+  ``("results", shard, [(req_id, meta, refs, req_refs), ...], stats)``,
+  ``("drained", shard, token)``, ``("stopped", shard)``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from collections import OrderedDict
+
+import numpy as np
+
+from ..runtime.cache import result_key
+from ..runtime.executor import BatchExecutor, CloudResult, PipelineSpec
+from .transport import ArrayRef, PickleChannel, ShmArena, ShmPeer
+
+__all__ = ["shard_main", "pack_result", "unpack_result", "RESULT_ARRAYS"]
+
+#: CloudResult array fields shipped through the transport, in wire order.
+RESULT_ARRAYS = ("sampled", "neighbors", "grouped", "interpolated")
+
+
+def pack_result(channel, result: CloudResult, *, ship_traces: bool = True):
+    """Split one result into (picklable meta, transport refs).
+
+    ``ship_traces=False`` drops the per-op traces from the wire: they
+    are serial-engine diagnostics of ~450 nested dataclass objects per
+    window, and (un)pickling them costs more than moving the result
+    arrays themselves at small cloud sizes.
+    """
+    refs: list[ArrayRef | None] = []
+    for name in RESULT_ARRAYS:
+        array = getattr(result, name)
+        refs.append(None if array is None else channel.pack(array))
+    meta = {
+        "index": result.index,
+        "num_points": result.num_points,
+        "num_blocks": result.num_blocks,
+        "cache_hit": result.cache_hit,
+        "seconds": result.seconds,
+        "traces": result.traces if ship_traces else {},
+        "reused": result.reused,
+        "partition_source": result.partition_source,
+    }
+    return meta, tuple(refs)
+
+
+def unpack_result(peer, meta: dict, refs, *, copy: bool) -> CloudResult:
+    """Rebuild a :class:`CloudResult` from wire form."""
+    arrays = {
+        name: None if ref is None else peer.unpack(ref, copy=copy)
+        for name, ref in zip(RESULT_ARRAYS, refs)
+    }
+    return CloudResult(**meta, **arrays)
+
+
+def shard_main(
+    shard: str,
+    conn,
+    engine_kwargs: dict,
+    pipeline: PipelineSpec,
+    *,
+    transport: str = "shm",
+    arena_bytes: int = 64 << 20,
+    max_clouds: int = 16,
+    ship_traces: bool = False,
+) -> None:
+    """Process entry point of one engine shard (run under ``fork``)."""
+    engine = BatchExecutor(mode="serial", max_workers=1, **engine_kwargs)
+    # Delta-mode caches retain request coords past the reply, so they
+    # must own their bytes; otherwise zero-copy views are safe for the
+    # lifetime of the window (the router reclaims request blocks only
+    # after this worker reports them consumed via ``req_refs``).
+    copy_requests = bool(engine_kwargs.get("delta"))
+    channel = ShmArena(arena_bytes) if transport == "shm" else PickleChannel()
+    peer = ShmPeer()
+    done: OrderedDict[bytes, CloudResult] = OrderedDict()
+    conn.send(("ready", shard, channel.name))
+
+    def run_window(batch) -> None:
+        """Dedup + fused execution of one greedy batch, mirroring
+        ``WindowedServer._run_window``; replies with ONE batched
+        ``results`` message."""
+        uniques: list[tuple[int, np.ndarray, np.ndarray | None]] = []
+        canonical: dict[bytes, int] = {}
+        replays: list[tuple[int, bytes]] = []
+        dup_of: dict[int, int] = {}
+        for slot, (_req_id, coords, features, _req_refs) in enumerate(batch):
+            key = result_key(coords, features) if engine.reuse_results else None
+            if key is not None and key in done:
+                replays.append((slot, key))
+            elif key is not None and key in canonical:
+                dup_of[slot] = canonical[key]
+            else:
+                if key is not None:
+                    canonical[key] = slot
+                uniques.append((slot, coords, features))
+        start = time.perf_counter()
+        results, plan = engine.execute_window(uniques, pipeline)
+        seconds = time.perf_counter() - start
+        for slot, key in replays:
+            done.move_to_end(key)
+            results[slot] = dataclasses.replace(
+                done[key], index=slot, cache_hit=True, seconds=0.0, reused=True
+            )
+        for slot, original in dup_of.items():
+            results[slot] = dataclasses.replace(
+                results[original], index=slot, cache_hit=True,
+                seconds=0.0, reused=True,
+            )
+        for key, slot in canonical.items():
+            done[key] = results[slot]
+            while len(done) > engine.reuse_window:
+                done.popitem(last=False)
+        sources = [results[slot].partition_source for slot, _, _ in uniques]
+        payload = []
+        for slot, (req_id, _, _, req_refs) in enumerate(batch):
+            meta, refs = pack_result(
+                channel, results[slot], ship_traces=ship_traces
+            )
+            payload.append((req_id, meta, refs, req_refs))
+        stats = {
+            "size": len(batch),
+            "buckets": plan.buckets,
+            "fused": plan.fused_clouds,
+            "singletons": plan.singleton_clouds,
+            "reused": len(replays) + len(dup_of),
+            "cold": sources.count("cold"),
+            "patched": sources.count("patched") + sources.count("reused"),
+            "warm": sources.count("warm"),
+            "seconds": seconds,
+        }
+        conn.send(("results", shard, payload, stats))
+
+    def decode(msg):
+        """``run`` message → (req_id, coords, features, req_refs)."""
+        _, req_id, refs, has_features = msg
+        coords = peer.unpack(refs[0], copy=copy_requests)
+        features = (
+            peer.unpack(refs[1], copy=copy_requests) if has_features else None
+        )
+        return (req_id, coords, features, refs)
+
+    stopping = False
+    while not stopping:
+        msg = conn.recv()
+        batch = []
+        # Greedy window assembly: take whatever is already on the pipe
+        # (up to the window cap) so co-arriving requests fuse, but never
+        # wait — latency on an idle shard is one pipe hop, not a timeout.
+        while True:
+            kind = msg[0]
+            if kind == "run":
+                batch.append(decode(msg))
+                if len(batch) >= max_clouds:
+                    break
+            elif kind == "free":
+                channel.reclaim(msg[1])
+            elif kind == "drain":
+                if batch:  # serve everything submitted before the token
+                    run_window(batch)
+                    batch = []
+                conn.send(("drained", shard, msg[1]))
+            elif kind == "stop":
+                stopping = True
+                break
+            if not conn.poll(0):
+                break
+            msg = conn.recv()
+        if batch:
+            run_window(batch)
+
+    engine.close()
+    done.clear()
+    peer.close()  # drop request-arena attachments (router owns those)
+    channel.close()  # unlink the response arena
+    conn.send(("stopped", shard))
