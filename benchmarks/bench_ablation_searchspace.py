@@ -12,9 +12,8 @@ recovers most neighbours lost at block borders.
 import numpy as np
 
 from repro.analysis import format_table
-from repro.core import FractalConfig, fractal_partition
+from repro.core import FractalConfig, dispatch, fractal_partition
 from repro.core.blocks import BlockStructure
-from repro.core.bppo import block_ball_query, block_fps
 from repro.datasets import load_cloud
 from repro.geometry import ball_query, neighbor_recall
 
@@ -34,14 +33,19 @@ def run_searchspace():
         cost=parent.cost,
         strategy="fractal-leaf-only",
     )
-    centers, _ = block_fps(parent, coords, N_POINTS // 4)
+    centers, _ = dispatch.run_op(
+        "fps", parent, coords, N_POINTS // 4, num_centers=N_POINTS // 4
+    )
     centers = centers[:1024]
     exact = ball_query(coords[centers], coords, 0.2, 16)
 
     rows = []
     recalls = {}
     for label, structure in [("leaf only", leaf_only), ("leaf + parent", parent)]:
-        approx, trace = block_ball_query(structure, coords, centers, 0.2, 16)
+        approx, trace = dispatch.run_op(
+            "ball_query", structure, coords, centers, 0.2, 16,
+            num_centers=len(centers),
+        )
         recall = neighbor_recall(approx, exact)
         recalls[label] = recall
         rows.append([

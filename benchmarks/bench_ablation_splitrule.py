@@ -9,8 +9,7 @@ three dataset families.
 import numpy as np
 
 from repro.analysis import format_table
-from repro.core import FractalConfig, fractal_partition
-from repro.core.bppo import block_fps
+from repro.core import FractalConfig, dispatch, fractal_partition
 from repro.datasets import load_cloud
 from repro.geometry import farthest_point_sample, pairwise_sq_dists
 
@@ -32,7 +31,10 @@ def run_splitrule():
         exact_cov = _mean_coverage(coords, farthest_point_sample(coords, n // 4))
         for rule in ("cycle", "longest"):
             tree = fractal_partition(coords, FractalConfig(threshold=th, split_rule=rule))
-            sampled, _ = block_fps(tree.block_structure(), coords, n // 4)
+            sampled, _ = dispatch.run_op(
+                "fps", tree.block_structure(), coords, n // 4,
+                num_centers=n // 4,
+            )
             cov = _mean_coverage(coords, sampled) / exact_cov
             balance = tree.block_sizes.max() / tree.block_sizes.mean()
             stats[(dataset, rule)] = (tree.num_levels, balance, cov)

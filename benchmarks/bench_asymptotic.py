@@ -12,7 +12,6 @@ Two studies from the discussion section:
 import numpy as np
 
 from repro.analysis import format_table
-from repro.core.blocks import PartitionCost
 from repro.hw import AcceleratorSim, FRACTALCLOUD, GPUModel
 from repro.networks import get_workload
 from repro.runtime import compile_program

@@ -13,7 +13,7 @@ KD-tree quality at uniform-like cost.
 import numpy as np
 
 from repro.analysis import format_table
-from repro.core.bppo import block_ball_query, block_fps
+from repro.core import dispatch
 from repro.datasets import load_cloud
 from repro.geometry import (
     ball_query,
@@ -44,10 +44,15 @@ def run_fig03():
         cost = engine.cost_for(name, structure.cost)
         latency_ms = cost.compute_cycles / 1e9 * 1e3
 
-        sampled, _ = block_fps(structure, coords, n_samples)
+        sampled, _ = dispatch.run_op(
+            "fps", structure, coords, n_samples, num_centers=n_samples
+        )
         cov_ratio = coverage_radius(coords, sampled) / exact_cov
         centers = sampled[:512]
-        approx_nb, _ = block_ball_query(structure, coords, centers, 0.2, 16)
+        approx_nb, _ = dispatch.run_op(
+            "ball_query", structure, coords, centers, 0.2, 16,
+            num_centers=len(centers),
+        )
         exact_nb = ball_query(coords[centers], coords, 0.2, 16)
         recall = neighbor_recall(approx_nb, exact_nb)
 

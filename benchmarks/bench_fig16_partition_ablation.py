@@ -13,8 +13,6 @@ uniform and ~2.1x over octree.
 
 from dataclasses import replace
 
-import numpy as np
-
 from repro.analysis import format_table
 from repro.hw import AcceleratorSim, FRACTALCLOUD
 from repro.networks import get_workload

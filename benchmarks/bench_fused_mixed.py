@@ -58,8 +58,11 @@ def run_bench():
         fused = BatchExecutor(
             "kdtree", block_size=block_size, max_workers=WORKERS, fuse=True
         )
-        t_pool, rep_pool = best_time(lambda: pooled.run(clouds, PIPELINE))
-        t_fuse, rep_fuse = best_time(lambda: fused.run(clouds, PIPELINE, fuse=True))
+        with pooled, fused:
+            t_pool, rep_pool = best_time(lambda: pooled.run(clouds, PIPELINE))
+            t_fuse, rep_fuse = best_time(
+                lambda: fused.run(clouds, PIPELINE, fuse=True)
+            )
 
         # Fusion must not change a single index or feature bit.
         for a, b in zip(rep_pool.results, rep_fuse.results):

@@ -11,7 +11,7 @@ box and empty most cells.
 import numpy as np
 
 from repro.analysis import format_table
-from repro.core.bppo import block_fps
+from repro.core import dispatch
 from repro.datasets import corrupt, corruption_names, load_cloud
 from repro.geometry import farthest_point_sample, pairwise_sq_dists
 from repro.partition import get_partitioner
@@ -38,7 +38,9 @@ def run_robustness():
         row = [kind, len(coords)]
         for strategy in STRATEGIES:
             structure = get_partitioner(strategy, max_points_per_block=128)(coords)
-            sampled, _ = block_fps(structure, coords, n_s)
+            sampled, _ = dispatch.run_op(
+                "fps", structure, coords, n_s, num_centers=n_s
+            )
             ratio = _mean_cov(coords, sampled) / max(exact, 1e-12)
             worst[strategy] = max(worst[strategy], ratio)
             row.append(f"{ratio:.2f}")

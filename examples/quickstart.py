@@ -11,7 +11,7 @@ Run:  python examples/quickstart.py
 import numpy as np
 
 from repro import FractalConfig, fractal_partition
-from repro.core import BlockLayout, block_ball_query, block_fps, block_gather
+from repro.core import BlockLayout, dispatch
 from repro.datasets import sample_shape
 from repro.geometry import coverage_radius, farthest_point_sample
 from repro.runtime import BatchExecutor, PipelineSpec
@@ -36,9 +36,13 @@ def main() -> None:
 
     structure = tree.block_structure()
 
-    # 3. Block-wise FPS vs exact FPS.
+    # 3. Block-wise FPS vs exact FPS.  Ops go through the dispatcher,
+    # which picks the fastest kernel (loop / stacked / ragged) from its
+    # cost model — pass kernel="loop" etc. to pin one.
     n_samples = 1024
-    sampled, fps_trace = block_fps(structure, coords, n_samples)
+    sampled, fps_trace = dispatch.run_op(
+        "fps", structure, coords, n_samples, num_centers=n_samples
+    )
     exact_sampled = farthest_point_sample(coords, n_samples)
     ratio = coverage_radius(coords, sampled) / coverage_radius(coords, exact_sampled)
     print(f"\nblock-wise FPS: {len(sampled)} samples over "
@@ -48,7 +52,10 @@ def main() -> None:
     # 4. Block-wise ball query: every returned neighbour must lie within
     # the radius (any in-radius subset is a valid PointNet++ group).
     radius = 0.15
-    neighbors, bq_trace = block_ball_query(structure, coords, sampled, radius, 16)
+    neighbors, bq_trace = dispatch.run_op(
+        "ball_query", structure, coords, sampled, radius, 16,
+        num_centers=len(sampled),
+    )
     dists = np.linalg.norm(coords[sampled][:, None, :] - coords[neighbors], axis=2)
     validity = float((dists <= radius + 1e-9).mean())
     print(f"block-wise ball query: {validity:.1%} of returned neighbours "
@@ -57,7 +64,10 @@ def main() -> None:
 
     # 5. Block-wise gathering (functionally identical to global).
     features = rng.normal(size=(len(coords), 32)).astype(np.float64)
-    gathered, _ = block_gather(structure, features, neighbors, sampled)
+    gathered, _ = dispatch.run_op(
+        "gather", structure, features, neighbors, sampled,
+        num_centers=len(sampled),
+    )
     print(f"block-wise gather: {gathered.shape} feature tensor "
           f"(values identical to global gathering by construction)")
 
@@ -68,8 +78,8 @@ def main() -> None:
     batch = [sample_shape(shape, 2048, rng)
              for shape in ("torus", "sphere", "cube", "cylinder")]
     batch.append(batch[0])  # duplicate request → result reuse
-    engine = BatchExecutor("fractal", block_size=64, max_workers=4)
-    report = engine.run(batch, PipelineSpec(radius=radius, group_size=16))
+    with BatchExecutor("fractal", block_size=64, max_workers=4) as engine:
+        report = engine.run(batch, PipelineSpec(radius=radius, group_size=16))
     stats = report.stats
     print(f"\nbatched engine: {stats.clouds} clouds in "
           f"{stats.wall_seconds * 1e3:.0f} ms "

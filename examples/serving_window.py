@@ -31,31 +31,35 @@ def main() -> None:
         dup_window=8, burst=4, interval=0.005, seed=0,
     )
 
-    engine = BatchExecutor("fractal", block_size=64, max_workers=4,
-                           fuse_max_spread=4.0)
     window = WindowConfig(max_clouds=16, max_wait=0.02)
     telemetry = ServeTelemetry(window_capacity=window.max_clouds, every=2)
-    server = WindowedServer(engine, window, telemetry=telemetry)
     pipeline = PipelineSpec(sample_ratio=0.25, radius=0.3, group_size=16)
 
-    print(f"serving {traffic.clouds} clouds "
-          f"({traffic.min_points}-{traffic.max_points} points, "
-          f"{traffic.dup_rate:.0%} repeats) through "
-          f"{window.max_clouds}-cloud / {window.max_wait * 1e3:.0f}-ms windows\n")
-    start = time.perf_counter()
-    served = 0
-    for result in server.serve(generate(traffic), pipeline, on_stats=print):
-        served += 1  # results arrive here in submission order
-    wall = time.perf_counter() - start
+    with BatchExecutor("fractal", block_size=64, max_workers=4,
+                       fuse_max_spread=4.0) as engine:
+        with WindowedServer(engine, window, telemetry=telemetry) as server:
+            print(f"serving {traffic.clouds} clouds "
+                  f"({traffic.min_points}-{traffic.max_points} points, "
+                  f"{traffic.dup_rate:.0%} repeats) through "
+                  f"{window.max_clouds}-cloud / "
+                  f"{window.max_wait * 1e3:.0f}-ms windows\n")
+            start = time.perf_counter()
+            served = 0
+            for result in server.serve(generate(traffic), pipeline,
+                                       on_stats=print):
+                served += 1  # results arrive here in submission order
+            wall = time.perf_counter() - start
 
-    print()
-    print(telemetry.report(wall).format())
+        print()
+        print(telemetry.report(wall).format())
 
-    # The same engine, same traffic, offline: run(fuse=True) is the
-    # batch-mode ceiling the windowed path trades a latency bound for.
-    offline = engine.run(list(generate(traffic)), pipeline, fuse=True)
-    print(f"\noffline ceiling (run(fuse=True) over the same {served} clouds):")
-    print(f"  {offline.summary()}")
+        # The same engine, same traffic, offline: run(fuse=True) is the
+        # batch-mode ceiling the windowed path trades a latency bound for.
+        # (close() is idempotent; the engine rebuilds its pool on demand.)
+        offline = engine.run(list(generate(traffic)), pipeline, fuse=True)
+        print(f"\noffline ceiling (run(fuse=True) over the same "
+              f"{served} clouds):")
+        print(f"  {offline.summary()}")
 
 
 if __name__ == "__main__":

@@ -18,8 +18,13 @@ Run:  python examples/streaming_lidar.py
 import numpy as np
 
 from repro.analysis import format_table
-from repro.core import FractalConfig, block_knn_graph, edge_recall, exact_knn_graph
-from repro.core.bppo import block_fps
+from repro.core import (
+    FractalConfig,
+    block_knn_graph,
+    dispatch,
+    edge_recall,
+    exact_knn_graph,
+)
 from repro.core.update import FractalUpdater
 from repro.datasets import lidar_scan
 from repro.runtime import BatchExecutor, PipelineSpec
@@ -49,7 +54,10 @@ def main() -> None:
 
         structure, _ = updater.structure()
         coords = updater.coords()
-        sampled, _ = block_fps(structure, coords, len(coords) // 4)
+        n_samples = len(coords) // 4
+        sampled, _ = dispatch.run_op(
+            "fps", structure, coords, n_samples, num_centers=n_samples
+        )
 
         rows.append([
             frame,
@@ -76,10 +84,10 @@ def main() -> None:
     def frames():
         for f in range(2 * FRAMES):
             yield lidar_scan(N_POINTS // 2, seed=f % FRAMES).coords
-    engine = BatchExecutor("fractal", block_size=256, max_workers=4)
     pipeline = PipelineSpec(sample_ratio=0.25, radius=0.3, group_size=16,
                             with_interpolation=False)
-    report = engine.run(frames(), pipeline)
+    with BatchExecutor("fractal", block_size=256, max_workers=4) as engine:
+        report = engine.run(frames(), pipeline)
     stats = report.stats
     print(f"\nbatched engine over the stream: {stats.clouds} frames at "
           f"{stats.clouds_per_second:.1f} frames/s "

@@ -1,0 +1,97 @@
+"""Project-invariant static analysis: ``repro lint``.
+
+An AST-based linter whose rules are the repo's own correctness
+contracts, not style: kernel calls must route through the dispatcher
+(REP001), ``REPRO_*`` env overrides are read in exactly one place
+(REP002), shared memory is constructed only in the transport (REP003),
+every thread/pool/arena acquisition has a reachable release (REP004),
+parity-tested modules stay deterministic (REP005), locks never wrap
+blocking pipe writes and always nest in one order (REP006), and only
+allowlisted control tuples cross shard pipes (REP007).
+
+Usage::
+
+    repro lint src                      # whole tree, exit 1 on findings
+    repro lint src --select REP004      # one rule
+    repro lint --list-rules             # rule table
+
+Per-line suppression names the rule: ``# repro: ignore[REP004]``.
+The rule registry is pluggable — see :mod:`.registry`.
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections import Counter
+
+from .engine import (
+    Finding,
+    ModuleContext,
+    lint_paths,
+    lint_source,
+)
+from .registry import RULES, Rule, register, rule
+
+# Importing the rule modules populates the registry (id order).
+from . import kernels as _kernels          # noqa: F401  (REP001, REP002)
+from . import resources as _resources      # noqa: F401  (REP003, REP004)
+from . import determinism as _determinism  # noqa: F401  (REP005)
+from . import concurrency as _concurrency  # noqa: F401  (REP006, REP007)
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "RULES",
+    "Rule",
+    "lint_paths",
+    "lint_source",
+    "main",
+    "register",
+    "rule",
+]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``repro lint`` entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="project-invariant linter (REP001-REP007)",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--select",
+                        help="comma list of rule ids to run (default: all)")
+    parser.add_argument("--statistics", action="store_true",
+                        help="append a per-rule finding count")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, entry in sorted(RULES.items()):
+            print(f"{rule_id}  {entry.name}")
+            print(f"        {entry.summary}")
+        return 0
+
+    select = (
+        [r.strip() for r in args.select.split(",") if r.strip()]
+        if args.select
+        else None
+    )
+    try:
+        findings = lint_paths(args.paths or ["src"], select=select)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"repro lint: {exc}")
+        return 2
+    for finding in findings:
+        print(finding.format())
+    if args.statistics and findings:
+        print()
+        for rule_id, count in sorted(Counter(f.rule for f in findings).items()):
+            print(f"{count:5d}  {rule_id}  {RULES[rule_id].name}"
+                  if rule_id in RULES else f"{count:5d}  {rule_id}")
+    if findings:
+        print(f"\nfound {len(findings)} violation(s) in "
+              f"{len({f.path for f in findings})} file(s)")
+        return 1
+    return 0

@@ -1,0 +1,196 @@
+"""Concurrency invariants: REP006 (lock discipline) and REP007 (pipe protocol).
+
+REP006 encodes the router sender-thread lesson from PR 7: the router's
+main thread once wrote requests straight into worker pipes; a pipe full
+of a worker's own large inline results deadlocked both sides.  The fix —
+per-shard sender threads — survives only if nobody reintroduces a
+blocking pipe/queue operation under a lock, and if nested locks are
+always taken in one global order.  Both are checked textually: lock
+identity is the dotted expression (``self._pool_lock``), good enough for
+the single-module lock scopes this repo uses.
+
+REP007 pins the shard wire protocol: everything crossing a router/worker
+pipe must be a tuple whose head is a known message kind (or the ``None``
+sender-shutdown sentinel).  Arbitrary objects on the pipe are how
+unpicklable payloads and protocol drift sneak in — the allowlist below
+is the single source of truth and mirrors the message table in
+:mod:`repro.shard.worker`'s docstring.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .engine import ModuleContext, dotted_name
+from .registry import rule
+
+__all__ = ["PIPE_MESSAGE_KINDS"]
+
+#: Attribute calls that can block on a peer while a lock is held.
+_BLOCKING_ATTRS = frozenset({"send", "recv", "join"})
+#: .put/.get block too, but only on queue-like receivers — plain dicts
+#: have .get as well, so the receiver name must look like a channel.
+_QUEUEISH = ("queue", "inbox", "outbox", "box", "conn", "pipe", "sock")
+
+
+def _lock_name(expr: ast.AST) -> str | None:
+    """Dotted name when ``expr`` looks like a lock acquisition."""
+    name = dotted_name(expr)
+    if name and "lock" in name.rsplit(".", 1)[-1].lower():
+        return name
+    if isinstance(expr, ast.Call):
+        inner = dotted_name(expr.func)
+        if inner.rsplit(".", 1)[-1] in ("Lock", "RLock", "Condition", "Semaphore"):
+            return inner
+    return None
+
+
+def _walk_skipping_defs(node: ast.AST):
+    """Yield nodes below ``node`` without descending into nested defs —
+    a function defined under a lock does not *run* under it."""
+    for child in ast.iter_child_nodes(node):
+        yield child
+        if not isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef, ast.Lambda)):
+            yield from _walk_skipping_defs(child)
+
+
+@rule(
+    "REP006",
+    "lock-discipline",
+    "no blocking pipe/queue operations while holding a lock; nested locks "
+    "must always nest in the same order",
+)
+def check_lock_discipline(ctx: ModuleContext):
+    order_edges: dict[tuple[str, str], int] = {}
+    findings: list[tuple[int, int, str]] = []
+
+    def scan(body_owner: ast.With, held: str) -> None:
+        for node in _walk_skipping_defs(body_owner):
+            if isinstance(node, ast.With):
+                for item in node.items:
+                    inner = _lock_name(item.context_expr)
+                    if inner is None:
+                        continue
+                    if inner == held:
+                        findings.append((
+                            node.lineno, node.col_offset,
+                            f"lock {held} re-acquired while already held "
+                            "(self-deadlock unless it is an RLock)",
+                        ))
+                    else:
+                        order_edges.setdefault((held, inner), node.lineno)
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                attr = node.func.attr
+                receiver = dotted_name(node.func.value).lower()
+                blocking = attr in _BLOCKING_ATTRS or (
+                    attr in ("put", "get")
+                    and any(q in receiver for q in _QUEUEISH)
+                )
+                if blocking:
+                    findings.append((
+                        node.lineno, node.col_offset,
+                        f"blocking .{attr}() while holding lock {held}; a "
+                        "full pipe/queue here deadlocks against the peer — "
+                        "move the transfer outside the critical section "
+                        "(the PR 7 sender-thread deadlock class)",
+                    ))
+
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.With):
+            for item in node.items:
+                name = _lock_name(item.context_expr)
+                if name is not None:
+                    scan(node, name)
+    for (a, b), line in sorted(order_edges.items()):
+        if (b, a) in order_edges:
+            findings.append((
+                line, 0,
+                f"inconsistent lock order: {a} -> {b} here but {b} -> {a} "
+                f"at line {order_edges[(b, a)]}; pick one global order",
+            ))
+    yield from sorted(set(findings))
+
+
+#: Every message kind the router/worker protocol knows.  Tuples with any
+#: other head — or non-tuple objects — must not cross a shard pipe.
+PIPE_MESSAGE_KINDS = frozenset({
+    "run", "free", "drain", "stop",            # router -> worker
+    "ready", "results", "drained", "stopped",  # worker -> router
+})
+
+_SHARD_MODULES = ("repro.shard",)
+
+
+def _is_relay(ctx: ModuleContext, name_node: ast.Name) -> bool:
+    """True when the sent name was read off a queue/pipe in this scope —
+    a forwarding loop relaying already-validated messages."""
+    scope = ctx.parent(name_node)
+    while scope is not None and not isinstance(
+        scope, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)
+    ):
+        scope = ctx.parent(scope)
+    if scope is None:
+        return False
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == name_node.id
+            for t in node.targets
+        ):
+            value = node.value
+            if (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Attribute)
+                and value.func.attr in ("get", "recv")
+            ):
+                return True
+    return False
+
+
+@rule(
+    "REP007",
+    "unknown-pipe-message",
+    "objects sent over shard pipes must be tuples from the known-picklable "
+    "message-kind allowlist",
+)
+def check_pipe_messages(ctx: ModuleContext):
+    if not ctx.in_module(*_SHARD_MODULES):
+        return
+    for node in ast.walk(ctx.tree):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            continue
+        attr = node.func.attr
+        receiver = dotted_name(node.func.value).lower()
+        is_pipe_send = attr == "send" and ("conn" in receiver or "pipe" in receiver)
+        is_outbox_put = attr == "put" and ("outbox" in receiver or "inbox" in receiver)
+        if not (is_pipe_send or is_outbox_put) or not node.args:
+            continue
+        payload = node.args[0]
+        if isinstance(payload, ast.Constant) and payload.value is None:
+            continue  # sender-thread shutdown sentinel
+        if isinstance(payload, ast.Tuple):
+            head = payload.elts[0] if payload.elts else None
+            if (
+                isinstance(head, ast.Constant)
+                and isinstance(head.value, str)
+                and head.value in PIPE_MESSAGE_KINDS
+            ):
+                continue
+            kind = (
+                head.value if isinstance(head, ast.Constant) else
+                ast.dump(head) if head is not None else "<empty>"
+            )
+            yield (
+                node.lineno, node.col_offset,
+                f"tuple sent on a shard pipe with unknown message kind "
+                f"{kind!r}; extend PIPE_MESSAGE_KINDS alongside the worker "
+                "protocol table if this is a new message",
+            )
+            continue
+        if isinstance(payload, ast.Name) and _is_relay(ctx, payload):
+            continue
+        yield (
+            node.lineno, node.col_offset,
+            "non-tuple object sent over a shard pipe; only allowlisted "
+            "(kind, ...) control tuples are known-picklable on this wire",
+        )

@@ -1,0 +1,96 @@
+"""Determinism invariants: REP005.
+
+Every layer of the repo is parity-tested bit-identical to the serial
+reference — batch engine, fused kernels, windowed server, shards.  Three
+hazards quietly break that without failing any single-run test:
+
+- **global numpy RNG** (``np.random.rand`` et al.): state shared across
+  call sites means results depend on call *order*; a second tenant or a
+  retried window changes every later draw.  Seeded
+  ``np.random.default_rng(seed)`` generators are the sanctioned form.
+- **wall-clock reads** (``time.time()``) in parity-scoped modules: a
+  value that differs run-to-run must never feed anything content-hashed
+  or replayed.  ``time.perf_counter()`` is fine for *intervals* and is
+  what the telemetry uses.
+- **iteration over set displays/constructors**: set order is
+  insertion-and-hash dependent; iterating one to build output (e.g. a
+  set of digests) reorders results across processes with different hash
+  seeds.  Sort first (``sorted(...)``) or keep an ordered container.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .engine import ModuleContext, dotted_name
+from .registry import rule
+
+__all__ = ["PARITY_MODULES"]
+
+#: Dotted prefixes of the parity-tested surface: everything whose output
+#: is asserted bit-identical to the serial reference somewhere in tests/.
+PARITY_MODULES = (
+    "repro.core",
+    "repro.runtime",
+    "repro.serve",
+    "repro.shard",
+)
+
+#: np.random attributes that are constructors/containers, not draws from
+#: the shared global state.
+_RNG_SAFE = frozenset({"default_rng", "Generator", "SeedSequence", "RandomState"})
+
+
+def _set_valued(node: ast.AST) -> bool:
+    if isinstance(node, ast.Set):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+@rule(
+    "REP005",
+    "determinism-hazard",
+    "no global np.random draws anywhere; no time.time() or iteration over "
+    "set displays in parity-tested modules",
+)
+def check_determinism(ctx: ModuleContext):
+    parity = ctx.in_module(*PARITY_MODULES)
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name.startswith(("np.random.", "numpy.random.")):
+                attr = name.rsplit(".", 1)[-1]
+                if attr not in _RNG_SAFE:
+                    yield (
+                        node.lineno, node.col_offset,
+                        f"global-state RNG call {name}(); results depend on "
+                        "call order — thread a seeded np.random.default_rng "
+                        "through instead",
+                    )
+            elif parity and name in ("time.time", "time.time_ns"):
+                yield (
+                    node.lineno, node.col_offset,
+                    f"{name}() in a parity-tested module; wall-clock values "
+                    "differ run-to-run — use time.perf_counter() for "
+                    "intervals or take timestamps as arguments",
+                )
+        elif parity and isinstance(node, (ast.For, ast.AsyncFor)):
+            if _set_valued(node.iter):
+                yield (
+                    node.iter.lineno, node.iter.col_offset,
+                    "iterating a set: order is hash-seed dependent; wrap in "
+                    "sorted(...) or keep an ordered container",
+                )
+        elif parity and isinstance(node, (ast.ListComp, ast.SetComp,
+                                          ast.DictComp, ast.GeneratorExp)):
+            for gen in node.generators:
+                if _set_valued(gen.iter):
+                    yield (
+                        gen.iter.lineno, gen.iter.col_offset,
+                        "comprehension over a set: order is hash-seed "
+                        "dependent; wrap in sorted(...)",
+                    )

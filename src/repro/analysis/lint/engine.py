@@ -1,0 +1,215 @@
+"""The project-invariant lint engine: parse, run rules, filter suppressions.
+
+The linter is AST-based and file-local: every rule receives one parsed
+:class:`ModuleContext` and yields ``(line, col, message)`` findings.  No
+rule imports the code under analysis — everything is decided from the
+syntax tree plus the module's dotted name, so linting is safe on broken
+or heavyweight modules and identical across interpreter state.
+
+Suppression is per line and per rule::
+
+    done = set(digests)
+    for key in done:  # repro: ignore[REP005] -- order-insensitive sum
+
+A ``# repro: ignore[REP001, REP004]`` comma list silences several rules
+on one line.  Suppressions must name rule ids; there is deliberately no
+blanket ``ignore-everything`` form.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from .registry import RULES, Rule
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "call_name",
+    "dotted_name",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "module_name_for",
+]
+
+#: ``# repro: ignore[REP001]`` / ``# repro: ignore[REP001, REP004]``.
+_SUPPRESS_RE = re.compile(r"#\s*repro:\s*ignore\[([A-Z0-9_,\s]+)\]")
+
+#: Rule id for files the parser rejects (always reported, never suppressible).
+PARSE_ERROR = "REP000"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule may look at for one file."""
+
+    path: str  #: display path (as passed on the command line)
+    module: str  #: best-effort dotted module name ("repro.serve.window")
+    tree: ast.Module
+    source: str
+    lines: list[str]
+    parents: dict[ast.AST, ast.AST]  #: child node -> parent node
+
+    def in_module(self, *prefixes: str) -> bool:
+        """True when the module is one of ``prefixes`` or below one."""
+        return any(
+            self.module == p or self.module.startswith(p + ".")
+            for p in prefixes
+        )
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self.parents.get(node)
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name of ``path``, anchored at the ``repro`` package.
+
+    Files outside the package (examples, benchmarks, fixture corpora)
+    resolve to their bare stem, so package-scoped rules simply never
+    match them.
+    """
+    parts = list(Path(path).with_suffix("").parts)
+    if "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    else:
+        parts = parts[-1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def call_name(func: ast.AST) -> str:
+    """Rightmost identifier of a call target (``''`` when unnamed)."""
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def dotted_name(node: ast.AST) -> str:
+    """``a.b.c`` for a Name/Attribute chain, ``''`` for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return ""
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _suppressions(lines: list[str]) -> dict[int, set[str]]:
+    """1-based line number -> rule ids suppressed on that line."""
+    out: dict[int, set[str]] = {}
+    for i, line in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match:
+            out[i] = {r.strip() for r in match.group(1).split(",") if r.strip()}
+    return out
+
+
+def _build_parents(tree: ast.Module) -> dict[ast.AST, ast.AST]:
+    parents: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def _select_rules(select: Iterable[str] | None) -> list[Rule]:
+    if select is None:
+        return list(RULES.values())
+    chosen = set(select)
+    unknown = chosen - set(RULES)
+    if unknown:
+        raise ValueError(
+            f"unknown rule ids {sorted(unknown)}; known: {sorted(RULES)}"
+        )
+    return [rule for rid, rule in RULES.items() if rid in chosen]
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    select: Iterable[str] | None = None,
+    module: str | None = None,
+) -> list[Finding]:
+    """Lint one source text; returns unsuppressed findings, sorted."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path, exc.lineno or 1, (exc.offset or 1) - 1, PARSE_ERROR,
+                f"file does not parse: {exc.msg}",
+            )
+        ]
+    lines = source.splitlines()
+    ctx = ModuleContext(
+        path=path,
+        module=module if module is not None else module_name_for(path),
+        tree=tree,
+        source=source,
+        lines=lines,
+        parents=_build_parents(tree),
+    )
+    suppressed = _suppressions(lines)
+    findings: list[Finding] = []
+    for rule in _select_rules(select):
+        for line, col, message in rule.check(ctx):
+            if rule.id in suppressed.get(line, ()):
+                continue
+            findings.append(Finding(path, line, col, rule.id, message))
+    return sorted(findings)
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py list."""
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            raise FileNotFoundError(f"not a Python file or directory: {raw}")
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+
+def lint_paths(
+    paths: Iterable[str], *, select: Iterable[str] | None = None
+) -> list[Finding]:
+    """Lint files and directory trees; returns all findings, sorted."""
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(
+            lint_source(
+                path.read_text(encoding="utf-8"), str(path), select=select
+            )
+        )
+    return sorted(findings)

@@ -1,0 +1,53 @@
+"""Pluggable rule registry for the project-invariant linter.
+
+A rule is a named, documented check with a stable id (``REPnnn``).  The
+rule modules in this package register themselves at import time through
+the :func:`rule` decorator; downstream extensions (a deployment repo
+pinning extra invariants, a test corpus) can call :func:`register` with
+their own :class:`Rule` instances — ids must be unique, collisions are a
+hard error so two plugins can never silently shadow each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+__all__ = ["Rule", "RULES", "register", "rule"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One named invariant check.
+
+    ``check(ctx)`` receives a
+    :class:`~repro.analysis.lint.engine.ModuleContext` and yields
+    ``(line, col, message)`` triples for every violation it sees.
+    """
+
+    id: str
+    name: str
+    summary: str
+    check: Callable[[object], Iterable[tuple[int, int, str]]]
+
+
+#: id -> rule, in registration order (rule modules import in id order).
+RULES: dict[str, Rule] = {}
+
+
+def register(new: Rule) -> Rule:
+    """Add a rule to the registry; duplicate ids are a hard error."""
+    if new.id in RULES:
+        raise ValueError(f"rule id {new.id!r} already registered")
+    RULES[new.id] = new
+    return new
+
+
+def rule(rule_id: str, name: str, summary: str):
+    """Decorator form of :func:`register` for plain check functions."""
+
+    def decorate(fn):
+        register(Rule(rule_id, name, summary, fn))
+        return fn
+
+    return decorate

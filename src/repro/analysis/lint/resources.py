@@ -1,0 +1,220 @@
+"""Resource-lifecycle invariants: REP003 (shm homing) and REP004 (release).
+
+PR 7's hardest bugs were lifecycle bugs: shared-memory segments leaked
+past process exit (spurious resource-tracker warnings), and worker pools
+rebuilt per window until the pool was made persistent-with-``close()``.
+REP003 keeps raw ``SharedMemory`` construction inside the one module
+whose job is segment lifetime (:mod:`repro.shard.transport`); REP004
+requires every thread/pool/arena/engine acquisition to have a reachable
+release — a cleanup call, a ``with`` block, or an ownership transfer.
+
+REP004 is deliberately an *escape* analysis, not a path analysis: a
+resource that is returned, yielded, stored on an object, or passed to
+another call has transferred ownership and is someone else's obligation.
+Only a resource that provably stays local to its scope and never sees a
+``close()``/``join()``-class call is flagged.  That keeps the rule
+near-zero-noise at the cost of missing laundered leaks — the runtime
+sanitizer (:mod:`repro.analysis.sanitize`) is the backstop for those.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .engine import ModuleContext, call_name
+from .registry import rule
+
+__all__ = ["CLEANUP_METHODS", "RESOURCE_CTORS"]
+
+#: The one module allowed to construct SharedMemory segments.
+_SHM_HOME = ("repro.shard.transport",)
+
+
+@rule(
+    "REP003",
+    "shm-outside-transport",
+    "SharedMemory segments may be constructed only in repro.shard.transport",
+)
+def check_shared_memory_home(ctx: ModuleContext):
+    if ctx.in_module(*_SHM_HOME):
+        return
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call) and call_name(node.func) == "SharedMemory":
+            yield (
+                node.lineno, node.col_offset,
+                "raw SharedMemory constructed outside repro.shard.transport; "
+                "use ShmArena/ShmPeer so segments are pooled, reclaimed, and "
+                "unlinked exactly once",
+            )
+
+
+#: Constructors whose result must be released: threads and processes,
+#: executor pools, shm arenas/segments, and the repo's own engine/server
+#: classes (each has close() and context-manager support).
+RESOURCE_CTORS = frozenset({
+    "Thread", "Process",
+    "ThreadPoolExecutor", "ProcessPoolExecutor", "Pool",
+    "ShmArena", "SharedMemory",
+    "BatchExecutor", "ShardRouter", "WindowedServer", "MultiTenantServer",
+})
+
+#: Method names that count as releasing a resource.
+CLEANUP_METHODS = frozenset({
+    "close", "join", "shutdown", "terminate", "unlink", "stop", "kill",
+    "release",
+})
+
+
+def _contains_name(node: ast.AST, var: str) -> bool:
+    return any(
+        isinstance(n, ast.Name) and n.id == var for n in ast.walk(node)
+    )
+
+
+def _is_self_attr(node: ast.AST, attr: str) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == attr
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    )
+
+
+def _contains_self_attr(node: ast.AST, attr: str) -> bool:
+    return any(_is_self_attr(n, attr) for n in ast.walk(node))
+
+
+def _enclosing(ctx: ModuleContext, node: ast.AST, kinds) -> ast.AST | None:
+    cursor = ctx.parent(node)
+    while cursor is not None and not isinstance(cursor, kinds):
+        cursor = ctx.parent(cursor)
+    return cursor
+
+
+def _local_is_released(scope: ast.AST, var: str, acquisition: ast.AST) -> bool:
+    """Does ``var`` get cleaned up, managed, or escape within ``scope``?"""
+    for node in ast.walk(scope):
+        if node is acquisition:
+            continue
+        if isinstance(node, ast.withitem):
+            if _contains_name(node.context_expr, var):
+                return True
+        elif isinstance(node, ast.Call):
+            # var.close() / var.pipe().join() — any cleanup reached from var.
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in CLEANUP_METHODS
+                and _contains_name(func.value, var)
+            ):
+                return True
+            # Passed to another call: ownership transferred.
+            if any(_contains_name(arg, var) for arg in node.args):
+                return True
+            if any(_contains_name(kw.value, var) for kw in node.keywords):
+                return True
+        elif isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+            if node.value is not None and _contains_name(node.value, var):
+                return True
+        elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            value = node.value
+            if value is not None and _contains_name(value, var):
+                return True  # aliased or stored — tracked elsewhere
+    return False
+
+
+def _attr_is_released(cls: ast.ClassDef, attr: str, acquisition: ast.AST) -> bool:
+    """Does any method of ``cls`` clean up, manage, or hand off ``self.attr``?"""
+    for node in ast.walk(cls):
+        if node is acquisition:
+            continue
+        if isinstance(node, ast.withitem):
+            if _contains_self_attr(node.context_expr, attr):
+                return True
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in CLEANUP_METHODS
+                and _contains_self_attr(func.value, attr)
+            ):
+                return True
+            if any(_contains_self_attr(a, attr) for a in node.args):
+                return True
+            if any(_contains_self_attr(kw.value, attr) for kw in node.keywords):
+                return True
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            if _contains_self_attr(node.value, attr):
+                return True  # aliased out (e.g. pool, self._pool = self._pool, None)
+    return False
+
+
+@rule(
+    "REP004",
+    "unreleased-resource",
+    "every Thread/pool/ShmArena/SharedMemory/engine acquisition needs a "
+    "reachable close()/join()/unlink() or context-manager exit",
+)
+def check_resource_release(ctx: ModuleContext):
+    scopes = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)
+    for node in ast.walk(ctx.tree):
+        if not (isinstance(node, ast.Call) and call_name(node.func) in RESOURCE_CTORS):
+            continue
+        ctor = call_name(node.func)
+        parent = ctx.parent(node)
+        if isinstance(parent, ast.withitem):
+            continue  # with Ctor(...) as x:
+        if isinstance(parent, ast.Call):
+            continue  # argument of another call — ownership transferred
+        if isinstance(parent, (ast.Return, ast.Yield, ast.YieldFrom)):
+            continue  # caller owns it now
+        if isinstance(parent, ast.Attribute):
+            # Ctor(...).method() with no binding: unreleasable unless the
+            # one chained call is itself the cleanup.
+            if parent.attr in CLEANUP_METHODS:
+                continue
+            yield (
+                node.lineno, node.col_offset,
+                f"{ctor} is constructed and immediately discarded; bind it "
+                "so it can be closed/joined",
+            )
+            continue
+        if isinstance(parent, ast.Expr):
+            yield (
+                node.lineno, node.col_offset,
+                f"{ctor} result is discarded; the resource can never be "
+                "released",
+            )
+            continue
+        if isinstance(parent, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                parent.targets if isinstance(parent, ast.Assign)
+                else [parent.target]
+            )
+            if len(targets) != 1:
+                continue  # chained assignment — aliased, assume managed
+            target = targets[0]
+            if isinstance(target, ast.Name):
+                scope = _enclosing(ctx, node, scopes) or ctx.tree
+                if not _local_is_released(scope, target.id, parent):
+                    yield (
+                        node.lineno, node.col_offset,
+                        f"{ctor} bound to {target.id!r} is never closed/"
+                        "joined and never leaves this scope; use a context "
+                        "manager or call its cleanup before returning",
+                    )
+            elif (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                cls = _enclosing(ctx, node, (ast.ClassDef,))
+                if cls is not None and not _attr_is_released(cls, target.attr, parent):
+                    yield (
+                        node.lineno, node.col_offset,
+                        f"{ctor} stored on self.{target.attr} but no method "
+                        f"of {cls.name} ever closes/joins it; add a close() "
+                        "or __exit__ that releases it",
+                    )
+            # other targets (obj.attr, d[k], tuple) — stored away, assume
+            # the owner releases it

@@ -6,8 +6,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core import FractalConfig, fractal_partition
-from ..core.bppo import block_fps
+from ..core import FractalConfig, dispatch, fractal_partition
 from ..geometry import coverage_radius, farthest_point_sample
 from ..hw import AcceleratorSim, FRACTALCLOUD
 from ..networks.workloads import WorkloadSpec
@@ -69,7 +68,10 @@ def threshold_sweep(
         cfg = dc_replace(FRACTALCLOUD, block_size=th)
         latency = AcceleratorSim(cfg).run(spec, num_points, seed).latency_s
         tree = fractal_partition(eval_coords, FractalConfig(threshold=max(th, 2)))
-        idx, _ = block_fps(tree.block_structure(), eval_coords, n_samples)
+        idx, _ = dispatch.run_op(
+            "fps", tree.block_structure(), eval_coords, n_samples,
+            num_centers=n_samples,
+        )
         cov = coverage_radius(eval_coords, idx)
         points.append(
             ThresholdPoint(

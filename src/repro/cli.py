@@ -24,6 +24,10 @@ Six subcommands cover the common workflows without writing any code:
   front-end (:mod:`repro.shard`): a consistent-hash router over N
   engine worker processes with shared-memory array transport
   (``--transport shm|pickle``, ``--affinity content|stream``).
+- ``lint`` — the project-invariant static analyzer
+  (:mod:`repro.analysis.lint`): AST rules REP001-REP007 over files or
+  trees, exit 1 on findings.  CI gates on ``repro lint src`` staying
+  clean.
 """
 
 from __future__ import annotations
@@ -411,6 +415,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Imported lazily: the linter pulls in nothing heavy, but keeping it
+    # out of module scope means `repro serve` never pays for it either.
+    from .analysis.lint import main as lint_main
+
+    argv = list(args.paths)
+    if args.select:
+        argv += ["--select", args.select]
+    if args.statistics:
+        argv.append("--statistics")
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="FractalCloud reproduction toolkit"
@@ -622,6 +641,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dataset", choices=DATASET_NAMES, default="modelnet40")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "lint",
+        help="project-invariant static analysis (REP001-REP007)",
+    )
+    p.add_argument("paths", nargs="*", default=["src"],
+                   help="files or directories to lint (default: src)")
+    p.add_argument("--select",
+                   help="comma list of rule ids to run (default: all)")
+    p.add_argument("--statistics", action="store_true",
+                   help="append a per-rule finding count")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule table and exit")
+    p.set_defaults(func=_cmd_lint)
     return parser
 
 

@@ -8,7 +8,7 @@ explicit: an :class:`AABB` is an immutable pair of ``(3,)`` float arrays.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

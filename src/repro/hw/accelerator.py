@@ -26,7 +26,6 @@ Spill behaviour (the paper's large-scale story) is explicit:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 
 import numpy as np
 
@@ -42,7 +41,7 @@ from .fractal_engine import FractalEngineModel
 from .gather_unit import GatherUnitModel
 from .noc import NoCModel
 from .pe_array import PEArrayModel
-from .results import PhaseStats, RunResult, TraceEvent
+from .results import RunResult, TraceEvent
 from .rspu import RSPUModel
 from .sram import SRAMModel
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..networks.workloads import WorkloadSpec
-from .results import PhaseStats, RunResult
+from .results import RunResult
 
 __all__ = ["GPUModel"]
 

@@ -11,8 +11,6 @@ interpolation weights, MLPs, and pooling.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
 from .backends import PointOpsBackend

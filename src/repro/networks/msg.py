@@ -14,7 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from .backends import PointOpsBackend
-from .layers import Module, SharedMLP
+from .layers import Module
 from .modules import SAStage
 
 __all__ = ["SAStageMSG"]

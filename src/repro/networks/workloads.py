@@ -10,7 +10,7 @@ compiler (:mod:`repro.runtime.compiler`) lowers into hardware operations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = [
     "SAConfig",

@@ -241,7 +241,9 @@ def _process_init(partitioner_name: str, block_size: int, kernel: str,
                   delta: bool = False,
                   delta_policy: "PatchPolicy | None" = None) -> None:
     global _PROCESS_ENGINE
-    _PROCESS_ENGINE = BatchExecutor(
+    # Serial (max_workers=1): never builds a pool, lives exactly as long
+    # as its worker process — there is nothing to release.
+    _PROCESS_ENGINE = BatchExecutor(  # repro: ignore[REP004]
         partitioner_name,
         block_size=block_size,
         max_workers=1,

@@ -726,6 +726,10 @@ class MultiTenantServer:
                 raise source_error
         finally:
             stop.set()
+            # Same bound as WindowedServer.serve: put() polls stop every
+            # 50 ms; a source blocked mid-iteration is abandoned as a
+            # daemon rather than hanging shutdown.
+            puller.join(timeout=1.0)
 
     def close(self) -> None:
         """Join the shared engine's persistent worker pool."""

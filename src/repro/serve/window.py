@@ -227,6 +227,11 @@ class WindowedServer:
                 raise source_error
         finally:
             stop.set()
+            # Bounded: put() polls the stop event every 50 ms, so the
+            # puller exits promptly unless the *source* iterator itself
+            # is blocked — then the timeout abandons the daemon thread
+            # rather than hanging shutdown.
+            puller.join(timeout=1.0)
 
     # -- internals -----------------------------------------------------------
 

@@ -1,7 +1,5 @@
 """Invariant tests for the energy model and calibration constants."""
 
-import pytest
-
 from repro.hw import AcceleratorSim, FRACTALCLOUD, POINTACC
 from repro.hw import energy as E
 from repro.hw.accelerator import GATHER_REFETCH_CAP, POINTOP_SRAM_SHARE

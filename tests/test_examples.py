@@ -5,7 +5,6 @@
 """
 
 import runpy
-import sys
 from pathlib import Path
 
 import pytest

@@ -1,12 +1,11 @@
 """End-to-end integration tests across the whole stack."""
 
 import numpy as np
-import pytest
 
 from repro.core import FractalConfig, fractal_partition, block_fps, block_ball_query, block_gather
 from repro.core.layout import BlockLayout
 from repro.datasets import load_cloud, make_classification_dataset
-from repro.geometry import coverage_radius, farthest_point_sample
+from repro.geometry import farthest_point_sample
 from repro.hw import AcceleratorSim, FRACTALCLOUD, POINTACC, GPUModel
 from repro.networks import (
     PNNClassifier,

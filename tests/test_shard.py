@@ -101,6 +101,27 @@ class TestHashRing:
         moved = sum(before[k] != after[k] for k in keys)
         assert 0 < moved < len(keys) / 2
 
+    def test_remove_then_re_add_rebuilds_identical_ring(self):
+        ring = HashRing(["a", "b", "c", "d"])
+        keys = [f"k{i}".encode() for i in range(2048)]
+        before = {k: ring.route(k) for k in keys}
+        points, owners = ring._points.copy(), list(ring._owners)
+
+        ring.remove("c")
+        # While "c" is out, keys it never owned keep routing unchanged —
+        # a departed shard disturbs nobody else's warm caches.
+        for k in keys:
+            if before[k] != "c":
+                assert ring.route(k) == before[k]
+
+        ring.add("c")
+        # The ring is a pure function of the member set: re-adding the
+        # same shard id rebuilds it bit-identically, so every key
+        # (including "c"'s) routes exactly as before the departure.
+        assert np.array_equal(ring._points, points)
+        assert ring._owners == owners
+        assert {k: ring.route(k) for k in keys} == before
+
     def test_empty_ring_and_bad_members(self):
         ring = HashRing()
         with pytest.raises(RuntimeError):
@@ -167,7 +188,6 @@ class TestTransport:
 
     def test_close_unlinks_segment(self):
         arena = ShmArena(1 << 16)
-        name = arena.name
         ref = arena.pack(np.arange(16.0))
         peer = ShmPeer()
         got = peer.unpack(ref, copy=True)
@@ -278,27 +298,16 @@ class TestShardRouter:
                 seqs = [s.seq for s in served if s.stream == name]
                 assert seqs == sorted(seqs)
 
-    def test_shm_segments_fully_reclaimed_and_unlinked(self):
+    def test_shm_segments_fully_reclaimed(self):
+        # That close() also unlinks every router-owned /dev/shm segment is
+        # asserted after every test by the repro.analysis.sanitize plugin.
         clouds = clouds_for(6, seed=80)
-        router = ShardRouter(2, engine=ENGINE, transport="shm")
-        try:
+        with ShardRouter(2, engine=ENGINE, transport="shm") as router:
             list(router.serve(clouds * 2))
-            arenas = {
-                name: shard.channel
-                for name, shard in router._shards.items()
-            }
-            refs = []
-            for name, arena in arenas.items():
+            for name, shard in router._shards.items():
                 # Every request block returned to the pool once its
                 # worker reported it consumed.
-                assert arena.allocated == 0, name
-                refs.append(ArrayRef(arena.name, 0, (1,), "<f8"))
-        finally:
-            router.close()
-        # close() unlinked every router-owned segment.
-        for ref in refs:
-            with pytest.raises(FileNotFoundError):
-                ShmPeer().unpack(ref)
+                assert shard.channel.allocated == 0, name
 
     def test_traces_stay_off_the_wire_unless_requested(self):
         clouds = clouds_for(3, seed=120)

@@ -1,6 +1,5 @@
 """Tests for incremental fractal updates (dynamic point clouds)."""
 
-import numpy as np
 import pytest
 
 from repro.core import FractalConfig
