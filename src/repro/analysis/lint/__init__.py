@@ -6,8 +6,9 @@ contracts, not style: kernel calls must route through the dispatcher
 (REP002), shared memory is constructed only in the transport (REP003),
 every thread/pool/arena acquisition has a reachable release (REP004),
 parity-tested modules stay deterministic (REP005), locks never wrap
-blocking pipe writes and always nest in one order (REP006), and only
-allowlisted control tuples cross shard pipes (REP007).
+blocking pipe writes and always nest in one order (REP006), only
+allowlisted control tuples cross shard pipes (REP007), and monotonic
+clocks are read only through :mod:`repro.obs` (REP008).
 
 Usage::
 
@@ -37,6 +38,7 @@ from . import kernels as _kernels          # noqa: F401  (REP001, REP002)
 from . import resources as _resources      # noqa: F401  (REP003, REP004)
 from . import determinism as _determinism  # noqa: F401  (REP005)
 from . import concurrency as _concurrency  # noqa: F401  (REP006, REP007)
+from . import timing as _timing            # noqa: F401  (REP008)
 
 __all__ = [
     "Finding",
@@ -55,7 +57,7 @@ def main(argv: list[str] | None = None) -> int:
     """``repro lint`` entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
         prog="repro lint",
-        description="project-invariant linter (REP001-REP007)",
+        description="project-invariant linter (REP001-REP008)",
     )
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")

@@ -10,8 +10,8 @@ hazards quietly break that without failing any single-run test:
   ``np.random.default_rng(seed)`` generators are the sanctioned form.
 - **wall-clock reads** (``time.time()``) in parity-scoped modules: a
   value that differs run-to-run must never feed anything content-hashed
-  or replayed.  ``time.perf_counter()`` is fine for *intervals* and is
-  what the telemetry uses.
+  or replayed.  Intervals belong to the monotonic clock, read through
+  ``repro.obs.now()`` (REP008 owns that discipline).
 - **iteration over set displays/constructors**: set order is
   insertion-and-hash dependent; iterating one to build output (e.g. a
   set of digests) reorders results across processes with different hash
@@ -75,8 +75,8 @@ def check_determinism(ctx: ModuleContext):
                 yield (
                     node.lineno, node.col_offset,
                     f"{name}() in a parity-tested module; wall-clock values "
-                    "differ run-to-run — use time.perf_counter() for "
-                    "intervals or take timestamps as arguments",
+                    "differ run-to-run — use repro.obs.now() for intervals "
+                    "or take timestamps as arguments",
                 )
         elif parity and isinstance(node, (ast.For, ast.AsyncFor)):
             if _set_valued(node.iter):

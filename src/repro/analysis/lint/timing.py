@@ -1,0 +1,63 @@
+"""Timing discipline: REP008.
+
+Per-stage time accounting only works if every measurement flows through
+one subsystem.  PR 9 made :mod:`repro.obs` that subsystem: spans for
+durations, metrics for counts, and ``repro.obs.now`` as the sanctioned
+monotonic clock (it *is* ``time.perf_counter``, but routed through one
+name so the trace summarizer, the cross-process stitching, and the
+serving telemetry all agree on the timebase).
+
+REP008 therefore bans ad-hoc monotonic-clock reads —
+``time.perf_counter()`` / ``time.monotonic()`` and their ``_ns``
+variants, called, aliased, or imported — everywhere in the ``repro``
+package except inside ``repro.obs`` itself.  Benchmarks, examples, and
+tests resolve to bare module stems and are exempt (benchmark harnesses
+legitimately time things the observability layer should not see).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .engine import ModuleContext, dotted_name
+from .registry import rule
+
+#: Monotonic-clock attributes of the ``time`` module that REP008 owns.
+_CLOCK_ATTRS = frozenset(
+    {"perf_counter", "monotonic", "perf_counter_ns", "monotonic_ns"}
+)
+_CLOCKS = frozenset(f"time.{attr}" for attr in _CLOCK_ATTRS)
+
+
+@rule(
+    "REP008",
+    "ad-hoc-timing",
+    "time.perf_counter()/time.monotonic() only inside repro.obs; "
+    "everything else times through obs spans/metrics and obs.now",
+)
+def check_timing(ctx: ModuleContext):
+    if not ctx.in_module("repro") or ctx.in_module("repro.obs"):
+        return
+    for node in ast.walk(ctx.tree):
+        # One finding per clock mention: a call like time.perf_counter()
+        # is reported at its Attribute node (the Call wrapper adds
+        # nothing), and bare references (``clock=time.perf_counter``)
+        # are just as much an ad-hoc clock as a call.
+        if isinstance(node, ast.Attribute):
+            name = dotted_name(node)
+            if name in _CLOCKS:
+                yield (
+                    node.lineno, node.col_offset,
+                    f"ad-hoc {name} read; take timestamps from "
+                    "repro.obs.now() and measure durations with obs "
+                    "spans/metrics so per-stage accounting sees them",
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name in _CLOCK_ATTRS:
+                    yield (
+                        node.lineno, node.col_offset,
+                        f"from time import {alias.name} hides a monotonic "
+                        "clock from REP008; import repro.obs and use "
+                        "obs.now()/spans instead",
+                    )

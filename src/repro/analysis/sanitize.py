@@ -35,6 +35,8 @@ import time
 
 import pytest
 
+from .. import obs
+
 __all__ = [
     "GRACE_SECONDS",
     "extra_shm_segments",
@@ -134,8 +136,8 @@ def pytest_runtest_teardown(item, nextitem):
     if baseline is None or item.get_closest_marker("no_sanitize"):
         return result
     leaks = _leaks(baseline)
-    deadline = time.monotonic() + GRACE_SECONDS
-    while leaks and time.monotonic() < deadline:
+    deadline = obs.now() + GRACE_SECONDS
+    while leaks and obs.now() < deadline:
         # Dropped-not-closed engines free their pools via GC finalizers;
         # stopping threads need a poll tick to notice their event.
         gc.collect()

@@ -24,8 +24,15 @@ Six subcommands cover the common workflows without writing any code:
   front-end (:mod:`repro.shard`): a consistent-hash router over N
   engine worker processes with shared-memory array transport
   (``--transport shm|pickle``, ``--affinity content|stream``).
+  ``--trace out.json`` records an end-to-end span tree (router →
+  worker → engine → kernels) as Chrome ``trace_event`` JSON;
+  ``--metrics`` dumps the Prometheus exposition at exit.
+- ``trace`` — offline trace tooling: ``repro trace summarize out.json``
+  prints the per-stage self-time breakdown (build/patch vs. per-op
+  kernels vs. transport vs. queueing) and gates on stage-total
+  coverage of the traced wall time.
 - ``lint`` — the project-invariant static analyzer
-  (:mod:`repro.analysis.lint`): AST rules REP001-REP007 over files or
+  (:mod:`repro.analysis.lint`): AST rules REP001-REP008 over files or
   trees, exit 1 on findings.  CI gates on ``repro lint src`` staying
   clean.
 """
@@ -34,9 +41,10 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 
 import numpy as np
+
+from . import obs
 
 from .analysis import format_table
 from .core.delta import PatchPolicy
@@ -50,6 +58,7 @@ from .serve import (
     ControllerConfig,
     LoadSpec,
     MultiTenantServer,
+    ServeReport,
     ServeTelemetry,
     TenantSpec,
     WindowConfig,
@@ -223,6 +232,32 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _obs_configure(args: argparse.Namespace) -> None:
+    """Arm the process-global tracer/registry from the serve flags.
+
+    Must run before the engine or router is built: the router captures
+    ``obs.enabled()`` when it forks its shard workers.
+    """
+    obs.configure(
+        trace=bool(args.trace),
+        sample=max(1, args.trace_sample),
+        metrics=args.metrics,
+    )
+
+
+def _obs_dump(args: argparse.Namespace) -> None:
+    """Write the trace file / print the metrics exposition after serving."""
+    if args.trace:
+        from .obs import export
+
+        spans = obs.drain()
+        export.write_trace(spans, args.trace)
+        print(f"trace: wrote {len(spans)} spans to {args.trace}",
+              file=sys.stderr)
+    if args.metrics:
+        print(obs.metrics().render(), end="")
+
+
 def _serve_sharded(args: argparse.Namespace, source, tenants: int) -> int:
     """``repro serve --shards N``: the consistent-hash router front-end.
 
@@ -273,14 +308,14 @@ def _serve_sharded(args: argparse.Namespace, source, tenants: int) -> int:
         + (f", {tenants} tenants" if tenants else "")
         + ")"
     )
-    start = time.perf_counter()
+    start = obs.now()
     served = 0
     points = 0
     with router:
         for result in router.serve(source):
             served += 1
             points += result.result.num_points
-        wall = time.perf_counter() - start
+        wall = obs.now() - start
         print(router.report(wall).format())
         shares = ", ".join(
             f"{name} {stats['served']}"
@@ -288,11 +323,13 @@ def _serve_sharded(args: argparse.Namespace, source, tenants: int) -> int:
         )
         print(f"  shard share: {shares}")
     print(f"served {served} clouds total | {points / wall / 1e3:.0f}K points/s")
+    _obs_dump(args)
     return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     tenants = max(0, args.tenants)
+    _obs_configure(args)
     close = None
     if args.input is None:
         # Built-in traffic only: the loadgen knobs are ignored (and not
@@ -372,7 +409,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         + (f", {tenants} tenants" if tenants else "")
         + ")"
     )
-    start = time.perf_counter()
+    start = obs.now()
     served = 0
     points = 0
     try:
@@ -389,9 +426,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 for served_result in server.serve(source, on_stats=print):
                     served += 1
                     points += served_result.result.num_points
-            wall = time.perf_counter() - start
-            for name, report in server.reports(wall).items():
+            wall = obs.now() - start
+            reports = server.reports(wall)
+            for name, report in reports.items():
                 print(report.format())
+            if len(reports) > 1:
+                print(ServeReport.merge(reports.values()).format())
         else:
             telemetry = ServeTelemetry(
                 window_capacity=args.window, every=args.stats_every
@@ -406,12 +446,52 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 for result in server.serve(source, pipeline, on_stats=print):
                     served += 1
                     points += result.num_points
-            wall = time.perf_counter() - start
+            wall = obs.now() - start
             print(telemetry.report(wall).format())
     finally:
         if close is not None:
             close.close()
     print(f"served {served} clouds total | {points / wall / 1e3:.0f}K points/s")
+    _obs_dump(args)
+    return 0
+
+
+def _cmd_trace_summarize(args: argparse.Namespace) -> int:
+    """Per-stage breakdown of a ``--trace`` file, with a coverage gate.
+
+    The summarizer charges each span its self time, so the stage total
+    equals the traced wall time when the tree is well formed; coverage
+    drifting outside ``1 ± --tolerance`` means dropped or orphaned
+    spans and exits 1.
+    """
+    from .obs import export
+
+    spans = export.load_trace(args.path)
+    if not spans:
+        print(f"trace: no spans in {args.path}", file=sys.stderr)
+        return 1
+    summary = export.summarize(spans)
+    rows = [
+        [row.stage, row.spans, f"{row.seconds * 1e3:.2f}", f"{row.share:.1%}"]
+        for row in summary.rows
+    ]
+    print(format_table(
+        ["stage", "spans", "ms", "share"], rows,
+        title=f"trace summary — {len(spans)} spans, "
+              f"{summary.traces} traces",
+    ))
+    print(
+        f"  stage total {summary.stage_seconds * 1e3:.2f} ms | "
+        f"traced wall {summary.wall_seconds * 1e3:.2f} ms | "
+        f"coverage {summary.coverage:.3f}"
+    )
+    if abs(summary.coverage - 1.0) > args.tolerance:
+        print(
+            f"trace: coverage {summary.coverage:.3f} outside "
+            f"1 ± {args.tolerance} — spans were dropped or orphaned",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -605,6 +685,17 @@ def build_parser() -> argparse.ArgumentParser:
                         "4 x shards)")
     p.add_argument("--stats-every", type=int, default=10,
                    help="print a telemetry line every N windows (0 = off)")
+    p.add_argument("--trace",
+                   help="record an end-to-end span trace to this file: "
+                        ".json = Chrome trace_event (Perfetto-loadable), "
+                        ".jsonl = one span per line (feed either to "
+                        "'repro trace summarize')")
+    p.add_argument("--trace-sample", type=int, default=1,
+                   help="head-based sampling: record every Nth request/"
+                        "window trace (1 = all)")
+    p.add_argument("--metrics", action="store_true",
+                   help="print the Prometheus text exposition of the "
+                        "serving counters/gauges/histograms at exit")
     p.add_argument("--partitioner", choices=PARTITIONER_NAMES, default="fractal")
     p.add_argument("--block-size", type=int, default=256)
     p.add_argument("--workers", type=int, default=4)
@@ -643,8 +734,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
+        "trace",
+        help="offline tooling over 'serve --trace' span files",
+    )
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+    ps = trace_sub.add_parser(
+        "summarize",
+        help="per-stage self-time breakdown + coverage gate",
+    )
+    ps.add_argument("path", help="a --trace output file (.json or .jsonl)")
+    ps.add_argument("--tolerance", type=float, default=0.1,
+                    help="allowed |coverage - 1| before exiting 1 "
+                         "(coverage = stage total / traced wall time)")
+    ps.set_defaults(func=_cmd_trace_summarize)
+
+    p = sub.add_parser(
         "lint",
-        help="project-invariant static analysis (REP001-REP007)",
+        help="project-invariant static analysis (REP001-REP008)",
     )
     p.add_argument("paths", nargs="*", default=["src"],
                    help="files or directories to lint (default: src)")

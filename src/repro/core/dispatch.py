@@ -64,6 +64,7 @@ from typing import Callable
 import numpy as np
 
 from . import bppo, ragged
+from .. import obs
 from .blocks import BlockStructure
 from .bppo import _STACK_SMALL
 from .ragged import RAGGED_BLOCK_MAX
@@ -302,13 +303,18 @@ def run_build(
     from .coldpath import fused_build_and_sample
 
     name = resolve_build_kernel(partitioner, len(coords), num_samples, kernel)
-    if name == "fused":
-        structure, sampled, trace = fused_build_and_sample(
-            partitioner, coords, num_samples
-        )
-    else:
-        structure = partitioner(coords)
-        sampled, trace = bppo.block_fps(structure, coords, num_samples)
+    with (
+        obs.span("build." + name, points=len(coords), samples=num_samples)
+        if obs.enabled()
+        else obs.NULL_SPAN
+    ):
+        if name == "fused":
+            structure, sampled, trace = fused_build_and_sample(
+                partitioner, coords, num_samples
+            )
+        else:
+            structure = partitioner(coords)
+            sampled, trace = bppo.block_fps(structure, coords, num_samples)
     return structure, sampled, trace, name
 
 
@@ -331,4 +337,7 @@ def run_op(
     if op not in KERNELS:
         raise ValueError(f"unknown op {op!r}; expected one of {sorted(KERNELS)}")
     name = resolve_kernel(op, structure, num_centers, kernel, center_counts)
+    if obs.enabled():
+        with obs.span("op." + op, kernel=name):
+            return KERNELS[op][name](structure, *args, **kwargs)
     return KERNELS[op][name](structure, *args, **kwargs)

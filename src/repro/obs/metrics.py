@@ -1,0 +1,287 @@
+"""Metrics registry: counters, gauges, fixed-bucket histograms.
+
+Everything here is lock-guarded and safe to call from serving threads;
+the module-level convenience helpers in :mod:`repro.obs` check the
+registry's ``enabled`` flag first so a disabled build pays one
+attribute read per site.
+
+Exposition is Prometheus text format (``render()``) plus a compact
+one-line snapshot (``snapshot_line()``) suitable for interleaving with
+the serving telemetry's periodic stats lines.
+
+This module also owns the project's latency-percentile primitives:
+:class:`LatencyRing` (a preallocated rolling window — O(rolling) numpy
+work per tick, no Python-level copies) and :func:`latency_percentiles`,
+which :mod:`repro.serve.telemetry` and the executor re-use so the
+percentile code path exists exactly once.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_right
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "PERCENTILES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LatencyRing",
+    "MetricsRegistry",
+    "latency_percentiles",
+]
+
+#: The serving layer's reported percentiles (p50/p95/p99).
+PERCENTILES: tuple[float, ...] = (50.0, 95.0, 99.0)
+
+#: Seconds-scale latency buckets: 0.5 ms .. 2.5 s, roughly log-spaced.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+)
+
+
+class Counter:
+    """Monotonically increasing counter."""
+
+    __slots__ = ("name", "help", "_lock", "_value")
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def render(self) -> list[str]:
+        return [f"{self.name}_total {_fmt(self._value)}"]
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, occupancy)."""
+
+    __slots__ = ("name", "help", "_lock", "_value")
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def render(self) -> list[str]:
+        return [f"{self.name} {_fmt(self._value)}"]
+
+
+class Histogram:
+    """Fixed-upper-bound bucket histogram (Prometheus ``le`` semantics)."""
+
+    __slots__ = ("name", "help", "bounds", "_lock", "_counts", "_sum", "_count")
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        help: str = "",
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.bounds = tuple(sorted(float(b) for b in buckets))
+        if not self.bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(self.bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        index = bisect_right(self.bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def render(self) -> list[str]:
+        lines = []
+        cumulative = 0
+        with self._lock:
+            counts = list(self._counts)
+            total, total_sum = self._count, self._sum
+        for bound, n in zip(self.bounds, counts):
+            cumulative += n
+            lines.append(f'{self.name}_bucket{{le="{_fmt(bound)}"}} {cumulative}')
+        lines.append(f'{self.name}_bucket{{le="+Inf"}} {total}')
+        lines.append(f"{self.name}_sum {_fmt(total_sum)}")
+        lines.append(f"{self.name}_count {total}")
+        return lines
+
+
+def _fmt(value: float) -> str:
+    return repr(int(value)) if float(value).is_integer() else repr(float(value))
+
+
+class MetricsRegistry:
+    """Named metric store with get-or-create accessors.
+
+    Metric names follow the project convention (CONTRIBUTING):
+    ``repro_<layer>_<what>`` with the unit as the final component for
+    histograms (``repro_serve_window_seconds``).
+    """
+
+    def __init__(self, *, enabled: bool = False) -> None:
+        self.enabled = bool(enabled)
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, name: str, factory):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = factory()
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        metric = self._get_or_create(name, lambda: Counter(name, help))
+        if not isinstance(metric, Counter):
+            raise TypeError(f"metric {name!r} already registered as {metric.kind}")
+        return metric
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        metric = self._get_or_create(name, lambda: Gauge(name, help))
+        if not isinstance(metric, Gauge):
+            raise TypeError(f"metric {name!r} already registered as {metric.kind}")
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        help: str = "",
+    ) -> Histogram:
+        metric = self._get_or_create(name, lambda: Histogram(name, buckets, help))
+        if not isinstance(metric, Histogram):
+            raise TypeError(f"metric {name!r} already registered as {metric.kind}")
+        return metric
+
+    def render(self) -> str:
+        """Prometheus text exposition of every registered metric."""
+        lines: list[str] = []
+        with self._lock:
+            metrics = sorted(self._metrics.values(), key=lambda m: m.name)
+        for metric in metrics:
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            lines.extend(metric.render())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def snapshot_line(self) -> str:
+        """One compact line of counter/gauge values for periodic logs."""
+        with self._lock:
+            metrics = sorted(self._metrics.values(), key=lambda m: m.name)
+        parts = [
+            f"{m.name.removeprefix('repro_')}={_fmt(m.value)}"
+            for m in metrics
+            if isinstance(m, (Counter, Gauge))
+        ]
+        return "metrics: " + " ".join(parts) if parts else ""
+
+
+# -- rolling percentiles ----------------------------------------------------
+
+
+class LatencyRing:
+    """Preallocated rolling window of float samples.
+
+    Replaces the serving telemetry's ``deque(maxlen=rolling)``: appends
+    are one numpy store, and :meth:`view` exposes the live samples with
+    no copy (sample *order* inside the window is irrelevant for
+    percentiles, so the ring is never unrolled).
+    """
+
+    __slots__ = ("_buffer", "_count")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("ring capacity must be >= 1")
+        self._buffer = np.zeros(int(capacity), dtype=np.float64)
+        self._count = 0
+
+    @property
+    def capacity(self) -> int:
+        return len(self._buffer)
+
+    def __len__(self) -> int:
+        return min(self._count, len(self._buffer))
+
+    def append(self, value: float) -> None:
+        buffer = self._buffer
+        buffer[self._count % len(buffer)] = value
+        self._count += 1
+
+    def view(self) -> np.ndarray:
+        """The live samples, unordered, as a zero-copy array view."""
+        if self._count < len(self._buffer):
+            return self._buffer[: self._count]
+        return self._buffer
+
+    def percentiles(
+        self, percentiles: Sequence[float] = PERCENTILES
+    ) -> tuple[float, ...]:
+        return latency_percentiles(self, percentiles)
+
+
+def latency_percentiles(
+    values: "LatencyRing | Iterable[float]",
+    percentiles: Sequence[float] = PERCENTILES,
+) -> tuple[float, ...]:
+    """Percentiles of a sample set; zeros when empty.
+
+    Accepts a :class:`LatencyRing` (zero-copy fast path), any array-like
+    of floats, or a generic iterable (materialized once).
+    """
+    if isinstance(values, LatencyRing):
+        array = values.view()
+    elif isinstance(values, np.ndarray):
+        array = values
+    elif isinstance(values, (list, tuple)):
+        array = np.asarray(values, dtype=np.float64)
+    else:
+        array = np.asarray(list(values), dtype=np.float64)
+    if array.size == 0:
+        return tuple(0.0 for _ in percentiles)
+    result = np.percentile(array, percentiles)
+    return tuple(float(v) for v in np.atleast_1d(result))

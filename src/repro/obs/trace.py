@@ -1,0 +1,412 @@
+"""Structured spans: a thread-safe tracer with cross-process stitching.
+
+The tracer is the project's only sanctioned clock consumer (REP008):
+everything else reads timestamps through :data:`now` and measures
+durations by opening spans.  Design constraints, in order:
+
+- **Disabled path is free.**  ``tracer.span(...)`` with ``enabled=False``
+  returns a shared no-op singleton without touching thread-local state;
+  instrumentation sites additionally guard attr-dict construction behind
+  ``obs.enabled()`` so a disabled build does no allocation at all.
+- **Head-based sampling.**  The sampling decision is made once, when a
+  *root* span opens (counter-based ``1/N`` so runs are deterministic);
+  descendants inherit it.  Unsampled traces still maintain stack
+  discipline via a depth counter, so a sampled span can never
+  accidentally parent itself under an unsampled ancestor.
+- **Cross-process stitching.**  ``time.perf_counter`` on Linux reads
+  ``CLOCK_MONOTONIC``, which is system-wide: timestamps taken in forked
+  shard workers are directly comparable with the router's.  A span
+  context ``(trace_id, span_id)`` rides the existing pipe messages;
+  the worker opens its window span with :meth:`Tracer.span_remote` and
+  ships finished spans back in wire form for :meth:`Tracer.adopt`.
+  Span ids are salted with the pid so two processes never collide.
+
+``sample=0`` is the *worker* mode: local roots are never sampled, so the
+only spans a worker records are those parented to a remote context the
+router already chose to sample.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+__all__ = [
+    "NULL_SPAN",
+    "OpenSpan",
+    "Span",
+    "Tracer",
+    "now",
+]
+
+#: The sanctioned monotonic clock (see module docstring and REP008).
+now = time.perf_counter
+
+#: Finished spans kept per tracer before new ones are dropped (a tracer
+#: that is enabled but never drained must not grow without bound).
+MAX_FINISHED = 262_144
+
+
+@dataclass(frozen=True)
+class Span:
+    """One finished span.  ``start``/``end`` are :data:`now` seconds."""
+
+    name: str
+    trace_id: int
+    span_id: int
+    parent_id: int
+    start: float
+    end: float
+    pid: int
+    tid: int
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.end - self.start)
+
+    def to_wire(self) -> tuple:
+        """Compact picklable form for shipping over the shard pipes."""
+        return (
+            self.name,
+            self.trace_id,
+            self.span_id,
+            self.parent_id,
+            self.start,
+            self.end,
+            self.pid,
+            self.tid,
+            self.attrs,
+        )
+
+    @classmethod
+    def from_wire(cls, wire: tuple) -> "Span":
+        return cls(*wire)
+
+
+class _NullSpan:
+    """Shared no-op for the disabled path: no state, no allocation."""
+
+    __slots__ = ()
+    sampled = False
+    ctx = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def annotate(self, **attrs) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _State:
+    """Per-thread tracer state: the open-span stack + unsampled depth."""
+
+    __slots__ = ("stack", "skip")
+
+    def __init__(self) -> None:
+        self.stack: list[_ActiveSpan] = []
+        self.skip = 0
+
+
+class _SkipSpan:
+    """Stack-disciplined no-op for spans inside an unsampled trace.
+
+    Entering bumps the thread's ``skip`` depth so nested ``span()``
+    calls stay cheap (one integer test) and never record; exiting
+    unwinds it.  One shared instance per tracer — it holds no per-span
+    state.
+    """
+
+    __slots__ = ("_tracer",)
+    sampled = False
+    ctx = None
+
+    def __init__(self, tracer: "Tracer") -> None:
+        self._tracer = tracer
+
+    def __enter__(self):
+        self._tracer._state().skip += 1
+        return self
+
+    def __exit__(self, *exc):
+        state = self._tracer._state()
+        if state.skip > 0:
+            state.skip -= 1
+        return False
+
+    def annotate(self, **attrs) -> None:
+        return None
+
+
+class _ActiveSpan:
+    """An open recording span; context manager pushed on the stack."""
+
+    __slots__ = ("_tracer", "name", "trace_id", "span_id", "parent_id", "start", "attrs")
+    sampled = True
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        trace_id: int,
+        parent_id: int,
+        attrs: dict[str, Any],
+        start: float | None,
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.trace_id = trace_id
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self.span_id = 0
+        self.start = -1.0 if start is None else start
+
+    @property
+    def ctx(self) -> tuple[int, int]:
+        return (self.trace_id, self.span_id)
+
+    def annotate(self, **attrs) -> None:
+        self.attrs.update(attrs)
+
+    def __enter__(self):
+        self.span_id = self._tracer._next_id()
+        if self.trace_id == 0:
+            self.trace_id = self.span_id
+        if self.start < 0.0:
+            self.start = now()
+        self._tracer._state().stack.append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        end = now()
+        stack = self._tracer._state().stack
+        if stack and stack[-1] is self:
+            stack.pop()
+        elif self in stack:  # tolerate mis-nested exits; drop descendants
+            del stack[stack.index(self):]
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._finish(
+            Span(
+                self.name,
+                self.trace_id,
+                self.span_id,
+                self.parent_id,
+                self.start,
+                end,
+                self._tracer.pid,
+                threading.get_ident() & 0xFFFFFFFF,
+                self.attrs,
+            )
+        )
+        return False
+
+
+class OpenSpan:
+    """A sampled root span held open across threads (no stack entry).
+
+    The shard router opens one per submitted request and finishes it at
+    emission; ``ctx`` is what rides the pipe so the worker can parent
+    its window span to it.
+    """
+
+    __slots__ = ("_tracer", "name", "trace_id", "span_id", "start", "attrs")
+    sampled = True
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.span_id = tracer._next_id()
+        self.trace_id = self.span_id
+        self.start = now()
+        self.attrs = attrs
+
+    @property
+    def ctx(self) -> tuple[int, int]:
+        return (self.trace_id, self.span_id)
+
+    def annotate(self, **attrs) -> None:
+        self.attrs.update(attrs)
+
+    def finish(self, end: float | None = None, **attrs) -> None:
+        if attrs:
+            self.attrs.update(attrs)
+        self._tracer._finish(
+            Span(
+                self.name,
+                self.trace_id,
+                self.span_id,
+                0,
+                self.start,
+                now() if end is None else end,
+                self._tracer.pid,
+                threading.get_ident() & 0xFFFFFFFF,
+                self.attrs,
+            )
+        )
+
+
+class Tracer:
+    """Thread-safe span recorder with counter-based head sampling.
+
+    ``sample=N`` records every Nth root trace (N >= 1); ``sample=0``
+    records no local roots at all (worker mode: only spans parented to
+    a remote context record).  The decision is made per root and
+    inherited by every descendant on the same thread.
+    """
+
+    def __init__(self, *, enabled: bool = False, sample: int = 1) -> None:
+        if sample < 0:
+            raise ValueError("sample must be >= 0 (0 = remote-parented only)")
+        self.enabled = bool(enabled)
+        self.sample = int(sample)
+        self.pid = os.getpid()
+        self.dropped = 0
+        self._finished: list[Span] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._ids = itertools.count(1)
+        self._roots = itertools.count()
+        self._skip = _SkipSpan(self)
+        # pid-salted so ids from forked workers never collide with ours.
+        self._id_base = (self.pid & 0x3FFFFF) << 40
+
+    # -- internals -----------------------------------------------------
+
+    def _state(self) -> _State:
+        state = getattr(self._local, "state", None)
+        if state is None:
+            state = self._local.state = _State()
+        return state
+
+    def _next_id(self) -> int:
+        return self._id_base | next(self._ids)
+
+    def _sample_root(self) -> bool:
+        if self.sample <= 0:
+            return False
+        if self.sample == 1:
+            return True
+        return next(self._roots) % self.sample == 0
+
+    def _finish(self, span: Span) -> None:
+        with self._lock:
+            if len(self._finished) >= MAX_FINISHED:
+                self.dropped += 1
+            else:
+                self._finished.append(span)
+
+    # -- span API ------------------------------------------------------
+
+    def span(self, name: str, attrs: dict[str, Any] | None = None, *, start: float | None = None, **extra):
+        """Open a nested span; a context manager.
+
+        ``attrs`` merges with keyword attrs.  ``start`` backdates the
+        span (e.g. a serving window opens at its first arrival) without
+        affecting stack discipline.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        state = self._state()
+        if state.skip:
+            return self._skip
+        if state.stack:
+            top = state.stack[-1]
+            trace_id, parent_id = top.trace_id, top.span_id
+        else:
+            if not self._sample_root():
+                return self._skip
+            trace_id = parent_id = 0
+        merged = dict(attrs) if attrs else {}
+        if extra:
+            merged.update(extra)
+        return _ActiveSpan(self, name, trace_id, parent_id, merged, start)
+
+    def span_remote(self, ctx: tuple[int, int] | None, name: str, attrs: dict[str, Any] | None = None, **extra):
+        """Open a span parented to a remote context (or skip if None).
+
+        The remote parent already carries the sampling decision: a
+        ``None`` context means "not sampled", and the returned skip
+        span suppresses every descendant on this thread.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        if ctx is None:
+            return self._skip
+        merged = dict(attrs) if attrs else {}
+        if extra:
+            merged.update(extra)
+        return _ActiveSpan(self, name, ctx[0], ctx[1], merged, None)
+
+    def record(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        *,
+        parent: tuple[int, int] | None = None,
+        **attrs,
+    ) -> None:
+        """Record an already-elapsed interval as a finished span.
+
+        Without an explicit ``parent`` context the span attaches to the
+        innermost open span on this thread (and is silently dropped in
+        unsampled or span-free contexts).
+        """
+        if not self.enabled:
+            return
+        if parent is None:
+            state = self._state()
+            if state.skip or not state.stack:
+                return
+            top = state.stack[-1]
+            trace_id, parent_id = top.trace_id, top.span_id
+        else:
+            trace_id, parent_id = parent
+        self._finish(
+            Span(
+                name,
+                trace_id,
+                self._next_id(),
+                parent_id,
+                start,
+                end,
+                self.pid,
+                threading.get_ident() & 0xFFFFFFFF,
+                attrs,
+            )
+        )
+
+    def open_span(self, name: str, attrs: dict[str, Any] | None = None, **extra) -> OpenSpan | None:
+        """Open a sampled root held across threads, or None if unsampled."""
+        if not self.enabled or not self._sample_root():
+            return None
+        merged = dict(attrs) if attrs else {}
+        if extra:
+            merged.update(extra)
+        return OpenSpan(self, name, merged)
+
+    # -- collection ----------------------------------------------------
+
+    def drain(self) -> list[Span]:
+        """Take ownership of every finished span recorded so far."""
+        with self._lock:
+            finished, self._finished = self._finished, []
+        return finished
+
+    def adopt(self, wires: Iterable[tuple]) -> int:
+        """Merge spans shipped from another process (wire tuples)."""
+        spans = [Span.from_wire(w) for w in wires]
+        with self._lock:
+            self._finished.extend(spans)
+        return len(spans)

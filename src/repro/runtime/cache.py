@@ -35,6 +35,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 
 import numpy as np
 
+from .. import obs
 from ..core.delta import (
     FractalCertificate,
     FrameDelta,
@@ -207,6 +208,7 @@ class PartitionCache:
             if entry is not None:
                 self._entries.move_to_end(key)
                 self.hits += 1
+                obs.inc("repro_partitions_warm")
                 return entry.structure, "warm", None
             self.misses += 1
             candidates = (
@@ -216,22 +218,34 @@ class PartitionCache:
             )
         if candidates:
             new64 = np.ascontiguousarray(np.asarray(coords, dtype=np.float64))
-            for entry in candidates:
-                patched = self._try_patch(entry, new64)
-                if patched is None:
-                    continue
-                structure, outcome, new_entry = patched
-                with self._lock:
-                    if outcome == "reused":
-                        self.delta_reuses += 1
-                    else:
-                        self.patches += 1
-                    self._store(key, new_entry)
-                return structure, outcome, None
-        if builder is not None:
-            structure, payload = builder(coords)
-        else:
-            structure, payload = self.partitioner(coords), None
+            with (
+                obs.span("partition.patch", candidates=len(candidates))
+                if obs.enabled()
+                else obs.NULL_SPAN
+            ) as patch_span:
+                for entry in candidates:
+                    patched = self._try_patch(entry, new64)
+                    if patched is None:
+                        continue
+                    structure, outcome, new_entry = patched
+                    patch_span.annotate(outcome=outcome)
+                    with self._lock:
+                        if outcome == "reused":
+                            self.delta_reuses += 1
+                        else:
+                            self.patches += 1
+                        self._store(key, new_entry)
+                    obs.inc(f"repro_partitions_{outcome}")
+                    return structure, outcome, None
+        with (
+            obs.span("partition.build", points=len(coords))
+            if obs.enabled()
+            else obs.NULL_SPAN
+        ):
+            if builder is not None:
+                structure, payload = builder(coords)
+            else:
+                structure, payload = self.partitioner(coords), None
         entry_coords = (
             np.ascontiguousarray(np.asarray(coords, dtype=np.float64))
             if self.policy is not None
@@ -239,6 +253,7 @@ class PartitionCache:
         )
         with self._lock:
             self._store(key, _Entry(structure, entry_coords))
+        obs.inc("repro_partitions_cold")
         return structure, "cold", payload
 
     def get_ragged(

@@ -30,7 +30,6 @@ from __future__ import annotations
 import dataclasses
 import os
 import threading
-import time
 import weakref
 from collections import OrderedDict, deque
 from collections.abc import Iterable, Iterator
@@ -39,6 +38,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..core import bppo, dispatch
 from ..core.bppo import BlockWork, OpTrace, allocate_samples
 from ..core.coldpath import fused_build_and_sample
@@ -50,9 +50,9 @@ from ..core.ragged import (
     knn_on_layout,
 )
 from ..geometry import ops as exact_ops
+from ..obs import latency_percentiles
 from ..partition.base import Partitioner, get_partitioner
 from ..serve.planner import WindowPlan, plan_buckets
-from ..serve.telemetry import latency_percentiles
 from .cache import PartitionCache, result_key
 
 __all__ = [
@@ -241,6 +241,10 @@ def _process_init(partitioner_name: str, block_size: int, kernel: str,
                   delta: bool = False,
                   delta_policy: "PatchPolicy | None" = None) -> None:
     global _PROCESS_ENGINE
+    # A forked pool child inherits the parent's tracer but nothing ever
+    # drains it here (the shard workers are the traced multi-process
+    # path); disable so inherited spans don't accumulate.
+    obs.configure(trace=False, metrics=False)
     # Serial (max_workers=1): never builds a pool, lives exactly as long
     # as its worker process — there is nothing to release.
     _PROCESS_ENGINE = BatchExecutor(  # repro: ignore[REP004]
@@ -437,7 +441,21 @@ class BatchExecutor:
         pipeline: PipelineSpec,
     ) -> CloudResult:
         """Run the full BPPO pipeline on one cloud."""
-        start = time.perf_counter()
+        if obs.enabled():
+            with obs.span("engine.cloud", points=len(coords)) as span:
+                result = self._execute_impl(index, coords, features, pipeline)
+                span.annotate(source=result.partition_source)
+                return result
+        return self._execute_impl(index, coords, features, pipeline)
+
+    def _execute_impl(
+        self,
+        index: int,
+        coords: np.ndarray,
+        features: np.ndarray | None,
+        pipeline: PipelineSpec,
+    ) -> CloudResult:
+        start = obs.now()
         n = len(coords)
         num_samples = pipeline.samples_for(n)
 
@@ -514,7 +532,7 @@ class BatchExecutor:
             num_points=n,
             num_blocks=structure.num_blocks,
             cache_hit=cache_hit,
-            seconds=time.perf_counter() - start,
+            seconds=obs.now() - start,
             sampled=sampled,
             neighbors=neighbors,
             grouped=grouped,
@@ -631,12 +649,12 @@ class BatchExecutor:
         buckets (the fused kernels *are* the parallelism).
         """
         fuse = self.fuse if fuse is None else fuse
-        start = time.perf_counter()
+        start = obs.now()
         if fuse:
             results = self._run_fused(clouds, pipeline or PipelineSpec())
         else:
             results = list(self.stream(clouds, pipeline))
-        wall = time.perf_counter() - start
+        wall = obs.now() - start
         p50, p95, p99 = latency_percentiles([r.seconds for r in results])
         stats = ExecutorStats(
             clouds=len(results),
@@ -735,26 +753,33 @@ class BatchExecutor:
         results: dict[int, CloudResult] = {}
         fused_buckets = 0
         singletons: list[tuple[int, np.ndarray, np.ndarray | None]] = []
-        for members in lanes.values():
-            for bucket in self._fuse_buckets(members):
-                if len(bucket) == 1:
-                    singletons.append(bucket[0])
+        with (
+            obs.span("engine.window", clouds=len(items))
+            if obs.enabled()
+            else obs.NULL_SPAN
+        ):
+            for members in lanes.values():
+                for bucket in self._fuse_buckets(members):
+                    if len(bucket) == 1:
+                        singletons.append(bucket[0])
+                    else:
+                        fused_buckets += 1
+                        for result in self._execute_fused(bucket, pipeline):
+                            results[result.index] = result
+            if singletons:
+                if self.mode == "serial" or len(singletons) == 1:
+                    for index, coords, features in singletons:
+                        results[index] = self._execute(
+                            index, coords, features, pipeline
+                        )
                 else:
-                    fused_buckets += 1
-                    for result in self._execute_fused(bucket, pipeline):
+                    pool = self._ensure_pool()
+                    futures = [
+                        self._submit(pool, item, pipeline) for item in singletons
+                    ]
+                    for future in futures:
+                        result = future.result()
                         results[result.index] = result
-        if singletons:
-            if self.mode == "serial" or len(singletons) == 1:
-                for index, coords, features in singletons:
-                    results[index] = self._execute(index, coords, features, pipeline)
-            else:
-                pool = self._ensure_pool()
-                futures = [
-                    self._submit(pool, item, pipeline) for item in singletons
-                ]
-                for future in futures:
-                    result = future.result()
-                    results[result.index] = result
         plan = WindowPlan(
             buckets=fused_buckets,
             fused_clouds=len(items) - len(singletons),
@@ -783,6 +808,16 @@ class BatchExecutor:
         items: list[tuple[int, np.ndarray, np.ndarray | None]],
         pipeline: PipelineSpec,
     ) -> list[CloudResult]:
+        if obs.enabled():
+            with obs.span("engine.fused", clouds=len(items)):
+                return self._execute_fused_impl(items, pipeline)
+        return self._execute_fused_impl(items, pipeline)
+
+    def _execute_fused_impl(
+        self,
+        items: list[tuple[int, np.ndarray, np.ndarray | None]],
+        pipeline: PipelineSpec,
+    ) -> list[CloudResult]:
         """Run the pipeline once over a fused group of clouds.
 
         Cloud sizes may differ: each cloud keeps its own (cached)
@@ -799,7 +834,7 @@ class BatchExecutor:
         Requires one shared effective interpolation ``k`` across the
         group — the lane keys of :meth:`_run_fused` guarantee it.
         """
-        start = time.perf_counter()
+        start = obs.now()
         structures, layouts, sources = [], [], []
         for _, coords, _ in items:
             structure, layout, source = self.cache.acquire_ragged(coords)
@@ -832,11 +867,19 @@ class BatchExecutor:
         point_offsets = fused.group_point_offsets
         block_offsets = fused.group_block_offsets
 
-        sampled_f = fps_on_layout(fused, np.concatenate(quotas))
-        neighbors_f, ball_counts = ball_query_on_layout(
-            fused, coords_f, sampled_f, pipeline.radius, pipeline.group_size
-        )
-        grouped_f = exact_ops.gather_features(feats_f, neighbors_f)
+        traced = obs.enabled()
+        with obs.span("op.fps", kernel="ragged") if traced else obs.NULL_SPAN:
+            sampled_f = fps_on_layout(fused, np.concatenate(quotas))
+        with (
+            obs.span("op.ball_query", kernel="ragged")
+            if traced
+            else obs.NULL_SPAN
+        ):
+            neighbors_f, ball_counts = ball_query_on_layout(
+                fused, coords_f, sampled_f, pipeline.radius, pipeline.group_size
+            )
+        with obs.span("op.gather", kernel="ragged") if traced else obs.NULL_SPAN:
+            grouped_f = exact_ops.gather_features(feats_f, neighbors_f)
         interpolated_f = None
         knn_stats = None
         if pipeline.with_interpolation:
@@ -851,16 +894,24 @@ class BatchExecutor:
                 )
             k = k_per_cloud.pop()
             centers_f = np.arange(fused.num_points, dtype=np.int64)
-            knn_f, knn_counts, knn_cands, widened = knn_on_layout(
-                fused, coords_f, centers_f, sampled_f, k
-            )
-            interpolated_f = bppo._interpolate_from_neighbors(
-                fused.num_points, coords_f, centers_f, sampled_f,
-                feats_f[sampled_f], knn_f,
-            )
+            with (
+                obs.span("op.knn", kernel="ragged") if traced else obs.NULL_SPAN
+            ):
+                knn_f, knn_counts, knn_cands, widened = knn_on_layout(
+                    fused, coords_f, centers_f, sampled_f, k
+                )
+            with (
+                obs.span("op.interpolate", kernel="ragged")
+                if traced
+                else obs.NULL_SPAN
+            ):
+                interpolated_f = bppo._interpolate_from_neighbors(
+                    fused.num_points, coords_f, centers_f, sampled_f,
+                    feats_f[sampled_f], knn_f,
+                )
             knn_stats = (knn_counts, knn_cands, widened, k)
 
-        elapsed = time.perf_counter() - start
+        elapsed = obs.now() - start
         total_points = int(point_offsets[-1])
         results = []
         for g, ((index, coords, _), structure) in enumerate(zip(items, structures)):

@@ -44,10 +44,9 @@ the policy is deterministic for a given observation sequence.
 from __future__ import annotations
 
 import math
-from collections import deque
 from dataclasses import dataclass
 
-from .telemetry import latency_percentiles
+from .telemetry import LatencyRing, latency_percentiles
 
 __all__ = ["ControllerConfig", "AdaptiveWindow"]
 
@@ -151,7 +150,7 @@ class AdaptiveWindow:
         self.rate: float | None = None  # EWMA arrival rate, clouds/s
         self.service: float | None = None  # EWMA per-cloud service, s
         self._last_arrival: float | None = None
-        self._latencies: deque[float] = deque(maxlen=self.config.rolling)
+        self._latencies = LatencyRing(self.config.rolling)
         self._brake = 1.0
         self.max_clouds = self.config.max_clouds
         self.max_wait = self.config.max_wait

@@ -61,6 +61,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..datasets import load_cloud
 
 __all__ = [
@@ -391,12 +392,12 @@ def generate_tenants(
         timeline(pos, name, spec)
         for pos, (name, spec) in enumerate(specs.items())
     ]
-    start = time.perf_counter()
+    start = obs.now()
     for t, _, _, name, cloud in heapq.merge(
         *streams, key=lambda entry: entry[:3]
     ):
         if pace:
-            delay = start + t - time.perf_counter()
+            delay = start + t - obs.now()
             if delay > 0:
                 time.sleep(delay)
         yield name, cloud

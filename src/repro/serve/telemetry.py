@@ -13,37 +13,27 @@ Two consumption styles:
   ``every`` windows (the periodic log line of ``repro serve``);
 - :meth:`ServeTelemetry.report` folds everything into a final
   :class:`ServeReport` once the stream ends.
+
+The percentile primitives (the preallocated :class:`LatencyRing` and
+:func:`latency_percentiles`) live in :mod:`repro.obs.metrics` and are
+re-exported here so serving-layer callers keep one import path.
 """
 
 from __future__ import annotations
 
-from collections import deque
+import dataclasses
 from dataclasses import dataclass
+from typing import Iterable
 
-import numpy as np
+from ..obs import PERCENTILES, LatencyRing, latency_percentiles
 
 __all__ = [
     "PERCENTILES",
+    "LatencyRing",
     "ServeReport",
     "ServeTelemetry",
     "latency_percentiles",
 ]
-
-#: The latency percentiles every surface reports, in order.
-PERCENTILES = (50.0, 95.0, 99.0)
-
-
-def latency_percentiles(values) -> tuple[float, float, float]:
-    """``(p50, p95, p99)`` of ``values`` (seconds), zeros when empty.
-
-    Linear interpolation between order statistics (numpy's default), the
-    convention latency dashboards expect.
-    """
-    values = np.asarray(list(values), dtype=np.float64)
-    if values.size == 0:
-        return (0.0, 0.0, 0.0)
-    p50, p95, p99 = np.percentile(values, PERCENTILES)
-    return (float(p50), float(p95), float(p99))
 
 
 @dataclass(frozen=True)
@@ -112,6 +102,83 @@ class ServeReport:
             )
         return "\n".join(lines)
 
+    @classmethod
+    def merge(cls, reports: "Iterable[ServeReport]") -> "ServeReport":
+        """Aggregate per-tenant / per-shard reports into one.
+
+        Every field must appear in exactly one policy set below —
+        adding a ``ServeReport`` field without deciding how it merges
+        raises here instead of silently defaulting (the bug this
+        replaces: layers hand-assembled reports field by field and new
+        fields like the cold/patched/warm split dropped to zero).
+
+        Policies: counts **sum**; ``wall_seconds`` and
+        ``max_queue_depth`` take the **max** (sessions share one wall
+        clock and the depth bound is a worst case); latency percentiles
+        take the **max** (a conservative bound — true aggregate
+        percentiles need the samples, which reports no longer hold);
+        ``mean_occupancy`` re-weights by window count; labels join with
+        ``+``.
+        """
+        names = {f.name for f in dataclasses.fields(cls)}
+        covered = (
+            _MERGE_SUM | _MERGE_MAX | {"mean_occupancy", "label"}
+        )
+        if covered != names:
+            missing = sorted(names - covered) + sorted(covered - names)
+            raise RuntimeError(
+                f"ServeReport.merge has no policy for field(s) {missing}; "
+                "add each to exactly one merge set"
+            )
+        reports = list(reports)
+        if not reports:
+            raise ValueError("cannot merge zero reports")
+        fields: dict[str, object] = {}
+        for name in _MERGE_SUM:
+            fields[name] = sum(getattr(r, name) for r in reports)
+        for name in _MERGE_MAX:
+            fields[name] = max(getattr(r, name) for r in reports)
+        windows = sum(r.windows for r in reports)
+        fields["mean_occupancy"] = (
+            sum(r.mean_occupancy * r.windows for r in reports) / windows
+            if windows
+            else 0.0
+        )
+        labels = [r.label for r in reports if r.label]
+        fields["label"] = "+".join(dict.fromkeys(labels))
+        return cls(**fields)
+
+    def __add__(self, other: "ServeReport") -> "ServeReport":
+        if not isinstance(other, ServeReport):
+            return NotImplemented
+        return ServeReport.merge((self, other))
+
+
+#: Merge policies for :meth:`ServeReport.merge`, one set per strategy.
+_MERGE_SUM = frozenset(
+    {
+        "clouds",
+        "windows",
+        "buckets",
+        "fused_clouds",
+        "singleton_clouds",
+        "reused_clouds",
+        "timeout_windows",
+        "cold_clouds",
+        "patched_clouds",
+        "warm_clouds",
+    }
+)
+_MERGE_MAX = frozenset(
+    {
+        "wall_seconds",
+        "latency_p50",
+        "latency_p95",
+        "latency_p99",
+        "max_queue_depth",
+    }
+)
+
 
 class ServeTelemetry:
     """Rolling statistics collector for the windowed serving loop.
@@ -141,7 +208,7 @@ class ServeTelemetry:
         self.window_capacity = window_capacity
         self.every = every
         self.label = label
-        self.latencies: deque[float] = deque(maxlen=rolling)
+        self.latencies = LatencyRing(rolling)
         self.clouds = 0
         self.windows = 0
         self.buckets = 0

@@ -40,13 +40,13 @@ from __future__ import annotations
 import dataclasses
 import queue
 import threading
-import time
 from collections import OrderedDict, deque
 from collections.abc import Iterable, Iterator, Mapping, Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..runtime.cache import result_key
 from ..runtime.executor import BatchExecutor, CloudResult, PipelineSpec, _as_cloud
 from .controller import AdaptiveWindow, ControllerConfig
@@ -340,7 +340,7 @@ class MultiTenantServer:
         quantum_points: float = 8192.0,
         share_results: bool = False,
         telemetry_every: int = 0,
-        clock=time.perf_counter,
+        clock=obs.now,
     ):
         self.engine = engine
         self.window = window or WindowConfig()
@@ -495,14 +495,23 @@ class MultiTenantServer:
         emissions: list[TenantResult] = []
         plans: dict[str, WindowPlan] = {name: WindowPlan() for name in admitted}
         reused: dict[str, int] = {name: 0 for name in admitted}
+        sources: dict[str, list[str]] = {name: [] for name in admitted}
         # Timed on the server clock so a synthetic clock keeps the whole
         # controller observation sequence deterministic.
         exec_start = self._clock()
-        for pipeline, members in groups.items():
-            emissions.extend(
-                self._execute_group(pipeline, members, plans, reused)
-            )
+        with (
+            obs.span("serve.drain", clouds=len(batch), tenants=len(admitted))
+            if obs.enabled()
+            else obs.NULL_SPAN
+        ):
+            for pipeline, members in groups.items():
+                emissions.extend(
+                    self._execute_group(pipeline, members, plans, reused, sources)
+                )
         exec_seconds = self._clock() - exec_start
+        obs.observe("repro_serve_window_seconds", exec_seconds)
+        obs.inc("repro_serve_clouds", len(batch))
+        obs.inc("repro_serve_windows")
         computed = len(batch) - sum(reused.values())
         emitted_at = self._clock() if now is None else float(now)
 
@@ -526,6 +535,7 @@ class MultiTenantServer:
         for name, count in admitted.items():
             session = self._sessions[name]
             plan = plans[name]
+            split = sources[name]
             session.telemetry.record_window(
                 size=count,
                 buckets=plan.buckets,
@@ -534,6 +544,9 @@ class MultiTenantServer:
                 reused=reused[name],
                 queue_depth=len(session.queue),
                 timed_out=timed_out,
+                cold=split.count("cold"),
+                patched=split.count("patched") + split.count("reused"),
+                warm=split.count("warm"),
             )
             if session.controller is not None:
                 if computed > 0:
@@ -547,6 +560,7 @@ class MultiTenantServer:
         members: list[tuple[TenantSession, _Request]],
         plans: dict[str, WindowPlan],
         reused: dict[str, int],
+        sources: dict[str, list[str]],
     ) -> list[TenantResult]:
         """Fused execution of one pipeline group (possibly many tenants).
 
@@ -587,6 +601,12 @@ class MultiTenantServer:
                 owners.append((session, request))
 
         results, plan = self.engine.execute_window(uniques, pipeline)
+
+        # Partition-source split per owning tenant (cold / patched /
+        # reused / warm), so per-tenant reports keep the delta-protocol
+        # accounting the single-stream server already had.
+        for index, (session, _) in enumerate(owners):
+            sources[session.name].append(results[index].partition_source)
 
         # Attribute the fused/singleton split back to tenants.  A fused
         # bucket may span several tenants, so bucket counts cannot be
@@ -699,10 +719,10 @@ class MultiTenantServer:
                         break
                     ingest(item)
                 budget, wait = self.limits()
-                deadline = time.perf_counter() + wait
+                deadline = obs.now() + wait
                 timed_out = False
                 while not exhausted and self.backlog < budget:
-                    remaining = deadline - time.perf_counter()
+                    remaining = deadline - obs.now()
                     if remaining <= 0:
                         timed_out = True
                         break

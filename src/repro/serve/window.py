@@ -38,13 +38,13 @@ from __future__ import annotations
 import dataclasses
 import queue
 import threading
-import time
 from collections import OrderedDict
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..runtime.cache import result_key
 from ..runtime.executor import BatchExecutor, CloudResult, PipelineSpec, _as_cloud
 from .controller import AdaptiveWindow
@@ -175,7 +175,7 @@ class WindowedServer:
         def pull() -> None:
             try:
                 for cloud in clouds:
-                    put((cloud, time.perf_counter()))
+                    put((cloud, obs.now()))
                     if stop.is_set():
                         return
             except BaseException as exc:  # re-raised on the consumer side
@@ -202,10 +202,10 @@ class WindowedServer:
                 batch = [self._admit(item, next_index)]
                 next_index += 1
                 max_clouds, max_wait = self._limits()
-                deadline = time.perf_counter() + max_wait
+                deadline = obs.now() + max_wait
                 timed_out = False
                 while len(batch) < max_clouds:
-                    remaining = deadline - time.perf_counter()
+                    remaining = deadline - obs.now()
                     if remaining <= 0:
                         timed_out = True
                         break
@@ -256,57 +256,79 @@ class WindowedServer:
         on_stats,
     ) -> Iterator[CloudResult]:
         """Dedup, plan, execute, and emit one closed window."""
-        uniques: list[tuple[int, np.ndarray, np.ndarray | None]] = []
-        canonical: dict[bytes, int] = {}
-        replays: list[tuple[int, bytes]] = []
-        dup_of: dict[int, int] = {}
-        for arrival in batch:
-            key = arrival.key
-            if key is not None and key in done:
-                replays.append((arrival.index, key))
-            elif key is not None and key in canonical:
-                dup_of[arrival.index] = canonical[key]
-            else:
-                if key is not None:
-                    canonical[key] = arrival.index
-                uniques.append((arrival.index, arrival.coords, arrival.features))
+        first_arrival = min(arrival.arrived for arrival in batch)
+        with (
+            obs.span(
+                "serve.window",
+                start=first_arrival,
+                clouds=len(batch),
+                timed_out=timed_out,
+            )
+            if obs.enabled()
+            else obs.NULL_SPAN
+        ):
+            uniques: list[tuple[int, np.ndarray, np.ndarray | None]] = []
+            canonical: dict[bytes, int] = {}
+            replays: list[tuple[int, bytes]] = []
+            dup_of: dict[int, int] = {}
+            for arrival in batch:
+                key = arrival.key
+                if key is not None and key in done:
+                    replays.append((arrival.index, key))
+                elif key is not None and key in canonical:
+                    dup_of[arrival.index] = canonical[key]
+                else:
+                    if key is not None:
+                        canonical[key] = arrival.index
+                    uniques.append(
+                        (arrival.index, arrival.coords, arrival.features)
+                    )
 
-        exec_start = time.perf_counter()
-        results, plan = self.engine.execute_window(uniques, pipeline)
-        if self.controller is not None and uniques:
-            self.controller.observe_service(
-                time.perf_counter() - exec_start, len(uniques)
-            )
-        for index, key in replays:
-            done.move_to_end(key)
-            results[index] = dataclasses.replace(
-                done[key], index=index, cache_hit=True, seconds=0.0, reused=True
-            )
-        for index, original in dup_of.items():
-            results[index] = dataclasses.replace(
-                results[original], index=index, cache_hit=True,
-                seconds=0.0, reused=True,
-            )
-        for key, index in canonical.items():
-            done[key] = results[index]
-            while len(done) > self.engine.reuse_window:
-                done.popitem(last=False)
+            exec_start = obs.now()
+            # Queue wait is everything between the window's first arrival
+            # and execution start — recorded retroactively as a child so
+            # the summarizer books it under "queueing".
+            obs.record("serve.wait", first_arrival, exec_start)
+            results, plan = self.engine.execute_window(uniques, pipeline)
+            exec_seconds = obs.now() - exec_start
+            if self.controller is not None and uniques:
+                self.controller.observe_service(exec_seconds, len(uniques))
+            obs.observe("repro_serve_window_seconds", exec_seconds)
+            obs.inc("repro_serve_clouds", len(batch))
+            obs.inc("repro_serve_windows")
+            for index, key in replays:
+                done.move_to_end(key)
+                results[index] = dataclasses.replace(
+                    done[key], index=index, cache_hit=True, seconds=0.0,
+                    reused=True,
+                )
+            for index, original in dup_of.items():
+                results[index] = dataclasses.replace(
+                    results[original], index=index, cache_hit=True,
+                    seconds=0.0, reused=True,
+                )
+            for key, index in canonical.items():
+                done[key] = results[index]
+                while len(done) > self.engine.reuse_window:
+                    done.popitem(last=False)
 
-        sources = [results[index].partition_source for index, _, _ in uniques]
-        self.telemetry.record_window(
-            size=len(batch),
-            buckets=plan.buckets,
-            fused=plan.fused_clouds,
-            singletons=plan.singleton_clouds,
-            reused=len(replays) + len(dup_of),
-            queue_depth=queue_depth,
-            timed_out=timed_out,
-            cold=sources.count("cold"),
-            patched=sources.count("patched") + sources.count("reused"),
-            warm=sources.count("warm"),
-        )
+            sources = [
+                results[index].partition_source for index, _, _ in uniques
+            ]
+            self.telemetry.record_window(
+                size=len(batch),
+                buckets=plan.buckets,
+                fused=plan.fused_clouds,
+                singletons=plan.singleton_clouds,
+                reused=len(replays) + len(dup_of),
+                queue_depth=queue_depth,
+                timed_out=timed_out,
+                cold=sources.count("cold"),
+                patched=sources.count("patched") + sources.count("reused"),
+                warm=sources.count("warm"),
+            )
         for arrival in batch:
-            latency = time.perf_counter() - arrival.arrived
+            latency = obs.now() - arrival.arrived
             self.telemetry.record_latency(latency)
             if self.controller is not None:
                 self.controller.observe_latency(latency)

@@ -44,11 +44,11 @@ from __future__ import annotations
 import multiprocessing as mp
 import queue
 import threading
-import time
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
 from multiprocessing import connection as mp_connection
 
+from .. import obs
 from ..runtime.cache import result_key
 from ..runtime.executor import CloudResult, PipelineSpec, _as_cloud
 from .hashring import HashRing
@@ -195,7 +195,7 @@ class ShardRouter:
         self._ctx = mp.get_context("fork")
         self._ring = HashRing(replicas=replicas)
         self._shards: dict[str, _Shard] = {}
-        self._pending: dict[int, tuple[str, int, float, str]] = {}
+        self._pending: dict[int, tuple[str, int, float, str, object]] = {}
         self._emitted: dict[int, ShardResult] = {}
         self._next_req = 0
         self._next_emit = 0
@@ -229,7 +229,8 @@ class ShardRouter:
             kwargs=dict(transport=self.transport,
                         arena_bytes=self.arena_bytes,
                         max_clouds=self.max_clouds,
-                        ship_traces=self.ship_traces),
+                        ship_traces=self.ship_traces,
+                        obs_config={"trace": obs.enabled(), "sample": 0}),
             name=f"repro-{name}",
             daemon=True,
         )
@@ -303,16 +304,29 @@ class ShardRouter:
         )
         name = self._ring.route(key)
         shard = self._shards[name]
+        # Head sampling happens here, once per request: a sampled request
+        # gets an open root span whose context rides the run message so
+        # the worker's window stitches under it.
+        handle = obs.open_span("serve.request", stream=stream, shard=name)
+        pack_start = obs.now() if handle is not None else 0.0
         refs = [shard.channel.pack(coords)]
         if features is not None:
             refs.append(shard.channel.pack(features))
+        if handle is not None:
+            obs.record(
+                "shard.serialize", pack_start, obs.now(),
+                parent=handle.ctx, points=len(coords),
+            )
         req_id = self._next_req
         self._next_req += 1
         seq = self._stream_seq.get(stream, 0)
         self._stream_seq[stream] = seq + 1
-        self._pending[req_id] = (stream, seq, time.perf_counter(), name)
+        self._pending[req_id] = (stream, seq, obs.now(), name, handle)
         shard.in_flight += 1
-        shard.outbox.put(("run", req_id, tuple(refs), features is not None))
+        shard.outbox.put((
+            "run", req_id, tuple(refs), features is not None,
+            handle.ctx if handle is not None else None,
+        ))
         return req_id
 
     def _handle(self, msg) -> None:
@@ -321,7 +335,11 @@ class ShardRouter:
         if kind == "results":
             _, name, payload, stats = msg
             shard = self._shards[name]
-            now = time.perf_counter()
+            now = obs.now()
+            spans = stats.pop("spans", None)
+            if spans:
+                obs.adopt(spans)
+            first_ctx = None
             free_refs = []
             for req_id, meta, refs, req_refs in payload:
                 shard.in_flight -= 1
@@ -331,11 +349,22 @@ class ShardRouter:
                 result = unpack_result(shard.peer, meta, refs, copy=True)
                 free_refs.extend(r for r in refs if r is not None)
                 shard.channel.reclaim(req_refs)
-                stream, seq, submitted, _ = self._pending.pop(req_id)
+                stream, seq, submitted, _, handle = self._pending.pop(req_id)
+                if handle is not None:
+                    if first_ctx is None:
+                        first_ctx = handle.ctx
+                    handle.finish()
                 latency = now - submitted
                 self.telemetry.record_latency(latency)
+                obs.observe("repro_shard_latency_seconds", latency)
+                obs.inc("repro_serve_clouds")
                 self._emitted[req_id] = ShardResult(
                     stream, seq, name, latency, result
+                )
+            if first_ctx is not None:
+                obs.record(
+                    "transport.unpack", now, obs.now(),
+                    parent=first_ctx, results=len(payload),
                 )
             # One free message recycles the whole window's response
             # blocks — messaging stays O(windows), not O(requests).

@@ -21,22 +21,30 @@ shm transport, and replies are batched per executed window — one
 ``results`` message carries every result of the window plus its stats,
 so per-request messaging cost stays flat as windows grow:
 
-- router → worker: ``("run", req_id, refs, has_features)``,
+- router → worker: ``("run", req_id, refs, has_features, span_ctx)``
+  (``span_ctx`` is the request's sampled trace context or ``None``),
   ``("free", refs)`` (response blocks the router consumed),
   ``("drain", token)``, ``("stop",)``;
 - worker → router: ``("ready", shard, arena_name)``,
-  ``("results", shard, [(req_id, meta, refs, req_refs), ...], stats)``,
+  ``("results", shard, [(req_id, meta, refs, req_refs), ...], stats)``
+  (``stats`` may carry the window's finished spans under ``"spans"``),
   ``("drained", shard, token)``, ``("stopped", shard)``.
+
+Tracing: the worker runs its tracer in remote-only mode (``sample=0``)
+— it never opens root traces of its own, but when a batch contains a
+request the router sampled, the whole window (engine, partition, ops)
+records under that request's trace and the finished spans ride home in
+the window's ``results`` message.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import time
 from collections import OrderedDict
 
 import numpy as np
 
+from .. import obs
 from ..runtime.cache import result_key
 from ..runtime.executor import BatchExecutor, CloudResult, PipelineSpec
 from .transport import ArrayRef, PickleChannel, ShmArena, ShmPeer
@@ -91,8 +99,16 @@ def shard_main(
     arena_bytes: int = 64 << 20,
     max_clouds: int = 16,
     ship_traces: bool = False,
+    obs_config: dict | None = None,
 ) -> None:
     """Process entry point of one engine shard (run under ``fork``)."""
+    # Fresh, pid-correct tracer: never serve from state forked off the
+    # router.  Remote-only sampling (``sample=0``) — the router decides
+    # which requests trace; everything else stays on the fast exit.
+    if obs_config:
+        obs.configure(**obs_config)
+    else:
+        obs.configure(trace=False, metrics=False)
     engine = BatchExecutor(mode="serial", max_workers=1, **engine_kwargs)
     # Delta-mode caches retain request coords past the reply, so they
     # must own their bytes; otherwise zero-copy views are safe for the
@@ -108,44 +124,67 @@ def shard_main(
         """Dedup + fused execution of one greedy batch, mirroring
         ``WindowedServer._run_window``; replies with ONE batched
         ``results`` message."""
-        uniques: list[tuple[int, np.ndarray, np.ndarray | None]] = []
-        canonical: dict[bytes, int] = {}
-        replays: list[tuple[int, bytes]] = []
-        dup_of: dict[int, int] = {}
-        for slot, (_req_id, coords, features, _req_refs) in enumerate(batch):
-            key = result_key(coords, features) if engine.reuse_results else None
-            if key is not None and key in done:
-                replays.append((slot, key))
-            elif key is not None and key in canonical:
-                dup_of[slot] = canonical[key]
-            else:
-                if key is not None:
-                    canonical[key] = slot
-                uniques.append((slot, coords, features))
-        start = time.perf_counter()
-        results, plan = engine.execute_window(uniques, pipeline)
-        seconds = time.perf_counter() - start
-        for slot, key in replays:
-            done.move_to_end(key)
-            results[slot] = dataclasses.replace(
-                done[key], index=slot, cache_hit=True, seconds=0.0, reused=True
-            )
-        for slot, original in dup_of.items():
-            results[slot] = dataclasses.replace(
-                results[original], index=slot, cache_hit=True,
-                seconds=0.0, reused=True,
-            )
-        for key, slot in canonical.items():
-            done[key] = results[slot]
-            while len(done) > engine.reuse_window:
-                done.popitem(last=False)
-        sources = [results[slot].partition_source for slot, _, _ in uniques]
-        payload = []
-        for slot, (req_id, _, _, req_refs) in enumerate(batch):
-            meta, refs = pack_result(
-                channel, results[slot], ship_traces=ship_traces
-            )
-            payload.append((req_id, meta, refs, req_refs))
+        # The window span parents to the first *sampled* request of the
+        # batch (the router's head sampling decision rides in as the run
+        # message's span context); with none, the whole window skips.
+        span_ctx = next(
+            (entry[4] for entry in batch if entry[4] is not None), None
+        )
+        with obs.span_remote(
+            span_ctx, "shard.window", shard=shard, clouds=len(batch)
+        ):
+            uniques: list[tuple[int, np.ndarray, np.ndarray | None]] = []
+            canonical: dict[bytes, int] = {}
+            replays: list[tuple[int, bytes]] = []
+            dup_of: dict[int, int] = {}
+            for slot, (_req_id, coords, features, _refs, _ctx) in enumerate(
+                batch
+            ):
+                key = (
+                    result_key(coords, features)
+                    if engine.reuse_results
+                    else None
+                )
+                if key is not None and key in done:
+                    replays.append((slot, key))
+                elif key is not None and key in canonical:
+                    dup_of[slot] = canonical[key]
+                else:
+                    if key is not None:
+                        canonical[key] = slot
+                    uniques.append((slot, coords, features))
+            start = obs.now()
+            results, plan = engine.execute_window(uniques, pipeline)
+            seconds = obs.now() - start
+            for slot, key in replays:
+                done.move_to_end(key)
+                results[slot] = dataclasses.replace(
+                    done[key], index=slot, cache_hit=True, seconds=0.0,
+                    reused=True,
+                )
+            for slot, original in dup_of.items():
+                results[slot] = dataclasses.replace(
+                    results[original], index=slot, cache_hit=True,
+                    seconds=0.0, reused=True,
+                )
+            for key, slot in canonical.items():
+                done[key] = results[slot]
+                while len(done) > engine.reuse_window:
+                    done.popitem(last=False)
+            sources = [
+                results[slot].partition_source for slot, _, _ in uniques
+            ]
+            payload = []
+            with (
+                obs.span("transport.pack", results=len(batch))
+                if obs.enabled()
+                else obs.NULL_SPAN
+            ):
+                for slot, (req_id, _, _, req_refs, _ctx) in enumerate(batch):
+                    meta, refs = pack_result(
+                        channel, results[slot], ship_traces=ship_traces
+                    )
+                    payload.append((req_id, meta, refs, req_refs))
         stats = {
             "size": len(batch),
             "buckets": plan.buckets,
@@ -157,16 +196,19 @@ def shard_main(
             "warm": sources.count("warm"),
             "seconds": seconds,
         }
+        spans = obs.drain()
+        if spans:
+            stats["spans"] = tuple(s.to_wire() for s in spans)
         conn.send(("results", shard, payload, stats))
 
     def decode(msg):
-        """``run`` message → (req_id, coords, features, req_refs)."""
-        _, req_id, refs, has_features = msg
+        """``run`` message → (req_id, coords, features, req_refs, ctx)."""
+        _, req_id, refs, has_features, span_ctx = msg
         coords = peer.unpack(refs[0], copy=copy_requests)
         features = (
             peer.unpack(refs[1], copy=copy_requests) if has_features else None
         )
-        return (req_id, coords, features, refs)
+        return (req_id, coords, features, refs, span_ctx)
 
     stopping = False
     while not stopping:

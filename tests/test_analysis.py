@@ -243,7 +243,9 @@ class TestDeterminismRules:
         src = "t = time.time()\n"
         assert rules_of(lint(src)) == {"REP005"}
         assert lint(src, path=SCRIPT) == []
-        assert lint("t = time.perf_counter()\n") == []
+        # Monotonic clocks pass REP005 (determinism) — policing their
+        # *placement* is REP008's job.
+        assert lint("t = time.perf_counter()\n", select=["REP005"]) == []
 
     def test_rep005_set_iteration(self):
         src = """
@@ -361,6 +363,33 @@ class TestConcurrencyRules:
         assert lint('conn.send(("gossip", 1))\n', path=SERVE,
                     select=["REP007"]) == []
 
+    def test_rep008_flags_raw_monotonic_clocks(self):
+        for src in (
+            "import time\nt0 = time.perf_counter()\n",
+            "import time\nt0 = time.monotonic()\n",
+            "import time\nt0 = time.perf_counter_ns()\n",
+            "import time\nclock = time.monotonic\n",  # bare ref, no call
+            "from time import perf_counter\n",
+        ):
+            assert rules_of(lint(src, select=["REP008"])) == {"REP008"}, src
+
+    def test_rep008_exempts_obs_sleep_and_scripts(self):
+        # repro.obs is the one sanctioned clock reader.
+        assert lint("import time\nnow = time.perf_counter\n",
+                    path="src/repro/obs/trace.py", select=["REP008"]) == []
+        # sleep / wall-clock reads are not interval clocks.
+        assert lint("import time\ntime.sleep(0.1)\nt = time.time()\n",
+                    select=["REP008"]) == []
+        # Benchmarks, examples, and tests time things however they like.
+        assert lint("import time\nt0 = time.perf_counter()\n",
+                    path="benchmarks/bench_x.py", select=["REP008"]) == []
+        assert lint("import time\nt0 = time.perf_counter()\n",
+                    path=SCRIPT, select=["REP008"]) == []
+
+    def test_rep008_suppression(self):
+        src = "t0 = time.perf_counter()  # repro: ignore[REP008]\n"
+        assert lint(src, select=["REP008"]) == []
+
 
 #: Seeded corpus: two files that together violate every rule — the
 #: acceptance fixture proving the linter reports >= 6 distinct ids.
@@ -368,16 +397,18 @@ _CORPUS = {
     "src/repro/serve/bad_serve.py": """
         import os
         import threading
+        import time
 
         import numpy as np
 
         def sample(structure, coords, conn):
+            start = time.perf_counter()
             idx, _ = block_fps(structure, coords, 64)
             kernel = os.environ.get("REPRO_KERNEL", "auto")
             seg = SharedMemory(create=True, size=64)
             threading.Thread(target=print).start()
             noise = np.random.rand(3)
-            return idx, kernel, seg, noise
+            return idx, kernel, seg, noise, start
     """,
     "src/repro/shard/bad_shard.py": """
         def pump(conn, work_lock, items):
@@ -404,7 +435,7 @@ class TestLintCli:
         assert len(rules_of(findings)) >= 6
         assert rules_of(findings) == {
             "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
-            "REP007",
+            "REP007", "REP008",
         }
 
     def test_main_fails_on_injected_violations(self, tmp_path, capsys):
