@@ -1,0 +1,121 @@
+"""Extension bench — Mesorasi-style delayed aggregation on MSG inference.
+
+The set-abstraction stages of the serving backbones admit two
+aggregation orders: **eager** gathers every neighbour's input features
+and runs the shared MLP over the ``m * k`` gathered rows; **delayed**
+runs the MLP once per input point (``n`` rows) and gathers the *output*
+channels afterwards.  Both are bit-identical; the win is pure work
+elimination wherever neighbour groups overlap (``m * k > n``).  The MSG
+classifier is the stage shape where that overlap is largest — every
+level gathers each centre at two radii, so the eager order pays the
+gathered-MLP pass twice per level.
+
+Acceptance bar: delayed >= 1.3x over eager on the aggregation path
+(MLP + gather + pool over precomputed neighbour tables) of the MSG
+classification workload over a warm ROI-crop-sized stream.  The
+end-to-end forward (which adds the identical-under-both-orders
+partition/FPS/ball-query structure work) is reported alongside,
+unasserted — it dilutes the ratio with work the aggregation order
+cannot touch.
+
+Marked ``slow``: run with ``pytest -m slow benchmarks/bench_infer.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.infer import get_model
+from repro.networks.backends import make_backend
+
+from _common import best_time, emit
+
+pytestmark = pytest.mark.slow
+
+#: ROI-crop-sized serving clouds: small enough that every MSG scale
+#: overlaps its neighbour groups 4-8x over the input points.
+SIZE_RANGE = (96, 192)
+CLOUDS = 32
+BAR = 1.3
+
+
+def _prepare(model, backend, clouds):
+    """Structure work per cloud, shared by both timed orders: centres
+    and per-scale neighbour tables for both levels, plus the level-1
+    features sa2 consumes."""
+    prep = []
+    for c in clouds:
+        centers1 = backend.sample(c, min(model.sa1.n_out, len(c)))
+        nb1 = [backend.group(c, centers1, r, k) for r, k in model.sa1.scales]
+        f1 = np.concatenate(
+            [
+                s.compute(c, None, nb, agg="eager")
+                for s, nb in zip(model.sa1.stages, nb1)
+            ],
+            axis=1,
+        )
+        c1 = c[centers1]
+        centers2 = backend.sample(c1, min(model.sa2.n_out, len(c1)))
+        nb2 = [backend.group(c1, centers2, r, k) for r, k in model.sa2.scales]
+        prep.append((c, nb1, c1, f1, nb2))
+    return prep
+
+
+def run_bench():
+    rng = np.random.default_rng(0)
+    clouds = [
+        np.asarray(rng.normal(size=(int(n), 3)), dtype=np.float64)
+        for n in rng.integers(*SIZE_RANGE, size=CLOUDS)
+    ]
+    model = get_model("pointnet2-msg-cls")
+    backend = make_backend("fractal", max_points_per_block=64)
+
+    # Warm the partition cache and pin the parity obligation: the two
+    # orders must agree bit for bit before either is worth timing.
+    for c in clouds:
+        assert np.array_equal(
+            model.forward(c, backend, agg="eager"),
+            model.forward(c, backend, agg="delayed"),
+        )
+
+    prep = _prepare(model, backend, clouds)
+
+    def agg_pass(agg):
+        for c, nb1, c1, f1, nb2 in prep:
+            for s, nb in zip(model.sa1.stages, nb1):
+                s.compute(c, None, nb, agg=agg)
+            for s, nb in zip(model.sa2.stages, nb2):
+                s.compute(c1, f1, nb, agg=agg)
+
+    def forward_pass(agg):
+        for c in clouds:
+            model.forward(c, backend, agg=agg)
+
+    t_agg_eager, _ = best_time(lambda: agg_pass("eager"), repeats=5)
+    t_agg_delayed, _ = best_time(lambda: agg_pass("delayed"), repeats=5)
+    t_fwd_eager, _ = best_time(lambda: forward_pass("eager"))
+    t_fwd_delayed, _ = best_time(lambda: forward_pass("delayed"))
+
+    agg_speedup = t_agg_eager / t_agg_delayed
+    rows = [
+        ["aggregation path", "eager", f"{t_agg_eager * 1e3:.1f}", "1.00x"],
+        ["aggregation path", "delayed", f"{t_agg_delayed * 1e3:.1f}",
+         f"{agg_speedup:.2f}x"],
+        ["full forward", "eager", f"{t_fwd_eager * 1e3:.1f}", "1.00x"],
+        ["full forward", "delayed", f"{t_fwd_delayed * 1e3:.1f}",
+         f"{t_fwd_eager / t_fwd_delayed:.2f}x"],
+    ]
+    table = format_table(
+        ["path", "agg", "ms / stream", "speedup"],
+        rows,
+        title=f"delayed vs eager aggregation — pointnet2-msg-cls, "
+              f"{CLOUDS} clouds of {SIZE_RANGE[0]}-{SIZE_RANGE[1] - 1} "
+              f"points (fractal, warm partitions)",
+    )
+    return table, agg_speedup
+
+
+def test_bench_infer(benchmark):
+    table, agg_speedup = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    emit("infer", table)
+    assert agg_speedup >= BAR, agg_speedup

@@ -27,6 +27,9 @@ Six subcommands cover the common workflows without writing any code:
   ``--trace out.json`` records an end-to-end span tree (router →
   worker → engine → kernels) as Chrome ``trace_event`` JSON;
   ``--metrics`` dumps the Prometheus exposition at exit.
+  ``--model <name>`` serves full network inference through the fused
+  engine (``--agg delayed|eager`` picks the set-abstraction
+  aggregation order; outputs are bit-identical either way).
 - ``trace`` — offline trace tooling: ``repro trace summarize out.json``
   prints the per-stage self-time breakdown (build/patch vs. per-op
   kernels vs. transport vs. queueing) and gates on stage-total
@@ -40,6 +43,7 @@ Six subcommands cover the common workflows without writing any code:
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 
 import numpy as np
@@ -50,6 +54,7 @@ from .analysis import format_table
 from .core.delta import PatchPolicy
 from .datasets import DATASET_NAMES, load_cloud, scale_points
 from .hw import AcceleratorSim, GPUModel, SOTA_CONFIGS
+from .infer import MODEL_NAMES, model_spec
 from .networks import WORKLOADS, get_workload
 from .partition import PARTITIONER_NAMES, get_partitioner, summarize
 from .runtime import BatchExecutor, PipelineSpec
@@ -204,6 +209,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         frame_churn=args.frame_churn,
         hot_assets=args.hot_assets,
         hot_rate=args.hot_rate,
+        corrupt_rate=args.corrupt_rate,
+        corrupt_severity=args.corrupt_severity,
     )
     if args.tenants > 0:
         specs = tenant_specs(args.tenants, spec)
@@ -286,6 +293,8 @@ def _serve_sharded(args: argparse.Namespace, source, tenants: int) -> int:
         sample_ratio=args.sample_ratio,
         radius=args.radius,
         group_size=args.group_size,
+        model=args.model or None,
+        agg=args.agg,
     )
     router = ShardRouter(
         args.shards,
@@ -306,6 +315,7 @@ def _serve_sharded(args: argparse.Namespace, source, tenants: int) -> int:
         f"(window {args.window}, in-flight {router.max_in_flight}"
         + (", delta" if args.delta else "")
         + (f", {tenants} tenants" if tenants else "")
+        + (f", model {args.model} [{args.agg}]" if args.model else "")
         + ")"
     )
     start = obs.now()
@@ -329,6 +339,28 @@ def _serve_sharded(args: argparse.Namespace, source, tenants: int) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     tenants = max(0, args.tenants)
+    # Validate model names before any stream is consumed: a typo must
+    # fail fast, not after the loadgen pipe starts flowing.
+    models = [name for name in (args.model or "").split(",") if name]
+    try:
+        for name in models:
+            model_spec(name)
+    except ValueError as err:
+        print(f"serve: {err}", file=sys.stderr)
+        return 2
+    if len(models) > 1 and tenants == 0:
+        print(
+            "serve: a comma list of models needs --tenants (models are "
+            "assigned one per tenant, round-robin)",
+            file=sys.stderr,
+        )
+        return 2
+    if len(models) > 1 and args.shards > 0:
+        print(
+            "serve: --shards serves one pipeline; pass a single --model",
+            file=sys.stderr,
+        )
+        return 2
     _obs_configure(args)
     close = None
     if args.input is None:
@@ -384,6 +416,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         sample_ratio=args.sample_ratio,
         radius=args.radius,
         group_size=args.group_size,
+        model=models[0] if models else None,
+        agg=args.agg,
     )
     window = WindowConfig(
         max_clouds=args.window, max_wait=args.max_wait_ms / 1e3
@@ -407,6 +441,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"in-flight {engine.in_flight}"
         + (", delta" if args.delta else "")
         + (f", {tenants} tenants" if tenants else "")
+        + (f", model {','.join(models)} [{args.agg}]" if models else "")
         + ")"
     )
     start = obs.now()
@@ -414,9 +449,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     points = 0
     try:
         if tenants:
+            # With several models, tenants round-robin over the list;
+            # tenants sharing a model share one PipelineSpec and still
+            # fuse into the same window groups.
             server = MultiTenantServer(
                 engine,
-                [TenantSpec(f"t{i}", pipeline) for i in range(tenants)],
+                [
+                    TenantSpec(
+                        f"t{i}",
+                        dataclasses.replace(
+                            pipeline, model=models[i % len(models)]
+                        )
+                        if models
+                        else pipeline,
+                    )
+                    for i in range(tenants)
+                ],
                 window=window,
                 controller=bounds,
                 quantum_points=args.quantum_points,
@@ -594,7 +642,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--profile",
                    choices=["uniform", "diurnal", "adversarial", "frames",
-                            "hotset"],
+                            "hotset", "inference"],
                    default="uniform",
                    help="traffic shape: 'diurnal' drifts sizes/pacing "
                         "sinusoidally, 'adversarial' emits spread mixes "
@@ -603,7 +651,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "motion + tail churn — the delta-protocol stream), "
                         "'hotset' draws a --hot-rate fraction of requests "
                         "from a fixed catalog of --hot-assets clouds (the "
-                        "content-affine sharding workload)")
+                        "content-affine sharding workload), 'inference' "
+                        "emits classification-style clouds, a --corrupt-"
+                        "rate fraction perturbed by a random corruption "
+                        "(the 'repro serve --model' workload)")
     p.add_argument("--drift-period", type=int, default=64,
                    help="diurnal cycle length in clouds")
     p.add_argument("--drift-amplitude", type=float, default=0.5,
@@ -619,6 +670,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--hot-rate", type=float, default=0.8,
                    help="hotset profile: fraction of requests drawn from "
                         "the catalog (the rest are one-off cold clouds)")
+    p.add_argument("--corrupt-rate", type=float, default=0.25,
+                   help="inference profile: probability each fresh cloud "
+                        "is perturbed by a dataset corruption")
+    p.add_argument("--corrupt-severity", type=int, default=3,
+                   help="inference profile: corruptions draw a severity "
+                        "uniformly from [1, this] (max 5)")
     p.add_argument("--tenants", type=int, default=0,
                    help="emit a tagged multi-tenant stream: N per-tenant "
                         "rate/size mixes derived from the options above, "
@@ -719,6 +776,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fuse-max-spread", type=float, default=4.0,
                    help="max size ratio inside one fused bucket "
                         "(0 = unbounded)")
+    p.add_argument("--model", default=None,
+                   help="serve full network inference instead of the raw "
+                        "BPPO pipeline: a model registry name "
+                        f"({', '.join(MODEL_NAMES)}); with --tenants, a "
+                        "comma list assigns models to tenants round-robin")
+    p.add_argument("--agg", choices=["auto", "eager", "delayed"],
+                   default="auto",
+                   help="model pipelines: set-abstraction aggregation "
+                        "order — 'delayed' runs the shared MLP per point "
+                        "and gathers afterwards (Mesorasi-style), 'eager' "
+                        "gathers then applies the MLP; bit-identical "
+                        "either way, 'auto' = cost model (REPRO_AGG "
+                        "fills in)")
     p.add_argument("--sample-ratio", type=float, default=0.25)
     p.add_argument("--radius", type=float, default=0.2)
     p.add_argument("--group-size", type=int, default=16)

@@ -70,17 +70,25 @@ from .bppo import _STACK_SMALL
 from .ragged import RAGGED_BLOCK_MAX
 
 __all__ = [
+    "AGG_ENV",
+    "AGG_NAMES",
     "BUILD_KERNEL_ENV",
     "BUILD_KERNEL_NAMES",
+    "GATHER_ELEM_SECONDS",
     "KERNELS",
     "KERNEL_NAMES",
     "KERNEL_ENV",
+    "MATMUL_MAC_SECONDS",
+    "choose_agg",
     "choose_build_kernel",
     "choose_kernel",
+    "mlp_row_macs",
+    "resolve_agg",
     "resolve_build_kernel",
     "resolve_kernel",
     "run_build",
     "run_op",
+    "validate_agg",
     "validate_build_kernel",
     "validate_kernel",
 ]
@@ -316,6 +324,108 @@ def run_build(
             structure = partitioner(coords)
             sampled, trace = bppo.block_fps(structure, coords, num_samples)
     return structure, sampled, trace, name
+
+
+# --------------------------------------------------------------------------
+# aggregation order (the networks' MLP/aggregate op class)
+# --------------------------------------------------------------------------
+
+#: Environment variable forcing a set-abstraction aggregation order
+#: (``eager | delayed`` to pin one, ``auto`` / unset for the cost model).
+AGG_ENV = "REPRO_AGG"
+
+#: Accepted aggregation selectors, ``auto`` first.  ``eager`` is the
+#: textbook gather-then-MLP order (gather neighbour inputs, run the
+#: shared MLP over ``(m, k, c)``, pool); ``delayed`` is the
+#: Mesorasi-style restructure (run the MLP once per point over
+#: ``(n, c)``, gather *output* rows by the ball-query indices, pool).
+#: Bit-identical — the MLP is pointwise and every row is computed
+#: identically regardless of batching (the Dense row-stability
+#: contract) — so the choice only moves work between the GEMM and the
+#: gather.
+AGG_NAMES = ("auto", "eager", "delayed")
+
+#: Fitted per-element costs of the two resources an aggregation order
+#: trades between, measured on the CI-class host this repo benchmarks
+#: on (numpy + OpenBLAS, float64): one multiply-accumulate of a shared-
+#: MLP GEMM at network-typical widths (19-256 channels), and one
+#: fancy-index-gathered array element (memory-bound, ~75x a MAC).
+#: Absolute values drift with hardware; only their ratio steers
+#: :func:`choose_agg`, and the regimes differ by >2x at the crossover.
+MATMUL_MAC_SECONDS = 7e-11
+GATHER_ELEM_SECONDS = 5e-9
+
+
+def validate_agg(agg: str) -> str:
+    if agg not in AGG_NAMES:
+        raise ValueError(f"agg must be one of {AGG_NAMES}, got {agg!r}")
+    return agg
+
+
+def mlp_row_macs(widths) -> int:
+    """Multiply-accumulates one input row costs through a shared MLP."""
+    widths = list(widths)
+    return sum(a * b for a, b in zip(widths, widths[1:]))
+
+
+def choose_agg(
+    num_points: int, num_centers: int, k: int, mlp_widths,
+) -> str:
+    """Cost-model choice of aggregation order for one SA stage.
+
+    Eager evaluates the MLP on every gathered neighbour row
+    (``m * k`` rows) after gathering its *input* channels; delayed
+    evaluates it once per point (``n`` rows) and gathers its *output*
+    channels.  With the fitted constants above::
+
+        eager   = m*k*W*MAC + m*k*c_in *GATHER
+        delayed = n  *W*MAC + m*k*c_out*GATHER
+
+    where ``W`` is the per-row MAC count of the MLP.  Delayed wins
+    whenever neighbour groups overlap (``m*k > n`` — every PointNet++-
+    style stage, where ``m ~ n/4`` and ``k = 16`` give ~4x overlap)
+    unless the MLP widens the channels enough that gathering outputs
+    costs more than the spared GEMM work — exactly the Mesorasi
+    trade-off.
+    """
+    widths = list(mlp_widths)
+    row_macs = mlp_row_macs(widths)
+    gathered = num_centers * k
+    eager = gathered * row_macs * MATMUL_MAC_SECONDS + (
+        gathered * widths[0] * GATHER_ELEM_SECONDS
+    )
+    delayed = num_points * row_macs * MATMUL_MAC_SECONDS + (
+        gathered * widths[-1] * GATHER_ELEM_SECONDS
+    )
+    return "delayed" if delayed <= eager else "eager"
+
+
+def resolve_agg(
+    agg: str = "auto",
+    *,
+    num_points: int | None = None,
+    num_centers: int | None = None,
+    k: int | None = None,
+    mlp_widths=None,
+) -> str:
+    """Resolve an aggregation selector to ``eager`` or ``delayed``.
+
+    Same precedence as :func:`resolve_kernel`: an explicit non-``auto``
+    argument wins, :data:`AGG_ENV` fills in when the argument is
+    ``"auto"``, and the cost model decides the rest (falling back to
+    ``delayed`` when the caller cannot describe the stage — the winning
+    order for every stage shape the backbones actually use).
+    """
+    agg = validate_agg(agg)
+    if agg == "auto":
+        override = os.environ.get(AGG_ENV)
+        if override:
+            agg = validate_agg(override)
+    if agg == "auto":
+        if None in (num_points, num_centers, k) or mlp_widths is None:
+            return "delayed"
+        agg = choose_agg(num_points, num_centers, k, mlp_widths)
+    return agg
 
 
 def run_op(

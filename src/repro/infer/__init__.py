@@ -1,0 +1,37 @@
+"""End-to-end network inference through the serving engine.
+
+This package is the bridge between the trainable numpy PNNs of
+:mod:`repro.networks` and the batched execution engine of
+:mod:`repro.runtime.executor`: a registry of named, deterministically
+seeded serving models (:mod:`repro.infer.registry`) plus the fused
+multi-cloud forward pass (:mod:`repro.infer.fused`) that shares one
+FPS/ball-query structure pass across every cloud of a window while
+features flow through the existing ragged CSR layout.
+
+Served outputs are bit-identical to the per-cloud offline reference
+(``model.forward`` on the same partitioner) — the fused runner only
+re-batches row-wise math, and the Dense row-stability contract of
+:mod:`repro.networks.layers` makes every row independent of batching.
+"""
+
+from .fused import run_fused
+from .registry import (
+    MODEL_NAMES,
+    MODELS,
+    ModelSpec,
+    get_model,
+    model_spec,
+    run_model,
+    run_offline,
+)
+
+__all__ = [
+    "MODELS",
+    "MODEL_NAMES",
+    "ModelSpec",
+    "get_model",
+    "model_spec",
+    "run_fused",
+    "run_model",
+    "run_offline",
+]

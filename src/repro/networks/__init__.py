@@ -10,7 +10,7 @@
 from .augment import AugmentConfig, augment_cloud
 from .backends import BlockBackend, ExactBackend, PointOpsBackend, make_backend
 from .layers import Adam, Dense, Module, Parameter, ReLU, SharedMLP, softmax_cross_entropy
-from .models import ARCHS, ArchSpec, PNNClassifier, PNNSegmenter
+from .models import ARCHS, ArchSpec, PNNClassifier, PNNClassifierMSG, PNNSegmenter
 from .modules import FPStage, GlobalSA, InvResBlock, SAStage
 from .msg import SAStageMSG
 from .train import (
@@ -38,6 +38,7 @@ __all__ = [
     "InvResBlock",
     "Module",
     "PNNClassifier",
+    "PNNClassifierMSG",
     "PNNSegmenter",
     "Parameter",
     "PointOpsBackend",

@@ -19,6 +19,7 @@ kernel (``kernel="auto"`` cost-model dispatch by default).
 from __future__ import annotations
 
 import abc
+from collections import OrderedDict
 
 import numpy as np
 
@@ -106,7 +107,19 @@ class BlockBackend(PointOpsBackend):
     ``batched`` is the legacy flag of the pre-dispatch API: ``False``
     pins the serial per-block loop, ``True`` (old default) means
     cost-model dispatch.  Use ``kernel`` in new code.
+
+    ``cache`` lets a caller share an existing partition cache — the
+    serving engine passes its own, so a model forward inside the engine
+    reuses (and warms) the same content-addressed partitions as the raw
+    BPPO traffic.
     """
+
+    #: Distinct partitions whose per-op derived state (measured centre
+    #: bincounts, float64-normalised coords) is memoised at a time.  A
+    #: forward pass touches one partition per level; MSG touches the
+    #: same one once per scale — the quadratic-ish recompute this bound
+    #: exists to kill.
+    _SESSION_BOUND = 8
 
     def __init__(
         self,
@@ -115,6 +128,7 @@ class BlockBackend(PointOpsBackend):
         *,
         kernel: str = "auto",
         batched: bool | None = None,
+        cache: PartitionCache | None = None,
     ):
         self.partitioner = partitioner
         self.name = partitioner.name
@@ -124,27 +138,43 @@ class BlockBackend(PointOpsBackend):
         if batched is False and kernel == "auto":
             kernel = "loop"
         self.kernel = dispatch.validate_kernel(kernel)
-        self._cache = PartitionCache(partitioner, maxsize=cache_size)
+        self._cache = (
+            cache if cache is not None
+            else PartitionCache(partitioner, maxsize=cache_size)
+        )
+        # id(structure) -> session memo; the session holds a strong ref
+        # to its structure, so an id is never reused while mapped.
+        self._sessions: "OrderedDict[int, _StructureSession]" = OrderedDict()
+
+    def _session(self, coords: np.ndarray) -> "_StructureSession":
+        structure, _ = self._cache.get(coords)
+        key = id(structure)
+        session = self._sessions.get(key)
+        if session is None:
+            session = _StructureSession(structure)
+            self._sessions[key] = session
+            while len(self._sessions) > self._SESSION_BOUND:
+                self._sessions.popitem(last=False)
+        else:
+            self._sessions.move_to_end(key)
+        return session
 
     def _structure(self, coords: np.ndarray) -> core_blocks.BlockStructure:
-        structure, _ = self._cache.get(coords)
-        return structure
+        return self._session(coords).structure
 
     def _measured_counts(
-        self, structure: core_blocks.BlockStructure, center_indices
+        self, session: "_StructureSession", center_indices
     ) -> np.ndarray | None:
         """Real per-block centre counts — the backend always holds the
         concrete centre ids, so the cost model never has to estimate.
         ``None`` when a pinned kernel would never consult the cost model.
+        Memoised per (structure, centre-array) pair: every MSG scale
+        groups the same centres over the same structure, and the
+        bincount over the owner map is pure in both.
         """
         if self.kernel != "auto":
             return None
-        return np.bincount(
-            structure.block_of_point()[
-                np.asarray(center_indices, dtype=np.int64)
-            ],
-            minlength=structure.num_blocks,
-        )
+        return session.measured_counts(center_indices)
 
     def sample(self, coords: np.ndarray, num_samples: int) -> np.ndarray:
         structure = self._structure(coords)
@@ -160,24 +190,67 @@ class BlockBackend(PointOpsBackend):
         return indices
 
     def group(self, coords, center_indices, radius, k):
-        structure = self._structure(coords)
+        session = self._session(coords)
         neighbors, _ = dispatch.run_op(
-            "ball_query", structure, coords, center_indices, radius, k,
+            "ball_query", session.structure, coords, center_indices, radius, k,
             kernel=self.kernel, num_centers=len(center_indices),
-            center_counts=self._measured_counts(structure, center_indices),
+            center_counts=self._measured_counts(session, center_indices),
         )
         return neighbors
 
     def interpolate_indices(self, coords, center_indices, candidate_indices, k=3):
-        structure = self._structure(coords)
+        session = self._session(coords)
         idx, _ = dispatch.run_op(
-            "knn", structure, coords, center_indices, candidate_indices, k,
+            "knn", session.structure, coords, center_indices,
+            candidate_indices, k,
             kernel=self.kernel, num_centers=len(center_indices),
-            center_counts=self._measured_counts(structure, center_indices),
+            center_counts=self._measured_counts(session, center_indices),
         )
-        coords = np.asarray(coords, dtype=np.float64)
-        weights = exact_ops.idw_weights(coords[center_indices], coords[idx])
+        coords64 = session.coords64(coords)
+        weights = exact_ops.idw_weights(coords64[center_indices], coords64[idx])
         return idx, weights
+
+
+class _StructureSession:
+    """Memoised per-partition derived state of :class:`BlockBackend`.
+
+    Everything here is a pure function of ``(structure, input array)``
+    and used to be recomputed on every op — once per MSG scale against
+    the identical structure and centre set.  Entries key on array
+    identity and hold strong references, so ids stay valid while mapped.
+    """
+
+    _COUNTS_BOUND = 8
+
+    def __init__(self, structure: core_blocks.BlockStructure):
+        self.structure = structure
+        self._counts: OrderedDict[int, tuple[object, np.ndarray]] = OrderedDict()
+        self._coords64: tuple[object, np.ndarray] | None = None
+
+    def measured_counts(self, center_indices) -> np.ndarray:
+        key = id(center_indices)
+        hit = self._counts.get(key)
+        if hit is not None and hit[0] is center_indices:
+            self._counts.move_to_end(key)
+            return hit[1]
+        counts = np.bincount(
+            self.structure.block_of_point()[
+                np.asarray(center_indices, dtype=np.int64)
+            ],
+            minlength=self.structure.num_blocks,
+        )
+        self._counts[key] = (center_indices, counts)
+        while len(self._counts) > self._COUNTS_BOUND:
+            self._counts.popitem(last=False)
+        return counts
+
+    def coords64(self, coords: np.ndarray) -> np.ndarray:
+        hit = self._coords64
+        if hit is not None and hit[0] is coords:
+            return hit[1]
+        normalised = np.asarray(coords, dtype=np.float64)
+        self._coords64 = (coords, normalised)
+        return normalised
 
 
 def make_backend(
@@ -186,12 +259,14 @@ def make_backend(
     max_points_per_block: int = 64,
     kernel: str = "auto",
     batched: bool | None = None,
+    cache: PartitionCache | None = None,
 ) -> PointOpsBackend:
     """Factory: ``exact`` or any partitioner name from :mod:`repro.partition`.
 
     ``kernel`` selects the block-op implementation (``auto`` cost-model
     dispatch by default); ``batched`` is the legacy boolean equivalent
-    (``False`` → ``"loop"``).
+    (``False`` → ``"loop"``); ``cache`` shares an existing partition
+    cache (ignored by the exact backend, which partitions nothing).
     """
     if name == "exact":
         return ExactBackend()
@@ -199,4 +274,5 @@ def make_backend(
         get_partitioner(name, max_points_per_block=max_points_per_block),
         kernel=kernel,
         batched=batched,
+        cache=cache,
     )

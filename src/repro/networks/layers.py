@@ -66,6 +66,18 @@ class Dense(Module):
 
     Accepts arbitrary leading dimensions, so the same layer implements
     both per-point (shared/1x1-conv) and fully-connected computation.
+
+    Row-stability contract: every output row is a function of its input
+    row alone, bit-identical no matter how rows are batched.  The fused
+    serving path relies on it — the same point may be evaluated inside a
+    ``(n, c)`` delayed-aggregation pass, an eager ``(m, k, c)`` gathered
+    pass, or a one-row offline head call, and all three must agree to
+    the last bit.  Two measures enforce it: inputs are flattened to one
+    2-D GEMM (BLAS computes each row of a 2-D product independently at
+    these widths, but a stack of small 3-D matmuls may not batch the
+    same way), and single-row inputs are padded to two rows (one-row
+    products take BLAS's gemv path, whose accumulation order differs
+    from the gemm used for taller inputs).
     """
 
     def __init__(self, in_features: int, out_features: int, rng: np.random.Generator):
@@ -78,7 +90,13 @@ class Dense(Module):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         self._x = x
-        return x @ self.weight.value + self.bias.value
+        in_f, out_f = self.weight.shape
+        x2 = x.reshape(-1, in_f)
+        if len(x2) == 1:
+            y2 = (np.concatenate([x2, x2]) @ self.weight.value)[:1]
+        else:
+            y2 = x2 @ self.weight.value
+        return (y2 + self.bias.value).reshape(x.shape[:-1] + (out_f,))
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         x = self._x

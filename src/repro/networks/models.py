@@ -24,8 +24,9 @@ import numpy as np
 from .backends import PointOpsBackend
 from .layers import Module, SharedMLP
 from .modules import FPStage, GlobalSA, SAStage
+from .msg import SAStageMSG
 
-__all__ = ["ArchSpec", "ARCHS", "PNNClassifier", "PNNSegmenter"]
+__all__ = ["ArchSpec", "ARCHS", "PNNClassifier", "PNNClassifierMSG", "PNNSegmenter"]
 
 
 @dataclass(frozen=True)
@@ -90,11 +91,13 @@ class PNNClassifier(Module):
         self.global_sa = GlobalSA(128, [256], rng)
         self.head = SharedMLP([256, 128, num_classes], rng, final_relu=False)
 
-    def forward(self, coords: np.ndarray, backend: PointOpsBackend) -> np.ndarray:
+    def forward(
+        self, coords: np.ndarray, backend: PointOpsBackend, agg: str = "auto"
+    ) -> np.ndarray:
         """Logits ``(num_classes,)`` for one cloud."""
         feats = self.stem.forward(coords) if self.stem else None
-        c1, f1, _ = self.sa1.forward(coords, feats, backend)
-        c2, f2, _ = self.sa2.forward(c1, f1, backend)
+        c1, f1, _ = self.sa1.forward(coords, feats, backend, agg=agg)
+        c2, f2, _ = self.sa2.forward(c1, f1, backend, agg=agg)
         g = self.global_sa.forward(c2, f2)
         return self.head.forward(g[None, :])[0]
 
@@ -105,6 +108,54 @@ class PNNClassifier(Module):
         grad_f0 = self.sa1.backward(grad_f1)
         if self.stem is not None and grad_f0 is not None:
             self.stem.backward(grad_f0)
+
+
+class PNNClassifierMSG(Module):
+    """Multi-scale-grouping classifier (PointNet++-MSG, Fig. 2(d) top).
+
+    Same two-level skeleton as :class:`PNNClassifier`, but each level
+    groups every centre at two radii and concatenates the per-scale
+    pooled features — the density-robust variant, and the stage shape
+    where delayed aggregation pays most (one neighbour search and one
+    gathered MLP pass *per scale* under the eager order, against one
+    per-point MLP pass per scale under the delayed order).
+    """
+
+    def __init__(
+        self,
+        num_classes: int,
+        num_points: int = 1024,
+        seed: int = 0,
+    ):
+        rng = np.random.default_rng(seed)
+        self.num_classes = num_classes
+        self.sa1 = SAStageMSG(
+            n_out=max(num_points // 4, 32),
+            scales=[(0.2, 8), (0.4, 16)],
+            in_channels=0, mlp_widths=[32, 64], rng=rng,
+        )
+        self.sa2 = SAStageMSG(
+            n_out=max(num_points // 16, 16),
+            scales=[(0.4, 8), (0.8, 16)],
+            in_channels=self.sa1.out_channels, mlp_widths=[64, 128], rng=rng,
+        )
+        self.global_sa = GlobalSA(self.sa2.out_channels, [256], rng)
+        self.head = SharedMLP([256, 128, num_classes], rng, final_relu=False)
+
+    def forward(
+        self, coords: np.ndarray, backend: PointOpsBackend, agg: str = "auto"
+    ) -> np.ndarray:
+        """Logits ``(num_classes,)`` for one cloud."""
+        c1, f1, _ = self.sa1.forward(coords, None, backend, agg=agg)
+        c2, f2, _ = self.sa2.forward(c1, f1, backend, agg=agg)
+        g = self.global_sa.forward(c2, f2)
+        return self.head.forward(g[None, :])[0]
+
+    def backward(self, grad_logits: np.ndarray) -> None:
+        grad = self.head.backward(grad_logits[None, :])[0]
+        grad_f2 = self.global_sa.backward(grad)
+        grad_f1 = self.sa2.backward(grad_f2)
+        self.sa1.backward(grad_f1)
 
 
 class PNNSegmenter(Module):
@@ -142,11 +193,13 @@ class PNNSegmenter(Module):
         self.fp1 = FPStage(sparse_channels=128, skip_channels=c0, mlp_widths=[128, 64], rng=rng)
         self.head = SharedMLP([64, num_classes], rng, final_relu=False)
 
-    def forward(self, coords: np.ndarray, backend: PointOpsBackend) -> np.ndarray:
+    def forward(
+        self, coords: np.ndarray, backend: PointOpsBackend, agg: str = "auto"
+    ) -> np.ndarray:
         """Per-point logits ``(n, num_classes)``."""
         feats = self.stem.forward(coords) if self.stem else None
-        c1, f1, i1 = self.sa1.forward(coords, feats, backend)
-        c2, f2, i2 = self.sa2.forward(c1, f1, backend)
+        c1, f1, i1 = self.sa1.forward(coords, feats, backend, agg=agg)
+        c2, f2, i2 = self.sa2.forward(c1, f1, backend, agg=agg)
         p1 = self.fp2.forward(c1, f1, i2, f2, backend)
         p0 = self.fp1.forward(coords, feats, i1, p1, backend)
         return self.head.forward(p0)

@@ -7,12 +7,27 @@ their index outputs are treated as constants of the backward pass (the
 standard straight-through treatment — neighbour selection is not
 differentiable), while feature gradients flow through gathers,
 interpolation weights, MLPs, and pooling.
+
+Set abstraction is structured Mesorasi-style: the shared MLP consumes
+one row per *point* (absolute xyz ++ features — the delayed-aggregation
+form, where per-point results are independent of which neighbourhoods a
+point lands in), and aggregation happens on the ball-query indices.
+:meth:`SAStage.compute` exposes both evaluation orders — ``eager``
+gathers the input rows and runs the MLP over ``(m, k, c)``, ``delayed``
+runs the MLP once over ``(n, c)`` and gathers the output rows — and the
+two are bit-identical (the Dense row-stability contract), so the
+``REPRO_AGG`` / ``agg=`` dispatch axis of :mod:`repro.core.dispatch`
+only moves work between the GEMM and the gather.  The split between
+``forward`` (sample + group via the backend, then compute) and
+``compute`` (index-parameterised math) is what lets the fused serving
+engine drive the same stage objects with fused cross-cloud indices.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..core import dispatch
 from .backends import PointOpsBackend
 from .layers import Dense, Module, ReLU, SharedMLP, max_pool, max_pool_backward
 
@@ -43,7 +58,7 @@ class InvResBlock(Module):
 
 
 class SAStage(Module):
-    """Set-abstraction stage: sample → group → gather → MLP → pool.
+    """Set-abstraction stage: sample → group → MLP ⇄ aggregate.
 
     Args:
         n_out: number of sampled centres this stage keeps.
@@ -51,7 +66,10 @@ class SAStage(Module):
         k: group size.
         in_channels: input feature channels (0 when only coordinates).
         mlp_widths: hidden/output widths of the shared MLP (applied to
-            ``3 + in_channels`` inputs: relative xyz ++ features).
+            ``3 + in_channels`` inputs: absolute xyz ++ features — the
+            per-point form delayed aggregation requires; networks
+            retrain from scratch under either order, exactly as
+            Mesorasi retrains its restructured backbones).
         pooling: ``max`` (PointNet++/PointNeXt) or ``maxmean``
             (PointVector-style vector aggregation).
         post_blocks: number of InvResBlocks after pooling (PointNeXt).
@@ -84,20 +102,48 @@ class SAStage(Module):
         self._ctx: dict | None = None
 
     def forward(
-        self, coords: np.ndarray, feats: np.ndarray | None, backend: PointOpsBackend
+        self,
+        coords: np.ndarray,
+        feats: np.ndarray | None,
+        backend: PointOpsBackend,
+        agg: str = "auto",
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Returns ``(center_coords, out_feats, center_indices)``."""
         n = len(coords)
         n_out = min(self.n_out, n)
         centers = backend.sample(coords, n_out)
         neighbors = backend.group(coords, centers, self.radius, self.k)
+        out = self.compute(coords, feats, neighbors, agg=agg)
+        return coords[centers], out, centers
 
-        rel = coords[neighbors] - coords[centers][:, None, :]
-        if feats is not None:
-            grouped = np.concatenate([rel, feats[neighbors]], axis=2)
+    def compute(
+        self,
+        coords: np.ndarray,
+        feats: np.ndarray | None,
+        neighbors: np.ndarray,
+        agg: str = "auto",
+    ) -> np.ndarray:
+        """MLP + aggregation over precomputed ball-query indices.
+
+        ``neighbors`` may index into any point set ``coords``/``feats``
+        describe — including a fused multi-cloud concatenation — since
+        every row of the MLP depends on its point alone.  ``agg`` picks
+        the evaluation order (see :func:`repro.core.dispatch.
+        resolve_agg`); both orders are bit-identical.
+        """
+        x = coords if feats is None else np.concatenate([coords, feats], axis=1)
+        mode = dispatch.resolve_agg(
+            agg,
+            num_points=len(x),
+            num_centers=len(neighbors),
+            k=neighbors.shape[1] if neighbors.ndim == 2 else 1,
+            mlp_widths=self.mlp.widths,
+        )
+        if mode == "delayed":
+            h_all = self.mlp.forward(x)
+            h = h_all[neighbors]
         else:
-            grouped = rel
-        h = self.mlp.forward(grouped)
+            h = self.mlp.forward(x[neighbors])
 
         pooled_max, arg = max_pool(h, axis=1)
         if self.pooling == "maxmean":
@@ -112,13 +158,14 @@ class SAStage(Module):
             out = block.forward(out)
 
         self._ctx = {
-            "n": n,
+            "n": len(x),
+            "mode": mode,
             "neighbors": neighbors,
             "arg": arg,
             "h_shape": h.shape,
             "has_feats": feats is not None,
         }
-        return coords[centers], out, centers
+        return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray | None:
         """Backprop to the *input features*; returns None when stage had none."""
@@ -136,6 +183,17 @@ class SAStage(Module):
         else:
             grad_h = max_pool_backward(grad_out, ctx["arg"], ctx["h_shape"], axis=1)
 
+        if ctx["mode"] == "delayed":
+            # Scatter the gathered-row gradients back to the per-point MLP
+            # output, then one MLP backward over the (n, c) pass.
+            grad_h_all = np.zeros(
+                (ctx["n"], ctx["h_shape"][-1]), dtype=grad_h.dtype
+            )
+            np.add.at(grad_h_all, ctx["neighbors"], grad_h)
+            grad_x = self.mlp.backward(grad_h_all)
+            if not ctx["has_feats"]:
+                return None
+            return grad_x[:, 3:]
         grad_grouped = self.mlp.backward(grad_h)
         if not ctx["has_feats"]:
             return None

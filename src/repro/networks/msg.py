@@ -58,21 +58,33 @@ class SAStageMSG(Module):
         self._ctx: dict | None = None
 
     def forward(
-        self, coords: np.ndarray, feats: np.ndarray | None, backend: PointOpsBackend
+        self,
+        coords: np.ndarray,
+        feats: np.ndarray | None,
+        backend: PointOpsBackend,
+        agg: str = "auto",
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Returns ``(center_coords, out_feats, center_indices)``."""
         n_out = min(self.n_out, len(coords))
         centers = backend.sample(coords, n_out)
-        outputs = []
-        for stage in self.stages:
-            # Reuse the shared sample: run the stage's group/MLP/pool on
-            # the same centres by injecting a fixed-sample backend.
-            fixed = _FixedSampleBackend(backend, centers)
-            _, f, _ = stage.forward(coords, feats, fixed)
-            outputs.append(f)
-        out = np.concatenate(outputs, axis=1)
+        out = self.compute(coords, feats, backend, centers, agg=agg)
         self._ctx = {"n_scales": len(self.stages)}
         return coords[centers], out, centers
+
+    def compute(
+        self,
+        coords: np.ndarray,
+        feats: np.ndarray | None,
+        backend: PointOpsBackend,
+        centers: np.ndarray,
+        agg: str = "auto",
+    ) -> np.ndarray:
+        """Per-scale group + MLP/aggregate over precomputed centres."""
+        outputs = []
+        for (radius, k), stage in zip(self.scales, self.stages):
+            neighbors = backend.group(coords, centers, radius, k)
+            outputs.append(stage.compute(coords, feats, neighbors, agg=agg))
+        return np.concatenate(outputs, axis=1)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray | None:
         if self._ctx is None:
@@ -99,6 +111,14 @@ class _FixedSampleBackend(PointOpsBackend):
         self._centers = np.asarray(centers, dtype=np.int64)
 
     def sample(self, coords: np.ndarray, num_samples: int) -> np.ndarray:
+        if num_samples > len(self._centers):
+            # Silently returning the short slice would hand the caller
+            # fewer centres than it asked for and skew every per-scale
+            # output shape downstream.
+            raise ValueError(
+                f"fixed sample set holds {len(self._centers)} centres, "
+                f"cannot satisfy num_samples={num_samples}"
+            )
         return self._centers[:num_samples]
 
     def group(self, coords, center_indices, radius, k):

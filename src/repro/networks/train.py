@@ -2,7 +2,11 @@
 
 Per-cloud SGD with gradient accumulation over minibatches (point
 operations differ per cloud, so clouds are processed individually and the
-dense math is vectorised within each cloud).  Metrics match the paper:
+dense math is vectorised within each cloud).  Clouds are consumed at
+their construction dtype — float32 coordinates, the documented
+:class:`~repro.geometry.PointCloud` contract — so the partition cache
+sees one ``content_key`` per geometry; upcasting per call would hash the
+same cloud to a second key and defeat deduplication.  Metrics match the paper:
 overall accuracy (OA) for classification, mean intersection-over-union
 (mIoU) for segmentation.
 """
@@ -60,7 +64,7 @@ def train_classifier(
             optimizer.zero_grad()
             for ci in batch:
                 cloud = clouds[ci]
-                logits = model.forward(cloud.coords.astype(np.float64), backend)
+                logits = model.forward(cloud.coords, backend)
                 loss, grad, _ = softmax_cross_entropy(
                     logits[None, :], np.array([cloud.class_id])
                 )
@@ -80,7 +84,7 @@ def evaluate_classifier(
     """Overall accuracy (OA) on labelled clouds."""
     correct = 0
     for cloud in clouds:
-        logits = model.forward(cloud.coords.astype(np.float64), backend)
+        logits = model.forward(cloud.coords, backend)
         correct += int(np.argmax(logits) == cloud.class_id)
     return correct / len(clouds)
 
@@ -124,7 +128,7 @@ def train_segmenter(
             optimizer.zero_grad()
             for ci in batch:
                 cloud = clouds[ci]
-                logits = model.forward(cloud.coords.astype(np.float64), backend)
+                logits = model.forward(cloud.coords, backend)
                 loss, grad, _ = softmax_cross_entropy(logits, cloud.labels)
                 model.backward(grad)
                 epoch_loss += loss
@@ -141,7 +145,7 @@ def evaluate_segmenter(
     """mIoU pooled over all points of all clouds."""
     preds, labels = [], []
     for cloud in clouds:
-        logits = model.forward(cloud.coords.astype(np.float64), backend)
+        logits = model.forward(cloud.coords, backend)
         preds.append(np.argmax(logits, axis=1))
         labels.append(cloud.labels)
     return mean_iou(np.concatenate(preds), np.concatenate(labels), model.num_classes)

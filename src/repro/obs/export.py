@@ -50,6 +50,10 @@ def stage_of(name: str) -> str:
     """
     if name.startswith("op."):
         return name
+    if name.startswith("model."):
+        # Network-pipeline spans keep their own rows too: model.sa1 vs
+        # model.fp1 is the split an inference trace is read for.
+        return name
     if name.startswith("build.") or name == "partition.build":
         return "build"
     if name == "partition.patch":

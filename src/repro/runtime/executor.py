@@ -84,6 +84,17 @@ class PipelineSpec:
             number of sampled centres).
         with_interpolation: skip the interpolation stage when False
             (classification-style pipelines stop after grouping).
+        model: name of a registered serving model
+            (:data:`repro.infer.MODEL_NAMES`).  When set, the pipeline
+            runs full network inference instead of the raw BPPO stage
+            chain: results carry ``model_output`` and the point-op
+            fields stay empty.  The sampling/grouping knobs above are
+            ignored — the model's own stage parameters drive the point
+            operations.
+        agg: set-abstraction aggregation order for model pipelines —
+            ``"auto"`` (cost model / ``REPRO_AGG``), ``"eager"``
+            (gather-then-MLP), or ``"delayed"`` (MLP-then-gather,
+            Mesorasi-style).  Both orders are bit-identical.
     """
 
     sample_ratio: float = 0.25
@@ -92,6 +103,11 @@ class PipelineSpec:
     group_size: int = 16
     interpolate_k: int = 3
     with_interpolation: bool = True
+    model: str | None = None
+    agg: str = "auto"
+
+    def __post_init__(self):
+        dispatch.validate_agg(self.agg)
 
     def samples_for(self, num_points: int) -> int:
         """Sample count for a cloud of ``num_points`` (clamped to [1, n])."""
@@ -113,6 +129,11 @@ class CloudResult:
     reuse of a near-match), ``"patched"`` (incremental delta update), or
     ``"cold"`` (full build); empty on results from engines predating the
     delta protocol.
+
+    ``model_output`` holds the network output of a model pipeline
+    (``PipelineSpec.model``): per-cloud logits for classifiers,
+    per-point logits for segmenters; ``None`` on raw BPPO pipelines,
+    whose point-op arrays are empty in the model case.
     """
 
     index: int
@@ -127,6 +148,7 @@ class CloudResult:
     traces: dict[str, OpTrace] = field(default_factory=dict)
     reused: bool = False
     partition_source: str = ""
+    model_output: np.ndarray | None = None
 
 
 @dataclass
@@ -455,6 +477,8 @@ class BatchExecutor:
         features: np.ndarray | None,
         pipeline: PipelineSpec,
     ) -> CloudResult:
+        if pipeline.model is not None:
+            return self._execute_model_impl(index, coords, features, pipeline)
         start = obs.now()
         n = len(coords)
         num_samples = pipeline.samples_for(n)
@@ -539,6 +563,47 @@ class BatchExecutor:
             interpolated=interpolated,
             traces=traces,
             partition_source=source,
+        )
+
+    def _execute_model_impl(
+        self,
+        index: int,
+        coords: np.ndarray,
+        features: np.ndarray | None,
+        pipeline: PipelineSpec,
+    ) -> CloudResult:
+        """Run full network inference on one cloud.
+
+        The model's point operations resolve through a backend that
+        shares this engine's partition cache and kernel choice, so every
+        pyramid level's partition is content-cached exactly like raw
+        BPPO traffic (the level-0 acquire below only claims the
+        warm/cold accounting before the backend warm-hits it).
+        """
+        from ..infer import get_model, run_model
+        from ..networks.backends import BlockBackend
+
+        start = obs.now()
+        structure, source, _ = self.cache.acquire(coords)
+        backend = BlockBackend(
+            self.partitioner, kernel=self.kernel, cache=self.cache
+        )
+        output = run_model(
+            get_model(pipeline.model), coords, features, backend,
+            agg=pipeline.agg,
+        )
+        return CloudResult(
+            index=index,
+            num_points=len(coords),
+            num_blocks=structure.num_blocks,
+            cache_hit=source == "warm",
+            seconds=obs.now() - start,
+            sampled=np.zeros(0, dtype=np.int64),
+            neighbors=np.zeros((0, 0), dtype=np.int64),
+            grouped=np.zeros((0, 0, 0)),
+            interpolated=None,
+            partition_source=source,
+            model_output=output,
         )
 
     def run_cloud(
@@ -740,13 +805,19 @@ class BatchExecutor:
         lanes: dict[tuple, list] = {}
         for item in items:
             _, coords, features = item
-            width = 3 if features is None else features.shape[1]
-            if pipeline.with_interpolation:
+            if pipeline.model is not None:
+                # One pipeline per window means one (model, agg) pair;
+                # the fused forward handles mixed sizes and ignores
+                # features, so every cloud shares a single lane.
+                lane = ("model",)
+            elif pipeline.with_interpolation:
+                width = 3 if features is None else features.shape[1]
                 k_eff = min(
                     pipeline.interpolate_k, pipeline.samples_for(len(coords))
                 )
                 lane = (width, k_eff)
             else:
+                width = 3 if features is None else features.shape[1]
                 lane = (width,)
             lanes.setdefault(lane, []).append(item)
 
@@ -808,10 +879,53 @@ class BatchExecutor:
         items: list[tuple[int, np.ndarray, np.ndarray | None]],
         pipeline: PipelineSpec,
     ) -> list[CloudResult]:
+        impl = (
+            self._execute_fused_model_impl
+            if pipeline.model is not None
+            else self._execute_fused_impl
+        )
         if obs.enabled():
             with obs.span("engine.fused", clouds=len(items)):
-                return self._execute_fused_impl(items, pipeline)
-        return self._execute_fused_impl(items, pipeline)
+                return impl(items, pipeline)
+        return impl(items, pipeline)
+
+    def _execute_fused_model_impl(
+        self,
+        items: list[tuple[int, np.ndarray, np.ndarray | None]],
+        pipeline: PipelineSpec,
+    ) -> list[CloudResult]:
+        """Fused network inference over a group of clouds.
+
+        The fused forward (:func:`repro.infer.run_fused`) shares one
+        FPS/ball-query structure pass per pyramid level across every
+        cloud of the group while the row-wise network math runs over
+        the concatenated feature rows — bit-identical to the per-cloud
+        model path.
+        """
+        from ..infer import run_fused
+
+        start = obs.now()
+        outputs, sources, num_blocks = run_fused(
+            pipeline.model, items, self.cache, agg=pipeline.agg
+        )
+        elapsed = obs.now() - start
+        total_points = sum(len(coords) for _, coords, _ in items)
+        return [
+            CloudResult(
+                index=index,
+                num_points=len(coords),
+                num_blocks=num_blocks[g],
+                cache_hit=sources[g] == "warm",
+                seconds=elapsed * len(coords) / total_points,
+                sampled=np.zeros(0, dtype=np.int64),
+                neighbors=np.zeros((0, 0), dtype=np.int64),
+                grouped=np.zeros((0, 0, 0)),
+                interpolated=None,
+                partition_source=sources[g],
+                model_output=outputs[g],
+            )
+            for g, (index, coords, _) in enumerate(items)
+        ]
 
     def _execute_fused_impl(
         self,

@@ -32,7 +32,14 @@ Three traffic profiles stress different scheduler surfaces:
   repeats, recency-free — every asset stays warm forever), the rest are
   one-off cold clouds.  When the catalog is bigger than one server's
   dedup window but smaller than a shard fleet's aggregate capacity,
-  this is the workload where content-affine sharding wins.
+  this is the workload where content-affine sharding wins;
+- ``inference`` — model-serving traffic: uniform ragged sizes, but a
+  ``corrupt_rate`` fraction of the fresh clouds passes through a
+  randomly drawn corruption of :mod:`repro.datasets.corruptions`
+  (jitter, dropout, occlusion, outliers — the robustness sweep a
+  deployed perception model actually sees), each seeded from the stream
+  position so the traffic stays deterministic.  The shape to pair with
+  ``repro serve --model``.
 
 Multi-tenant traffic comes from :func:`tenant_specs` (one seeded
 rate/size mix per tenant) merged by :func:`generate_tenants` into a
@@ -62,7 +69,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .. import obs
-from ..datasets import load_cloud
+from ..datasets import corrupt, corruption_names, load_cloud
 
 __all__ = [
     "LoadSpec",
@@ -77,7 +84,9 @@ __all__ = [
 
 _MAGIC = b"\x93NUMPY"
 
-_PROFILES = ("uniform", "diurnal", "adversarial", "frames", "hotset")
+_PROFILES = (
+    "uniform", "diurnal", "adversarial", "frames", "hotset", "inference"
+)
 
 
 @dataclass(frozen=True)
@@ -120,6 +129,11 @@ class LoadSpec:
             content hashes match exactly.
         hot_rate: ``hotset`` profile — probability a request draws from
             the catalog (uniformly) instead of being a one-off cloud.
+        corrupt_rate: ``inference`` profile — probability a fresh cloud
+            is corrupted before emission (kind drawn uniformly from the
+            corruption registry).
+        corrupt_severity: ``inference`` profile — severities are drawn
+            from ``1..corrupt_severity`` (the registry's 1-5 scale).
     """
 
     clouds: int = 64
@@ -140,6 +154,8 @@ class LoadSpec:
     frame_churn: float = 0.1
     hot_assets: int = 16
     hot_rate: float = 0.8
+    corrupt_rate: float = 0.25
+    corrupt_severity: int = 3
 
     def __post_init__(self):
         if self.clouds < 1:
@@ -193,6 +209,14 @@ class LoadSpec:
         if not 0.0 <= self.hot_rate <= 1.0:
             raise ValueError(
                 f"hot_rate must be in [0, 1], got {self.hot_rate}"
+            )
+        if not 0.0 <= self.corrupt_rate <= 1.0:
+            raise ValueError(
+                f"corrupt_rate must be in [0, 1], got {self.corrupt_rate}"
+            )
+        if not 1 <= self.corrupt_severity <= 5:
+            raise ValueError(
+                f"corrupt_severity must be in 1..5, got {self.corrupt_severity}"
             )
 
 
@@ -306,9 +330,19 @@ def _frames(spec: LoadSpec) -> Iterator[np.ndarray]:
             recent.append(cloud)
         else:
             n = _draw_size(spec, rng, emitted)
-            cloud = load_cloud(
-                spec.dataset, n, seed=spec.seed * 100_003 + emitted
-            ).coords.astype(np.float64)
+            loaded = load_cloud(spec.dataset, n, seed=spec.seed * 100_003 + emitted)
+            if (
+                spec.profile == "inference"
+                and rng.random() < spec.corrupt_rate
+            ):
+                kinds = corruption_names()
+                loaded = corrupt(
+                    loaded,
+                    kinds[int(rng.integers(len(kinds)))],
+                    severity=int(rng.integers(1, spec.corrupt_severity + 1)),
+                    seed=spec.seed * 9_973 + emitted,
+                )
+            cloud = loaded.coords.astype(np.float64)
             if spec.profile == "frames":
                 current = cloud
             recent.append(cloud)

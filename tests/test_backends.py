@@ -75,6 +75,41 @@ class TestBlockBackend:
         assert ratios["fractal"] < 2.0
         assert ratios["uniform"] > 1.5 * ratios["fractal"]
 
+    def test_session_memoises_per_structure_state(self, gaussian_cloud):
+        """MSG regression: grouping the same centres over the same cloud
+        (once per scale) used to re-bincount the centre owners and
+        re-normalise the coordinates on every call."""
+        backend = BlockBackend(FractalPartitioner(threshold=64))
+        centers = np.arange(20)
+        backend.group(gaussian_cloud, centers, 0.3, 4)
+        backend.group(gaussian_cloud, centers, 0.6, 8)  # second scale
+        session = backend._session(gaussian_cloud)
+        assert len(backend._sessions) == 1  # one structure, one session
+        counts = session.measured_counts(centers)
+        assert counts is session.measured_counts(centers)  # memo hit
+        # A different centre array gets its own entry (identity-keyed).
+        other = np.arange(10)
+        assert session.measured_counts(other) is not counts
+        # Normalised coords memoise per input array too.
+        backend.interpolate_indices(gaussian_cloud, np.arange(5), centers)
+        assert session.coords64(gaussian_cloud) is session.coords64(
+            gaussian_cloud
+        )
+
+    def test_shared_cache_is_used_and_warmed(self, gaussian_cloud):
+        """The engine hands its PartitionCache to model backends: the
+        backend must partition through it, not through a private one."""
+        from repro.runtime.cache import PartitionCache
+
+        partitioner = FractalPartitioner(threshold=64)
+        shared = PartitionCache(partitioner, maxsize=4)
+        backend = BlockBackend(partitioner, cache=shared)
+        backend.sample(gaussian_cloud, 30)
+        assert len(shared) == 1  # warmed the caller's cache
+        structure, hit = shared.get(gaussian_cloud)
+        assert hit
+        assert backend._structure(gaussian_cloud) is structure
+
     def test_make_backend_names(self):
         assert make_backend("exact").name == "exact"
         assert make_backend("fractal").name == "fractal"

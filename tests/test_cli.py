@@ -130,3 +130,38 @@ class TestCommands:
         # silently fall back.
         with pytest.raises(ValueError, match="in_flight"):
             main(["serve", "--clouds", "2", "--in-flight", "-4"])
+
+    def test_inference_loadgen_served_through_model(self, capsys, tmp_path):
+        path = tmp_path / "inference.npy"
+        rc = main(["loadgen", "--profile", "inference", "--clouds", "8",
+                   "--min-points", "48", "--max-points", "120",
+                   "--corrupt-rate", "0.5", "--seed", "4",
+                   "--out", str(path)])
+        assert rc == 0
+        rc = main(["serve", "--input", str(path), "--model", "pointnet2-cls",
+                   "--agg", "delayed", "--window", "4", "--workers", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "model pointnet2-cls [delayed]" in out
+        assert "served 8 clouds" in out
+
+    def test_serve_model_tenant_round_robin(self, capsys, tmp_path):
+        path = tmp_path / "tenants.npy"
+        rc = main(["loadgen", "--profile", "inference", "--clouds", "3",
+                   "--tenants", "2", "--min-points", "48",
+                   "--max-points", "96", "--seed", "6", "--out", str(path)])
+        assert rc == 0
+        rc = main(["serve", "--input", str(path), "--tenants", "2",
+                   "--model", "pointnet2-cls,pointnet2-seg",
+                   "--window", "4", "--workers", "1"])
+        assert rc == 0
+        assert "served 6 clouds" in capsys.readouterr().out
+
+    def test_serve_model_errors(self, capsys):
+        assert main(["serve", "--model", "bogus"]) == 2
+        assert "unknown model" in capsys.readouterr().err
+        # A comma list without --tenants has no tenant roster to spread
+        # over; fail before consuming any stream.
+        assert main(["serve", "--model",
+                     "pointnet2-cls,pointnet2-seg"]) == 2
+        assert "--tenants" in capsys.readouterr().err

@@ -65,6 +65,16 @@ class TestPartitionCache:
         # Value-equal inputs of one dtype still share a key (cache replay).
         assert content_key(floats) == content_key(floats.copy())
 
+    def test_construction_dtype_is_the_dedup_contract(self):
+        """Companion regression: datasets pin float32 at PointCloud
+        construction, and dedup keys on the *source* dtype — so a call
+        site that upcasts per call (``coords.astype(np.float64)``, as
+        the training loop once did) forks the key and defeats every
+        content-addressed reuse path behind it."""
+        cloud = np.arange(12, dtype=np.float32).reshape(4, 3)
+        assert content_key(cloud) == content_key(cloud.copy())
+        assert content_key(cloud) != content_key(cloud.astype(np.float64))
+
 
 class TestBatchExecutor:
     def test_results_in_submission_order(self):

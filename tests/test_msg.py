@@ -70,6 +70,19 @@ class TestSAStageMSG:
         )
         assert len(stage.parameters()) == 2 * len(single.parameters())
 
+    def test_fixed_sample_backend_rejects_short_slice(self, rng, backend):
+        """Regression: asking the shared-FPS wrapper for more centres
+        than it holds used to return a silently short slice, skewing
+        every per-scale output shape downstream."""
+        from repro.networks.msg import _FixedSampleBackend
+
+        coords = rng.normal(size=(32, 3))
+        fixed = _FixedSampleBackend(backend, np.arange(8))
+        assert np.array_equal(fixed.sample(coords, 8), np.arange(8))
+        assert np.array_equal(fixed.sample(coords, 5), np.arange(5))
+        with pytest.raises(ValueError, match="cannot satisfy"):
+            fixed.sample(coords, 9)
+
     def test_works_with_block_backend(self, rng):
         from repro.networks import make_backend
 

@@ -625,6 +625,37 @@ class TestLoadgenProfiles:
         assert [len(c) for c in generate(spec)] == \
             [len(c) for c in generate(spec)]
 
+    def test_inference_validation(self):
+        with pytest.raises(ValueError, match="corrupt_rate"):
+            LoadSpec(profile="inference", corrupt_rate=1.5)
+        with pytest.raises(ValueError, match="corrupt_severity"):
+            LoadSpec(profile="inference", corrupt_severity=0)
+
+    def test_inference_deterministic(self):
+        spec = LoadSpec(clouds=24, min_points=48, max_points=160,
+                        dup_rate=0.0, profile="inference",
+                        corrupt_rate=0.5, seed=11)
+        first = list(generate(spec))
+        second = list(generate(spec))
+        assert len(first) == 24
+        assert all(np.array_equal(a, b) for a, b in zip(first, second))
+
+    def test_inference_corruptions_perturb_the_stream(self):
+        base = dict(clouds=16, min_points=48, max_points=160,
+                    dup_rate=0.0, seed=11)
+        clean = list(generate(
+            LoadSpec(profile="inference", corrupt_rate=0.0, **base)
+        ))
+        dirty = list(generate(
+            LoadSpec(profile="inference", corrupt_rate=1.0, **base)
+        ))
+        # Every cloud drew a corruption, so every cloud differs (some by
+        # shape — the dropout/occlusion families remove points).
+        assert all(
+            a.shape != b.shape or not np.array_equal(a, b)
+            for a, b in zip(clean, dirty)
+        )
+
 
 class TestMultiTenantLoadgen:
     def test_tenant_specs_deterministic_mix(self):
